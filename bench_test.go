@@ -1,0 +1,232 @@
+package earlyrelease
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (DESIGN.md §4 maps each benchmark to its artifact).
+// Each benchmark reports the reproduced headline metrics through
+// b.ReportMetric so `go test -bench` output doubles as the experiment
+// record:
+//
+//	BenchmarkFig3    — register-state breakdown (idle overhead %)
+//	BenchmarkSec33   — basic-mechanism speedups at 64/48/40 registers
+//	BenchmarkFig9    — access time / energy model evaluation
+//	BenchmarkSec44   — energy balance of shrunken files + LUs Tables
+//	BenchmarkFig10   — per-benchmark IPC at 48+48 under three policies
+//	BenchmarkFig11   — Hm IPC vs register file size (+ Table 4 savings)
+//	BenchmarkPolicy* — per-policy microbenchmarks on single workloads
+//	Benchmark_Ablation* — design-choice ablations (§3.2 reuse, RelQue
+//	  depth, eager release)
+//
+// The heavyweight sweeps use a reduced scale so a full -bench=. pass
+// completes in minutes; run cmd/figures for full-fidelity numbers.
+
+import (
+	"testing"
+
+	"earlyrelease/internal/experiments"
+	"earlyrelease/internal/pipeline"
+	"earlyrelease/internal/power"
+	"earlyrelease/internal/release"
+	"earlyrelease/internal/workloads"
+)
+
+func benchOpts() experiments.Options {
+	o := experiments.QuickOptions()
+	o.Scale = 60_000
+	return o
+}
+
+// BenchmarkFig3 regenerates Figure 3 (Empty/Ready/Idle breakdown under
+// conventional renaming, 96+96 registers).
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		im, fm := res.IdleOverheadMeans()
+		b.ReportMetric(100*im, "idle/used-int-%")
+		b.ReportMetric(100*fm, "idle/used-fp-%")
+	}
+}
+
+// BenchmarkSec33 regenerates the §3.3 basic-mechanism speedups.
+func BenchmarkSec33(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Sec33(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.FPSp[1], "fp-speedup-48-%")
+		b.ReportMetric(100*res.IntSp[2], "int-speedup-40-%")
+	}
+}
+
+// BenchmarkFig9 evaluates the register-file delay/energy model across
+// the paper's size axis.
+func BenchmarkFig9(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for _, p := range experiments.DefaultSizes {
+			tn, e := power.IntFile(p)
+			sink += tn + e
+			tn, e = power.FPFile(p)
+			sink += tn + e
+		}
+	}
+	lt, le := power.LUsTable()
+	b.ReportMetric(lt, "LUsTable-ns")
+	b.ReportMetric(le, "LUsTable-pJ")
+	_ = sink
+}
+
+// BenchmarkSec44 evaluates the §4.4 energy balance.
+func BenchmarkSec44(b *testing.B) {
+	var econv, eearly float64
+	for i := 0; i < b.N; i++ {
+		econv, eearly = power.EnergyBalance(64, 79, 56, 72)
+	}
+	b.ReportMetric(econv, "Econv-pJ")
+	b.ReportMetric(eearly, "Eearly-pJ")
+}
+
+// BenchmarkFig10 regenerates the 48+48 three-policy comparison.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		iSp, fpSp := res.Speedups(release.Extended)
+		b.ReportMetric(100*iSp, "ext-int-speedup-%")
+		b.ReportMetric(100*fpSp, "ext-fp-speedup-%")
+	}
+}
+
+// BenchmarkFig11 regenerates the register-size sweep and derives the
+// Table 4 equal-IPC savings.
+func BenchmarkFig11(b *testing.B) {
+	sizes := []int{40, 48, 56, 64, 80, 96, 128, 160}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(benchOpts(), sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := experiments.Table4(res)
+		var maxInt, maxFP float64
+		for _, r := range rows {
+			if r.Class == workloads.Int && r.SavedPct > maxInt {
+				maxInt = r.SavedPct
+			}
+			if r.Class == workloads.FP && r.SavedPct > maxFP {
+				maxFP = r.SavedPct
+			}
+		}
+		b.ReportMetric(maxInt, "table4-int-saved-%")
+		b.ReportMetric(maxFP, "table4-fp-saved-%")
+	}
+}
+
+// benchPolicy measures simulator throughput and reproduced IPC for one
+// (workload, policy) pair.
+func benchPolicy(b *testing.B, workload string, kind release.Kind, regs int) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOpts()
+	tr := w.MustTrace(opt.Scale)
+	b.SetBytes(int64(tr.Len())) // "bytes" = simulated instructions
+	b.ResetTimer()
+	var ipc float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(w, kind, regs, regs, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ipc = res.IPC
+	}
+	b.ReportMetric(ipc, "sim-IPC")
+}
+
+func BenchmarkPolicyConvTomcatv(b *testing.B)     { benchPolicy(b, "tomcatv", release.Conventional, 48) }
+func BenchmarkPolicyBasicTomcatv(b *testing.B)    { benchPolicy(b, "tomcatv", release.Basic, 48) }
+func BenchmarkPolicyExtendedTomcatv(b *testing.B) { benchPolicy(b, "tomcatv", release.Extended, 48) }
+func BenchmarkPolicyConvGo(b *testing.B)          { benchPolicy(b, "go", release.Conventional, 40) }
+func BenchmarkPolicyExtendedGo(b *testing.B)      { benchPolicy(b, "go", release.Extended, 40) }
+
+// Benchmark_AblationReuse quantifies the §3.2 register-reuse option: the
+// extended policy with and without in-place reuse of committed versions.
+func Benchmark_AblationReuse(b *testing.B) {
+	w, _ := workloads.ByName("swim")
+	opt := benchOpts()
+	tr := w.MustTrace(opt.Scale)
+	_ = tr
+	run := func(reuse bool) float64 {
+		rep, err := Run("swim", Config{
+			Policy: PolicyExtended, IntRegs: 48, FPRegs: 48,
+			Scale: opt.Scale, NoReuse: !reuse,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep.IPC
+	}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = run(true)
+		without = run(false)
+	}
+	b.ReportMetric(with, "IPC-reuse")
+	b.ReportMetric(without, "IPC-noreuse")
+}
+
+// Benchmark_AblationEager measures the Farkas/Moudgill-style eager
+// release (imprecise-exception ablation, §6) against the precise basic
+// mechanism.
+func Benchmark_AblationEager(b *testing.B) {
+	opt := benchOpts()
+	var precise, eager float64
+	for i := 0; i < b.N; i++ {
+		rep, err := Run("tomcatv", Config{Policy: PolicyBasic, IntRegs: 48, FPRegs: 48, Scale: opt.Scale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		precise = rep.IPC
+		rep, err = Run("tomcatv", Config{Policy: PolicyBasic, IntRegs: 48, FPRegs: 48, Scale: opt.Scale, Eager: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eager = rep.IPC
+	}
+	b.ReportMetric(precise, "IPC-precise")
+	b.ReportMetric(eager, "IPC-eager")
+}
+
+// Benchmark_AblationRelQueDepth sweeps the pending-branch limit (the
+// Release Queue depth) to show the extended mechanism's sensitivity to
+// its one sizing parameter.
+func Benchmark_AblationRelQueDepth(b *testing.B) {
+	w, _ := workloads.ByName("go")
+	opt := benchOpts()
+	tr := w.MustTrace(opt.Scale)
+	depths := []int{4, 8, 20}
+	ipcs := make([]float64, len(depths))
+	for i := 0; i < b.N; i++ {
+		for d, depth := range depths {
+			cfg := pipeline.DefaultConfig(release.Extended, 48, 48)
+			cfg.Policy.MaxPendingBranches = depth
+			core, err := pipeline.New(cfg, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := core.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ipcs[d] = res.IPC
+		}
+	}
+	b.ReportMetric(ipcs[0], "IPC-depth4")
+	b.ReportMetric(ipcs[1], "IPC-depth8")
+	b.ReportMetric(ipcs[2], "IPC-depth20")
+}

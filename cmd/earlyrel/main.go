@@ -1,0 +1,84 @@
+// Command earlyrel runs one workload through the cycle-level simulator
+// under a chosen register-release policy and prints the detailed result:
+// IPC, stall breakdown, release statistics and the Empty/Ready/Idle
+// register-state averages.
+//
+// Usage:
+//
+//	earlyrel -workload tomcatv -policy extended -int 48 -fp 48 -scale 300000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"earlyrelease/internal/experiments"
+	"earlyrelease/internal/release"
+	"earlyrelease/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("earlyrel: ")
+	var (
+		workload = flag.String("workload", "tomcatv", "workload name ("+strings.Join(workloads.Names(), ", ")+")")
+		policy   = flag.String("policy", "extended", "release policy (conv, basic, extended)")
+		intRegs  = flag.Int("int", 48, "physical integer registers")
+		fpRegs   = flag.Int("fp", 48, "physical FP registers")
+		scale    = flag.Int("scale", 300_000, "approximate dynamic instructions")
+		check    = flag.Bool("check", false, "enable invariant checking")
+		list     = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-10s %-4s %s\n", w.Name, w.Class, w.Description)
+		}
+		return
+	}
+	w, err := workloads.ByName(*workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind, err := release.ParseKind(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := experiments.Options{Scale: *scale, Check: *check}
+	res, err := experiments.Run(w, kind, *intRegs, *fpRegs, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload      %s (%s)\n", w.Name, w.Description)
+	fmt.Printf("policy        %s   registers %dint+%dfp\n", res.Policy, *intRegs, *fpRegs)
+	fmt.Printf("committed     %d instructions in %d cycles\n", res.Committed, res.Cycles)
+	fmt.Printf("IPC           %.3f\n", res.IPC)
+	fmt.Printf("branch acc.   %.2f%%  (%d mispredicts, %d wrong-path uops)\n",
+		100*res.BranchAccuracy, res.Mispredicts, res.WrongPathUops)
+	fmt.Printf("caches        L1I %.2f%%  L1D %.2f%%  L2 %.2f%% miss\n",
+		100*res.L1IMissRate, 100*res.L1DMissRate, 100*res.L2MissRate)
+	fmt.Printf("stalls        regs=%d ros=%d lsq=%d branches=%d fetch=%d\n",
+		res.Stalls.NoPhysReg, res.Stalls.ROSFull, res.Stalls.LSQFull,
+		res.Stalls.Branches, res.Stalls.FetchDry)
+	fmt.Printf("int regs      %s\n", res.IntBreakdown)
+	fmt.Printf("fp regs       %s\n", res.FPBreakdown)
+	fmt.Printf("releases      ")
+	for r := 0; r < release.NumFreeReasons; r++ {
+		if n := res.Release.Frees[r]; n > 0 {
+			fmt.Printf("%s=%d ", release.FreeReason(r), n)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("scheduling    scheduled=%d reuse=%d relque-cond=%d relque-mark=%d dropped=%d peak-branches=%d\n",
+		res.Release.Scheduled, res.Release.ReuseHits, res.Release.RelQueCond,
+		res.Release.RelQueMark, res.Release.RelQueDrop, res.Release.PeakPending)
+	if res.Exceptions > 0 {
+		fmt.Printf("exceptions    %d\n", res.Exceptions)
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,103 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md for the experiment index):
+//
+//	-fig3    register-state breakdown under conventional renaming
+//	-sec33   basic-mechanism speedups at 64/48/40 registers
+//	-fig9    register-file access time & energy model curves
+//	-sec44   energy balance and storage cost
+//	-fig10   per-benchmark IPC at 48+48 registers, three policies
+//	-fig11   harmonic-mean IPC vs register file size (+ -table4)
+//	-table1  the commercial register-file survey (static data)
+//	-all     everything
+//
+// Use -scale to trade fidelity for time and -quick for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"earlyrelease/internal/experiments"
+	"earlyrelease/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	var (
+		all    = flag.Bool("all", false, "regenerate everything")
+		fig3   = flag.Bool("fig3", false, "Figure 3")
+		sec33  = flag.Bool("sec33", false, "Section 3.3 speedups")
+		fig9   = flag.Bool("fig9", false, "Figure 9")
+		sec44  = flag.Bool("sec44", false, "Section 4.4 energy balance")
+		fig10  = flag.Bool("fig10", false, "Figure 10")
+		fig11  = flag.Bool("fig11", false, "Figure 11")
+		table1 = flag.Bool("table1", false, "Table 1")
+		table4 = flag.Bool("table4", false, "Table 4 (implies -fig11)")
+		scale  = flag.Int("scale", 300_000, "dynamic instructions per workload")
+		quick  = flag.Bool("quick", false, "smaller scale and size axis")
+		check  = flag.Bool("check", false, "enable invariant checking")
+	)
+	flag.Parse()
+
+	opt := experiments.DefaultOptions()
+	opt.Scale = *scale
+	opt.Check = *check
+	sizes := experiments.DefaultSizes
+	if *quick {
+		opt.Scale = 60_000
+		sizes = []int{40, 48, 64, 80, 96, 128, 160}
+	}
+	if !(*all || *fig3 || *sec33 || *fig9 || *sec44 || *fig10 || *fig11 || *table1 || *table4) {
+		*all = true
+	}
+
+	if *all || *table1 {
+		fmt.Println(table1Text)
+	}
+	if *all || *fig3 {
+		res, err := experiments.Fig3(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+	}
+	if *all || *sec33 {
+		res, err := experiments.Sec33(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+	}
+	if *all || *fig9 {
+		fmt.Println(experiments.Fig9(sizes))
+	}
+	if *all || *sec44 {
+		fmt.Println(experiments.Sec44())
+	}
+	if *all || *fig10 {
+		res, err := experiments.Fig10(opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+	}
+	if *all || *fig11 || *table4 {
+		res, err := experiments.Fig11(opt, sizes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+		fmt.Println(experiments.Table4String(experiments.Table4(res)))
+	}
+}
+
+var table1Text = func() string {
+	t := stats.NewTable("processor", "int P", "int ports", "fp P", "fp ports", "N", "structure")
+	t.AddRow("MIPS R10K", "64", "7R 3W", "64", "5R 3W", "32", "Active List")
+	t.AddRow("MIPS R12K", "2x80", "2x(4R 6W)", "72", "6R 4W", "48", "Active List")
+	t.AddRow("Alpha 21264", "80", "n.a.", "72", "n.a.", "80", "In-Flight Window")
+	t.AddRow("Intel P4", "128", "n.a.", "128", "n.a.", "126", "Reorder Buffer")
+	return "Table 1: out-of-order processors with merged register files (from the paper)\n" + t.String()
+}()

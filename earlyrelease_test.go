@@ -1,0 +1,105 @@
+package earlyrelease
+
+import "testing"
+
+func TestRunBuiltinWorkload(t *testing.T) {
+	rep, err := Run("compress", Config{Policy: PolicyBasic, IntRegs: 48, FPRegs: 48, Scale: 30_000, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IPC <= 0 || rep.Committed == 0 {
+		t.Errorf("empty report: %+v", rep)
+	}
+	if rep.Policy != "basic" {
+		t.Errorf("policy = %q", rep.Policy)
+	}
+}
+
+func TestRunUnknownWorkload(t *testing.T) {
+	if _, err := Run("nope", Config{}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := Run("compress", Config{Policy: "bogus"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRunSource(t *testing.T) {
+	src := `
+	    li   r1, 200
+	loop:
+	    addi r1, r1, -1
+	    bnez r1, loop
+	    halt
+	`
+	rep, err := RunSource("countdown", src, Config{Policy: PolicyExtended, Check: true, Scale: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Committed != 402 {
+		t.Errorf("committed = %d, want 402", rep.Committed)
+	}
+}
+
+func TestCompareOrdersPolicies(t *testing.T) {
+	reps, err := Compare("tomcatv", Config{IntRegs: 48, FPRegs: 48, Scale: 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, basic, ext := reps[PolicyConventional], reps[PolicyBasic], reps[PolicyExtended]
+	if Speedup(conv, basic) < 0 {
+		t.Errorf("basic slower than conventional: %.3f vs %.3f", basic.IPC, conv.IPC)
+	}
+	if Speedup(conv, ext) <= 0 {
+		t.Errorf("extended not faster than conventional on a tight FP file")
+	}
+	if ext.EarlyReleases == 0 || conv.EarlyReleases != 0 {
+		t.Errorf("release accounting wrong: ext=%d conv=%d", ext.EarlyReleases, conv.EarlyReleases)
+	}
+}
+
+func TestWorkloadsList(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 10 {
+		t.Fatalf("want 10 workloads, got %d", len(ws))
+	}
+	var ints, fps int
+	for _, w := range ws {
+		switch w.Class {
+		case "int":
+			ints++
+		case "fp":
+			fps++
+		}
+		if w.Description == "" {
+			t.Errorf("%s: empty description", w.Name)
+		}
+	}
+	if ints != 5 || fps != 5 {
+		t.Errorf("class split %d/%d, want 5/5", ints, fps)
+	}
+}
+
+func TestAblationFlags(t *testing.T) {
+	base, err := Run("swim", Config{Policy: PolicyBasic, Scale: 30_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noReuse, err := Run("swim", Config{Policy: PolicyBasic, Scale: 30_000, NoReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noReuse.Reuses != 0 {
+		t.Errorf("NoReuse still reused %d times", noReuse.Reuses)
+	}
+	if base.Reuses == 0 {
+		t.Error("default config never reused")
+	}
+	eager, err := Run("swim", Config{Policy: PolicyBasic, Scale: 30_000, Eager: true, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eager.EarlyReleases == 0 {
+		t.Error("eager mode made no early releases")
+	}
+}

@@ -1,0 +1,58 @@
+// Exceptions demonstrates the §4.3 property of the paper: early release
+// deliberately relaxes classical precise-exception semantics — after a
+// fault, a logical register whose physical copy was already released may
+// hold junk — yet execution is still correct, because that register is
+// provably rewritten before any read.
+//
+// The demo injects precise exceptions into a run under each policy,
+// recovers through the In-Order Map Table, and shows that the full
+// instruction stream still commits with the safety checker enabled.
+//
+// Run with: go run ./examples/exceptions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"earlyrelease/internal/pipeline"
+	"earlyrelease/internal/release"
+	"earlyrelease/internal/workloads"
+)
+
+func main() {
+	w, err := workloads.ByName("tomcatv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := w.Trace(80_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	faults := []int{500, 5_000, tr.Len() / 2, tr.Len() - 100}
+
+	fmt.Println("Injecting precise exceptions during a tomcatv run (44+44 registers)")
+	fmt.Printf("fault points (dynamic instruction index): %v\n\n", faults)
+
+	for _, kind := range []release.Kind{release.Conventional, release.Basic, release.Extended} {
+		cfg := pipeline.DefaultConfig(kind, 44, 44)
+		cfg.Check = true // full invariant + §4.3 taint checking
+		cfg.FaultAt = faults
+		core, err := pipeline.New(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Run()
+		if err != nil {
+			log.Fatalf("%v: %v", kind, err)
+		}
+		fmt.Printf("%-9s recovered %d exceptions; committed %d/%d instructions; IPC %.3f\n",
+			kind, res.Exceptions, res.Committed, tr.Len(), res.IPC)
+	}
+
+	fmt.Println()
+	fmt.Println("Under the early policies the exception handler may save a stale value")
+	fmt.Println("for some logical registers (their physical copies were released), but")
+	fmt.Println("the checker proves every such register is written before it is read —")
+	fmt.Println("the paper's argument for why early release is still safe.")
+}

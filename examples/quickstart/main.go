@@ -1,0 +1,74 @@
+// Quickstart: assemble a small kernel, simulate it under the three
+// register-release policies of the paper, and print the comparison.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"earlyrelease"
+)
+
+// A dot-product-style kernel written in the suite's assembly dialect.
+// r1 walks vector a, r2 walks vector b; f1 accumulates.
+const kernel = `
+	.data
+	a: .double 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0
+	b: .double 0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5
+	s: .double 0.0
+	.text
+	    la   r1, a
+	    la   r2, b
+	    la   r3, s
+	    li   r4, 4000      ; iterations
+	    fld  f1, 0(r3)     ; accumulator
+	loop:
+	    andi r5, r4, 56    ; cycle through the 8 elements
+	    add  r6, r1, r5
+	    add  r7, r2, r5
+	    fld  f2, 0(r6)
+	    fld  f3, 0(r7)
+	    fmul f4, f2, f3
+	    fadd f1, f1, f4
+	    fld  f5, 8(r6)
+	    fld  f6, 8(r7)
+	    fmul f7, f5, f6
+	    fadd f1, f1, f7
+	    addi r4, r4, -1
+	    bnez r4, loop
+	    fsd  f1, 0(r3)
+	    halt
+`
+
+func main() {
+	fmt.Println("Early register release — quickstart")
+	fmt.Println("Simulating a dot-product kernel with a tight 40+40 register file.")
+	fmt.Println()
+
+	cfg := earlyrelease.Config{IntRegs: 40, FPRegs: 40, Check: true}
+	var base *earlyrelease.Report
+	for _, policy := range []string{
+		earlyrelease.PolicyConventional,
+		earlyrelease.PolicyBasic,
+		earlyrelease.PolicyExtended,
+	} {
+		cfg.Policy = policy
+		rep, err := earlyrelease.RunSource("dotprod", kernel, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if policy == earlyrelease.PolicyConventional {
+			base = rep
+		}
+		fmt.Printf("%-9s IPC %.3f  (%6d cycles, speedup %+5.1f%%)  early releases %d, idle FP regs %.1f\n",
+			policy, rep.IPC, rep.Cycles, 100*earlyrelease.Speedup(base, rep),
+			rep.EarlyReleases, rep.FPRegs.Idle)
+	}
+
+	fmt.Println()
+	fmt.Println("The conventional policy keeps registers Idle until the next version")
+	fmt.Println("commits; the basic/extended mechanisms release them at the last-use")
+	fmt.Println("commit, so the same window runs with fewer register stalls.")
+}

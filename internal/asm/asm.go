@@ -1,0 +1,458 @@
+// Package asm implements a small two-pass assembler for the ISA in
+// package isa. It accepts the same syntax the disassembler
+// (isa.Inst.String) produces, plus labels, data directives and a few
+// pseudo-instructions, and produces a linked program.Program.
+//
+// Syntax overview:
+//
+//	; comment           # comment
+//	.data
+//	x:   .word 1, 2, 3
+//	v:   .double 0.5, 1.5
+//	buf: .space 64
+//	.text
+//	main:
+//	    li   r1, 1000      ; pseudo: expands to addi/ori/slli
+//	    la   r2, x         ; pseudo: load address of data label
+//	    ld   r3, 0(r2)
+//	loop:
+//	    addi r3, r3, -1
+//	    bnez r3, loop      ; pseudo: bne r3, r0, loop
+//	    halt
+//
+// Branch and jump targets may be labels or literal instruction offsets.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"earlyrelease/internal/isa"
+	"earlyrelease/internal/program"
+)
+
+// Assemble translates source text into a linked program.
+func Assemble(name, src string) (*program.Program, error) {
+	a := &assembler{b: program.NewBuilder(name)}
+	for ln, raw := range strings.Split(src, "\n") {
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, ln+1, err)
+		}
+	}
+	p, err := a.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble panics on assembly errors; for tests and fixed kernels.
+func MustAssemble(name, src string) *program.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	b      *program.Builder
+	inData bool
+}
+
+func (a *assembler) line(raw string) error {
+	// Strip comments.
+	if i := strings.IndexAny(raw, ";#"); i >= 0 {
+		raw = raw[:i]
+	}
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil
+	}
+	// Labels (possibly followed by code/directive on the same line).
+	var label string
+	if i := strings.Index(s, ":"); i >= 0 && !strings.ContainsAny(s[:i], " \t") {
+		label = strings.TrimSpace(s[:i])
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if s == "" {
+		if label != "" && !a.inData {
+			a.b.Label(label)
+		} else if label != "" {
+			// data label with no directive: bind to the next allocation
+			return fmt.Errorf("data label %q must be followed by a directive", label)
+		}
+		return nil
+	}
+	if strings.HasPrefix(s, ".") {
+		return a.directive(label, s)
+	}
+	if label != "" {
+		if a.inData {
+			return fmt.Errorf("data label %q must be followed by a directive", label)
+		}
+		a.b.Label(label)
+	}
+	if a.inData {
+		return fmt.Errorf("instruction %q inside .data section", s)
+	}
+	return a.instruction(s)
+}
+
+func (a *assembler) directive(label, s string) error {
+	fields := strings.SplitN(s, " ", 2)
+	dir := fields[0]
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch dir {
+	case ".text":
+		a.inData = false
+		return nil
+	case ".data":
+		a.inData = true
+		return nil
+	case ".word":
+		vals, err := parseInts(rest)
+		if err != nil {
+			return err
+		}
+		a.b.Words(label, vals...)
+		return nil
+	case ".double":
+		var vals []float64
+		for _, f := range splitOperands(rest) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return fmt.Errorf("bad float %q", f)
+			}
+			vals = append(vals, v)
+		}
+		a.b.Doubles(label, vals...)
+		return nil
+	case ".space":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad .space size %q", rest)
+		}
+		a.b.Space(label, n)
+		return nil
+	case ".byte":
+		vals, err := parseInts(rest)
+		if err != nil {
+			return err
+		}
+		raw := make([]byte, len(vals))
+		for i, v := range vals {
+			raw[i] = byte(v)
+		}
+		a.b.Bytes(label, raw)
+		return nil
+	default:
+		return fmt.Errorf("unknown directive %q", dir)
+	}
+}
+
+func (a *assembler) instruction(s string) error {
+	mnemonic, rest, _ := strings.Cut(s, " ")
+	mnemonic = strings.ToLower(mnemonic)
+	ops := splitOperands(rest)
+
+	// Pseudo-instructions first.
+	switch mnemonic {
+	case "li":
+		r, err := intReg(ops, 0)
+		if err != nil {
+			return err
+		}
+		v, err := immVal(ops, 1)
+		if err != nil {
+			return err
+		}
+		a.b.Li(r, v)
+		return nil
+	case "la":
+		r, err := intReg(ops, 0)
+		if err != nil {
+			return err
+		}
+		if len(ops) < 2 {
+			return fmt.Errorf("la needs a label")
+		}
+		a.b.La(r, ops[1])
+		return nil
+	case "mov":
+		r1, err := intReg(ops, 0)
+		if err != nil {
+			return err
+		}
+		r2, err := intReg(ops, 1)
+		if err != nil {
+			return err
+		}
+		a.b.Mov(r1, r2)
+		return nil
+	case "j":
+		if len(ops) != 1 {
+			return fmt.Errorf("j needs a target")
+		}
+		a.b.J(ops[0])
+		return nil
+	case "call":
+		if len(ops) != 1 {
+			return fmt.Errorf("call needs a target")
+		}
+		a.b.Call(ops[0])
+		return nil
+	case "ret":
+		a.b.Ret()
+		return nil
+	case "beqz", "bnez":
+		r, err := intReg(ops, 0)
+		if err != nil {
+			return err
+		}
+		if len(ops) != 2 {
+			return fmt.Errorf("%s needs register, target", mnemonic)
+		}
+		if mnemonic == "beqz" {
+			a.b.Beq(r, isa.Zero, ops[1])
+		} else {
+			a.b.Bne(r, isa.Zero, ops[1])
+		}
+		return nil
+	}
+
+	op, ok := isa.OpcodeByName(mnemonic)
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	in := isa.Inst{Op: op}
+	probe := isa.Inst{Op: op}
+
+	switch {
+	case op == isa.NOP || op == isa.HALT:
+		if len(ops) != 0 {
+			return fmt.Errorf("%s takes no operands", mnemonic)
+		}
+	case probe.IsStore():
+		// sd rdata, off(rbase)
+		if len(ops) != 2 {
+			return fmt.Errorf("%s needs data, off(base)", mnemonic)
+		}
+		data, err := reg(ops[0], probe.Src2Class())
+		if err != nil {
+			return err
+		}
+		off, base, err := memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		in.Rs2, in.Rs1, in.Imm = data, base, off
+	case probe.IsLoad():
+		if len(ops) != 2 {
+			return fmt.Errorf("%s needs dest, off(base)", mnemonic)
+		}
+		dst, err := reg(ops[0], probe.DstClass())
+		if err != nil {
+			return err
+		}
+		off, base, err := memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		in.Rd, in.Rs1, in.Imm = dst, base, off
+	case probe.IsBranch():
+		if len(ops) != 3 {
+			return fmt.Errorf("%s needs rs1, rs2, target", mnemonic)
+		}
+		r1, err := intReg(ops, 0)
+		if err != nil {
+			return err
+		}
+		r2, err := intReg(ops, 1)
+		if err != nil {
+			return err
+		}
+		if off, err := strconv.ParseInt(ops[2], 0, 64); err == nil {
+			a.b.Emit(isa.Inst{Op: op, Rs1: r1, Rs2: r2, Imm: off})
+		} else {
+			a.branchTo(op, r1, r2, ops[2])
+		}
+		return nil
+	case op == isa.JAL:
+		if len(ops) != 2 {
+			return fmt.Errorf("jal needs link, target")
+		}
+		rd, err := intReg(ops, 0)
+		if err != nil {
+			return err
+		}
+		if off, err := strconv.ParseInt(ops[1], 0, 64); err == nil {
+			a.b.Emit(isa.Inst{Op: isa.JAL, Rd: rd, Imm: off})
+		} else {
+			a.jalTo(rd, ops[1])
+		}
+		return nil
+	default:
+		// Generic register-form: dst, src1, src2 / immediate per format.
+		idx := 0
+		var err error
+		if c := probe.DstClass(); c != isa.ClassNone {
+			if in.Rd, err = regAt(ops, idx, c); err != nil {
+				return err
+			}
+			idx++
+		}
+		if c := probe.Src1Class(); c != isa.ClassNone {
+			if in.Rs1, err = regAt(ops, idx, c); err != nil {
+				return err
+			}
+			idx++
+		}
+		if c := probe.Src2Class(); c != isa.ClassNone {
+			if in.Rs2, err = regAt(ops, idx, c); err != nil {
+				return err
+			}
+			idx++
+		}
+		if needsImm(op) {
+			if in.Imm, err = immVal(ops, idx); err != nil {
+				return err
+			}
+			idx++
+		}
+		if idx != len(ops) {
+			return fmt.Errorf("%s: wrong operand count", mnemonic)
+		}
+	}
+	if !in.Valid() {
+		return fmt.Errorf("%s: invalid operands", mnemonic)
+	}
+	a.b.Emit(in)
+	return nil
+}
+
+// branchTo and jalTo use builder label fixups via exported methods.
+func (a *assembler) branchTo(op isa.Opcode, r1, r2 isa.Reg, label string) {
+	switch op {
+	case isa.BEQ:
+		a.b.Beq(r1, r2, label)
+	case isa.BNE:
+		a.b.Bne(r1, r2, label)
+	case isa.BLT:
+		a.b.Blt(r1, r2, label)
+	case isa.BGE:
+		a.b.Bge(r1, r2, label)
+	case isa.BLTU:
+		a.b.BranchRaw(op, r1, r2, label)
+	case isa.BGEU:
+		a.b.BranchRaw(op, r1, r2, label)
+	}
+}
+
+func (a *assembler) jalTo(rd isa.Reg, label string) {
+	if rd == isa.RA {
+		a.b.Call(label)
+	} else if rd == isa.Zero {
+		a.b.J(label)
+	} else {
+		a.b.JalRaw(rd, label)
+	}
+}
+
+func needsImm(op isa.Opcode) bool {
+	switch op {
+	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.SLTI,
+		isa.SLLI, isa.SRLI, isa.SRAI, isa.LUI:
+		return true
+	}
+	return false
+}
+
+// --- operand parsing ----------------------------------------------------
+
+func splitOperands(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+var intAliases = map[string]isa.Reg{
+	"zero": isa.Zero, "ra": isa.RA, "sp": isa.SP, "gp": isa.GP,
+}
+
+func reg(tok string, class isa.RegClass) (isa.Reg, error) {
+	tok = strings.ToLower(tok)
+	if class == isa.ClassInt {
+		if r, ok := intAliases[tok]; ok {
+			return r, nil
+		}
+	}
+	prefix := byte('r')
+	if class == isa.ClassFP {
+		prefix = 'f'
+	}
+	if len(tok) < 2 || tok[0] != prefix {
+		return 0, fmt.Errorf("expected %c-register, got %q", prefix, tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 || n >= isa.NumLogical {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	return isa.Reg(n), nil
+}
+
+func regAt(ops []string, i int, class isa.RegClass) (isa.Reg, error) {
+	if i >= len(ops) {
+		return 0, fmt.Errorf("missing operand %d", i+1)
+	}
+	return reg(ops[i], class)
+}
+
+func intReg(ops []string, i int) (isa.Reg, error) { return regAt(ops, i, isa.ClassInt) }
+
+func immVal(ops []string, i int) (int64, error) {
+	if i >= len(ops) {
+		return 0, fmt.Errorf("missing immediate")
+	}
+	v, err := strconv.ParseInt(ops[i], 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", ops[i])
+	}
+	return v, nil
+}
+
+// memOperand parses "off(base)" (off optional, possibly negative or hex).
+func memOperand(tok string) (off int64, base isa.Reg, err error) {
+	open := strings.Index(tok, "(")
+	if open < 0 || !strings.HasSuffix(tok, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", tok)
+	}
+	if s := strings.TrimSpace(tok[:open]); s != "" {
+		if off, err = strconv.ParseInt(s, 0, 64); err != nil {
+			return 0, 0, fmt.Errorf("bad displacement in %q", tok)
+		}
+	}
+	base, err = reg(strings.TrimSpace(tok[open+1:len(tok)-1]), isa.ClassInt)
+	return off, base, err
+}
+
+func parseInts(s string) ([]int64, error) {
+	var vals []int64
+	for _, f := range splitOperands(s) {
+		v, err := strconv.ParseInt(f, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}

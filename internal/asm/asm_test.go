@@ -1,0 +1,183 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"earlyrelease/internal/emu"
+	"earlyrelease/internal/isa"
+)
+
+func TestAssembleAndRun(t *testing.T) {
+	src := `
+	; sum the data words into r5, store result
+	.data
+	vals:  .word 10, 20, 30, 40
+	out:   .word 0
+	.text
+	main:
+	    la   r1, vals
+	    li   r2, 4       ; count
+	    li   r5, 0
+	loop:
+	    ld   r3, 0(r1)
+	    add  r5, r5, r3
+	    addi r1, r1, 8
+	    addi r2, r2, -1
+	    bnez r2, loop
+	    la   r6, out
+	    sd   r5, 0(r6)
+	    halt
+	`
+	p, err := Assemble("sum", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := emu.New(p)
+	if err := m.RunQuiet(10000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if m.IntR[5] != 100 {
+		t.Errorf("r5 = %d, want 100", m.IntR[5])
+	}
+	outAddr := p.Labels["out"]
+	if got := m.Mem.Read(outAddr, 8); got != 100 {
+		t.Errorf("out = %d, want 100", got)
+	}
+}
+
+func TestAssembleFP(t *testing.T) {
+	src := `
+	.data
+	k: .double 1.5, 2.0
+	.text
+	    la   r1, k
+	    fld  f1, 0(r1)
+	    fld  f2, 8(r1)
+	    fadd f3, f1, f2
+	    fmul f4, f1, f2
+	    fdiv f5, f2, f1
+	    flt  r2, f1, f2
+	    halt
+	`
+	m := emu.New(MustAssemble("fp", src))
+	if err := m.RunQuiet(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.FPR[3] != 3.5 || m.FPR[4] != 3.0 || m.FPR[5] != 2.0/1.5 {
+		t.Errorf("fp results: %v %v %v", m.FPR[3], m.FPR[4], m.FPR[5])
+	}
+	if m.IntR[2] != 1 {
+		t.Errorf("flt = %d, want 1", m.IntR[2])
+	}
+}
+
+func TestCallRetAndAliases(t *testing.T) {
+	src := `
+	main:
+	    li   r4, 5
+	    call twice
+	    call twice
+	    halt
+	twice:
+	    add  r4, r4, r4
+	    jalr r0, ra       ; explicit return through alias
+	`
+	m := emu.New(MustAssemble("call", src))
+	if err := m.RunQuiet(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.IntR[4] != 20 {
+		t.Errorf("r4 = %d, want 20", m.IntR[4])
+	}
+}
+
+func TestNumericBranchOffsets(t *testing.T) {
+	src := `
+	    li  r1, 1
+	    beq r0, r0, 1    ; skip next
+	    li  r1, 99
+	    halt
+	`
+	m := emu.New(MustAssemble("num", src))
+	if err := m.RunQuiet(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.IntR[1] != 1 {
+		t.Errorf("r1 = %d, want 1", m.IntR[1])
+	}
+}
+
+func TestDisassemblyRoundTrip(t *testing.T) {
+	// Every instruction the disassembler prints must reassemble to the
+	// same instruction.
+	insts := []isa.Inst{
+		{Op: isa.ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: isa.ADDI, Rd: 1, Rs1: 2, Imm: -42},
+		{Op: isa.LUI, Rd: 9, Imm: 17},
+		{Op: isa.LD, Rd: 4, Rs1: 5, Imm: 24},
+		{Op: isa.SD, Rs1: 5, Rs2: 6, Imm: -8},
+		{Op: isa.FLD, Rd: 7, Rs1: 5, Imm: 0},
+		{Op: isa.FSD, Rs1: 5, Rs2: 7, Imm: 16},
+		{Op: isa.BLTU, Rs1: 1, Rs2: 2, Imm: 3},
+		{Op: isa.JAL, Rd: 31, Imm: 5},
+		{Op: isa.JALR, Rd: 0, Rs1: 31},
+		{Op: isa.FADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: isa.FSQRT, Rd: 1, Rs1: 2},
+		{Op: isa.FLE, Rd: 3, Rs1: 4, Rs2: 5},
+		{Op: isa.CVTFI, Rd: 3, Rs1: 4},
+		{Op: isa.MTF, Rd: 3, Rs1: 4},
+		{Op: isa.NOP},
+	}
+	var lines []string
+	for _, in := range insts {
+		lines = append(lines, in.String())
+	}
+	lines = append(lines, "halt")
+	p, err := Assemble("rt", strings.Join(lines, "\n"))
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	for i, want := range insts {
+		if p.Insts[i] != want {
+			t.Errorf("inst %d: got %+v, want %+v (text %q)", i, p.Insts[i], want, want.String())
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic": "frobnicate r1, r2",
+		"bad register":     "add r1, r99, r2",
+		"missing operand":  "add r1, r2",
+		"bad directive":    ".bogus 12",
+		"undefined label":  "j nowhere\nhalt",
+		"imm out of range": "addi r1, r0, 40000",
+		"data instruction": ".data\nadd r1, r2, r3",
+		"duplicate label":  "x:\nnop\nx:\nhalt",
+		"bad mem operand":  "ld r1, r2",
+		"fp reg wanted":    "fadd r1, f2, f3",
+		"int reg wanted":   "add f1, r2, r3",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(name, src); err == nil {
+			t.Errorf("%s: assembler accepted %q", name, src)
+		}
+	}
+}
+
+func TestCommentsAndLabelsOnSameLine(t *testing.T) {
+	src := `
+	start:  li r1, 3   # init
+	again:  addi r1, r1, -1
+	        bnez r1, again ; loop
+	        halt
+	`
+	m := emu.New(MustAssemble("c", src))
+	if err := m.RunQuiet(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.IntR[1] != 0 {
+		t.Errorf("r1 = %d, want 0", m.IntR[1])
+	}
+}

@@ -1,0 +1,135 @@
+package bpred
+
+import (
+	"testing"
+
+	"earlyrelease/internal/isa"
+)
+
+func TestLearnsAlwaysTaken(t *testing.T) {
+	// Drive the predictor the way the pipeline does: speculative history
+	// update at predict, recovery on misprediction. With a short history
+	// the register saturates to all-taken quickly and the branch then
+	// predicts correctly forever.
+	p := New(Config{HistoryBits: 4, BTBEntries: 64, RASEntries: 8})
+	pc := uint64(0x1000)
+	for i := 0; i < 30; i++ {
+		snap := p.Snap()
+		pred := p.Predict(pc)
+		if pred != true {
+			p.Recover(snap, true)
+		}
+		p.Resolve(pc, snap, true)
+	}
+	snap := p.Snap()
+	if !p.Predict(pc) {
+		t.Error("predictor did not learn an always-taken branch")
+	}
+	p.Resolve(pc, snap, true)
+}
+
+func TestLearnsAlternatingWithHistory(t *testing.T) {
+	// gshare with speculative history must learn a strict T/N/T/N
+	// pattern almost perfectly once warmed up.
+	p := New(Config{HistoryBits: 10, BTBEntries: 64, RASEntries: 8})
+	pc := uint64(0x2000)
+	correct := 0
+	for i := 0; i < 400; i++ {
+		actual := i%2 == 0
+		snap := p.Snap()
+		pred := p.Predict(pc)
+		if pred == actual {
+			correct++
+		} else {
+			p.Recover(snap, actual)
+		}
+		p.Resolve(pc, snap, actual)
+	}
+	if correct < 350 {
+		t.Errorf("alternating pattern: only %d/400 correct", correct)
+	}
+}
+
+func TestMispredictRecoveryRestoresHistory(t *testing.T) {
+	p := New(DefaultConfig())
+	pc := uint64(0x3000)
+	snap := p.Snap()
+	pred := p.Predict(pc)
+	hAfter := p.hist
+	p.Recover(snap, !pred)
+	// After recovery the history must reflect the ACTUAL outcome, not
+	// the predicted one.
+	want := (snap.Hist<<1 | b2u(!pred)) & p.mask
+	if p.hist != want {
+		t.Errorf("hist = %x, want %x (speculative was %x)", p.hist, want, hAfter)
+	}
+}
+
+func TestRASPredictsReturns(t *testing.T) {
+	p := New(DefaultConfig())
+	call := isa.Inst{Op: isa.JAL, Rd: isa.RA, Imm: 100}
+	ret := isa.Inst{Op: isa.JALR, Rd: isa.Zero, Rs1: isa.RA}
+	if !IsCall(call) {
+		t.Fatal("JAL ra not recognized as call")
+	}
+	p.OnCall(0x1004)
+	p.OnCall(0x2004)
+	if tgt, ok := p.PredictTarget(ret, 0x5000); !ok || tgt != 0x2004 {
+		t.Errorf("first return -> %#x, want 0x2004", tgt)
+	}
+	if tgt, _ := p.PredictTarget(ret, 0x5004); tgt != 0x1004 {
+		t.Errorf("second return -> %#x, want 0x1004", tgt)
+	}
+}
+
+func TestRASRecovery(t *testing.T) {
+	p := New(DefaultConfig())
+	ret := isa.Inst{Op: isa.JALR, Rd: isa.Zero, Rs1: isa.RA}
+	p.OnCall(0xAAA4)
+	snap := p.Snap()
+	// A wrong-path call pushes garbage; recovery must restore, and the
+	// real return must still consume the correct entry.
+	p.OnCall(0xBBB4)
+	p.RecoverIndirect(ret, snap)
+	// The pop for the mispredicted return has been redone; the stack is
+	// now below the 0xAAA4 entry.
+	p.OnCall(0xCCC4)
+	if tgt, _ := p.PredictTarget(ret, 0x6000); tgt != 0xCCC4 {
+		t.Errorf("post-recovery return -> %#x, want 0xCCC4", tgt)
+	}
+}
+
+func TestBTBLearnsIndirectTargets(t *testing.T) {
+	p := New(DefaultConfig())
+	jr := isa.Inst{Op: isa.JALR, Rd: isa.Zero, Rs1: 5} // not a return
+	pc := uint64(0x4000)
+	if _, ok := p.PredictTarget(jr, pc); ok {
+		t.Error("cold BTB returned a prediction")
+	}
+	p.ResolveTarget(pc, 0x7777000, true)
+	if tgt, ok := p.PredictTarget(jr, pc); !ok || tgt != 0x7777000 {
+		t.Errorf("BTB -> %#x, %v", tgt, ok)
+	}
+}
+
+func TestAccuracyAccounting(t *testing.T) {
+	p := New(Config{HistoryBits: 4, BTBEntries: 64, RASEntries: 8})
+	pc := uint64(0x100)
+	for i := 0; i < 10; i++ {
+		snap := p.Snap()
+		pred := p.Predict(pc)
+		if pred != true {
+			p.Recover(snap, true)
+		}
+		p.Resolve(pc, snap, true)
+	}
+	if p.Lookups != 10 {
+		t.Errorf("lookups = %d", p.Lookups)
+	}
+	if acc := p.Accuracy(); acc <= 0 || acc > 1 {
+		t.Errorf("accuracy = %f", acc)
+	}
+	if p.DirMispred == 0 {
+		t.Error("cold-start mispredictions not counted")
+	}
+}

@@ -1,0 +1,192 @@
+// Package cache implements the simulated memory hierarchy: set-
+// associative LRU caches composed into the L1I/L1D/L2/main-memory
+// configuration of Table 2 of the paper.
+//
+// The model is latency-only (no bandwidth contention or MSHR limits);
+// misses are non-blocking from the pipeline's point of view, which
+// matches the out-of-order SimpleScalar configuration the paper uses.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	HitLat    int // cycles for a hit at this level
+}
+
+// Cache is one set-associative level with LRU replacement.
+type Cache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	tags     [][]uint64
+	valid    [][]bool
+	dirty    [][]bool
+	stamp    [][]uint64
+	clock    uint64
+
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// New builds a cache from its configuration. It panics on a non-sensical
+// geometry (sizes must divide evenly and be powers of two).
+func New(cfg Config) *Cache {
+	if cfg.Ways <= 0 || cfg.LineBytes <= 0 || cfg.SizeBytes <= 0 {
+		panic(fmt.Sprintf("cache: bad config %+v", cfg))
+	}
+	sets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	if sets <= 0 || sets&(sets-1) != 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache: non power-of-two geometry %+v (sets=%d)", cfg, sets))
+	}
+	c := &Cache{cfg: cfg, sets: sets, lineBits: log2(cfg.LineBytes)}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.dirty = make([][]bool, sets)
+	c.stamp = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint64, cfg.Ways)
+		c.valid[i] = make([]bool, cfg.Ways)
+		c.dirty[i] = make([]bool, cfg.Ways)
+		c.stamp[i] = make([]uint64, cfg.Ways)
+	}
+	return c
+}
+
+func log2(v int) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Lookup probes the cache without modifying contents (except LRU stamps
+// on a hit). It returns true on hit.
+func (c *Cache) Lookup(addr uint64, write bool) bool {
+	c.clock++
+	c.Accesses++
+	set := int(addr>>c.lineBits) & (c.sets - 1)
+	tag := addr >> c.lineBits
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.stamp[set][w] = c.clock
+			if write {
+				c.dirty[set][w] = true
+			}
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Fill allocates a line for addr, evicting the LRU way. It reports
+// whether a dirty line was written back.
+func (c *Cache) Fill(addr uint64, write bool) (writeback bool) {
+	c.clock++
+	set := int(addr>>c.lineBits) & (c.sets - 1)
+	tag := addr >> c.lineBits
+	victim := 0
+	best := ^uint64(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			best = 0
+			break
+		}
+		if c.stamp[set][w] < best {
+			best = c.stamp[set][w]
+			victim = w
+		}
+	}
+	if c.valid[set][victim] && c.dirty[set][victim] {
+		writeback = true
+		c.Writebacks++
+	}
+	c.valid[set][victim] = true
+	c.tags[set][victim] = tag
+	c.dirty[set][victim] = write
+	c.stamp[set][victim] = c.clock
+	return writeback
+}
+
+// MissRate returns the observed miss ratio.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// HierarchyConfig sizes the whole memory system.
+type HierarchyConfig struct {
+	L1I    Config
+	L1D    Config
+	L2     Config
+	MemLat int
+}
+
+// DefaultHierarchy returns the Table 2 memory system: 32 KB 2-way L1I
+// (32 B lines, 1 cycle), 32 KB 2-way L1D (64 B lines, 1 cycle), 1 MB
+// 2-way unified L2 (64 B lines, 12 cycles) and 50-cycle main memory.
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:    Config{SizeBytes: 32 << 10, Ways: 2, LineBytes: 32, HitLat: 1},
+		L1D:    Config{SizeBytes: 32 << 10, Ways: 2, LineBytes: 64, HitLat: 1},
+		L2:     Config{SizeBytes: 1 << 20, Ways: 2, LineBytes: 64, HitLat: 12},
+		MemLat: 50,
+	}
+}
+
+// Hierarchy composes the cache levels. The unified L2 backs both L1s.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	cfg HierarchyConfig
+}
+
+// NewHierarchy builds the full memory system.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		L1I: New(cfg.L1I),
+		L1D: New(cfg.L1D),
+		L2:  New(cfg.L2),
+		cfg: cfg,
+	}
+}
+
+// access runs the common L1 -> L2 -> memory latency walk.
+func (h *Hierarchy) access(l1 *Cache, addr uint64, write bool) int {
+	lat := l1.cfg.HitLat
+	if l1.Lookup(addr, write) {
+		return lat
+	}
+	lat += h.L2.cfg.HitLat
+	if !h.L2.Lookup(addr, false) {
+		lat += h.cfg.MemLat
+		h.L2.Fill(addr, false)
+	}
+	l1.Fill(addr, write)
+	return lat
+}
+
+// FetchLat returns the latency of an instruction fetch at addr.
+func (h *Hierarchy) FetchLat(addr uint64) int { return h.access(h.L1I, addr, false) }
+
+// LoadLat returns the latency of a data load at addr.
+func (h *Hierarchy) LoadLat(addr uint64) int { return h.access(h.L1D, addr, false) }
+
+// StoreLat returns the latency of a data store at addr (write-allocate,
+// write-back; stores retire through a store buffer so the pipeline does
+// not stall on this latency).
+func (h *Hierarchy) StoreLat(addr uint64) int { return h.access(h.L1D, addr, true) }
+
+// LineBytesI returns the instruction-cache line size (fetch alignment).
+func (h *Hierarchy) LineBytesI() int { return h.cfg.L1I.LineBytes }

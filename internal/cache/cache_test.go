@@ -1,0 +1,115 @@
+package cache
+
+import "testing"
+
+func small() Config { return Config{SizeBytes: 1024, Ways: 2, LineBytes: 64, HitLat: 1} }
+
+func TestMissThenHit(t *testing.T) {
+	c := New(small())
+	if c.Lookup(0x1000, false) {
+		t.Fatal("cold cache hit")
+	}
+	c.Fill(0x1000, false)
+	if !c.Lookup(0x1000, false) {
+		t.Fatal("fill did not install the line")
+	}
+	if !c.Lookup(0x1000+63, false) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Lookup(0x1000+64, false) {
+		t.Fatal("next line hit without fill")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := New(small()) // 8 sets, 2 ways
+	setStride := uint64(8 * 64)
+	a, b, d := uint64(0), setStride, 2*setStride // same set
+	c.Fill(a, false)
+	c.Fill(b, false)
+	c.Lookup(a, false) // touch a: b becomes LRU
+	c.Fill(d, false)   // evicts b
+	if !c.Lookup(a, false) {
+		t.Error("recently used line evicted")
+	}
+	if c.Lookup(b, false) {
+		t.Error("LRU line survived")
+	}
+	if !c.Lookup(d, false) {
+		t.Error("filled line missing")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := New(small())
+	setStride := uint64(8 * 64)
+	c.Fill(0, true) // dirty
+	c.Fill(setStride, false)
+	if wb := c.Fill(2*setStride, false); !wb {
+		t.Error("evicting a dirty line did not report a writeback")
+	}
+	if c.Writebacks != 1 {
+		t.Errorf("writebacks = %d", c.Writebacks)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := New(small())
+	c.Lookup(0, false)
+	c.Fill(0, false)
+	c.Lookup(0, false)
+	if r := c.MissRate(); r != 0.5 {
+		t.Errorf("miss rate = %f, want 0.5", r)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad geometry accepted")
+		}
+	}()
+	New(Config{SizeBytes: 1000, Ways: 3, LineBytes: 60})
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	// Cold load: L1 miss + L2 miss + memory.
+	if lat := h.LoadLat(0x100000); lat != 1+12+50 {
+		t.Errorf("cold load latency = %d, want 63", lat)
+	}
+	// Now resident in L1.
+	if lat := h.LoadLat(0x100000); lat != 1 {
+		t.Errorf("L1 hit latency = %d, want 1", lat)
+	}
+	// Evict from L1 by filling its set; the line should hit in L2.
+	cfg := DefaultHierarchy()
+	sets := cfg.L1D.SizeBytes / (cfg.L1D.Ways * cfg.L1D.LineBytes)
+	stride := uint64(sets * cfg.L1D.LineBytes)
+	h.LoadLat(0x100000 + stride)
+	h.LoadLat(0x100000 + 2*stride)
+	if lat := h.LoadLat(0x100000); lat != 1+12 {
+		t.Errorf("L2 hit latency = %d, want 13", lat)
+	}
+}
+
+func TestFetchUsesICache(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	if lat := h.FetchLat(0x1000); lat <= 1 {
+		t.Error("cold fetch should miss")
+	}
+	if lat := h.FetchLat(0x1000); lat != 1 {
+		t.Errorf("warm fetch latency = %d", lat)
+	}
+	if h.L1I.Accesses != 2 {
+		t.Errorf("L1I accesses = %d", h.L1I.Accesses)
+	}
+}
+
+func TestStoreAllocates(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	h.StoreLat(0x9000)
+	if lat := h.LoadLat(0x9000); lat != 1 {
+		t.Errorf("load after store latency = %d, want 1 (write-allocate)", lat)
+	}
+}

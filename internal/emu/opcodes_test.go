@@ -1,0 +1,159 @@
+package emu
+
+import (
+	"math"
+	"testing"
+
+	"earlyrelease/internal/isa"
+	"earlyrelease/internal/program"
+)
+
+// TestEveryOpcodeSemantics exercises each ALU/FP opcode through the
+// emulator with fixed operands and checks the architectural result, so
+// no instruction the workloads could use is untested.
+func TestEveryOpcodeSemantics(t *testing.T) {
+	const (
+		a = 7  // r1
+		b = -3 // r2
+	)
+	seven := uint64(7) // runtime value: shifted results exceed int64 constants
+	intCases := []struct {
+		op   isa.Opcode
+		want int64
+	}{
+		{isa.ADD, 4},
+		{isa.SUB, 10},
+		{isa.AND, 7 & -3},
+		{isa.OR, 7 | -3},
+		{isa.XOR, 7 ^ -3},
+		{isa.NOR, ^(7 | -3)},
+		{isa.SLT, 0},                   // 7 < -3 signed: no
+		{isa.SLTU, 1},                  // 7 < 0xFFFF...FD unsigned: yes
+		{isa.SLLV, int64(seven << 61)}, // shift by -3&63 = 61
+		{isa.SRLV, int64(uint64(7) >> 61)},
+		{isa.SRAV, 7 >> 61},
+		{isa.MUL, -21},
+		{isa.MULH, -1}, // high half of 7 * -3
+		{isa.DIV, -2},  // truncating division
+		{isa.REM, 1},   // 7 % -3
+	}
+	for _, c := range intCases {
+		bld := program.NewBuilder("op")
+		bld.Li(1, a)
+		bld.Li(2, b)
+		bld.Emit(isa.Inst{Op: c.op, Rd: 3, Rs1: 1, Rs2: 2})
+		bld.Halt()
+		m := New(bld.MustBuild())
+		if err := m.RunQuiet(100); err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		if got := int64(m.IntR[3]); got != c.want {
+			t.Errorf("%v(7,-3) = %d, want %d", c.op, got, c.want)
+		}
+	}
+
+	immCases := []struct {
+		op   isa.Opcode
+		imm  int64
+		want int64
+	}{
+		{isa.ADDI, -5, 2},
+		{isa.ANDI, 0x0F, 7},       // zero-extended
+		{isa.ORI, -1, 7 | 0xFFFF}, // -1 zero-extends to 0xFFFF
+		{isa.XORI, 0x0F, 7 ^ 0x0F},
+		{isa.SLTI, 8, 1},
+		{isa.SLLI, 4, 7 << 4},
+		{isa.SRLI, 1, 3},
+		{isa.SRAI, 1, 3},
+	}
+	for _, c := range immCases {
+		bld := program.NewBuilder("imm")
+		bld.Li(1, a)
+		bld.Emit(isa.Inst{Op: c.op, Rd: 3, Rs1: 1, Imm: c.imm})
+		bld.Halt()
+		m := New(bld.MustBuild())
+		if err := m.RunQuiet(100); err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		if got := int64(m.IntR[3]); got != c.want {
+			t.Errorf("%v(7,%d) = %d, want %d", c.op, c.imm, got, c.want)
+		}
+	}
+
+	// LUI: imm << 16, sign-extended immediate.
+	bld := program.NewBuilder("lui")
+	bld.Emit(isa.Inst{Op: isa.LUI, Rd: 3, Imm: -2})
+	bld.Halt()
+	m := New(bld.MustBuild())
+	if err := m.RunQuiet(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := int64(m.IntR[3]); got != -2<<16 {
+		t.Errorf("LUI(-2) = %d, want %d", got, -2<<16)
+	}
+}
+
+func TestFPOpcodeSemantics(t *testing.T) {
+	x, y := 2.25, -4.5
+	cases := []struct {
+		op   isa.Opcode
+		want float64
+	}{
+		{isa.FADD, x + y},
+		{isa.FSUB, x - y},
+		{isa.FMUL, x * y},
+		{isa.FDIV, x / y},
+		{isa.FMIN, y},
+		{isa.FMAX, x},
+	}
+	for _, c := range cases {
+		bld := program.NewBuilder("fp")
+		bld.Doubles("k", x, y)
+		bld.La(1, "k")
+		bld.Fld(1, 1, 0)
+		bld.Fld(2, 1, 8)
+		bld.Emit(isa.Inst{Op: c.op, Rd: 3, Rs1: 1, Rs2: 2})
+		bld.Halt()
+		m := New(bld.MustBuild())
+		if err := m.RunQuiet(100); err != nil {
+			t.Fatalf("%v: %v", c.op, err)
+		}
+		if m.FPR[3] != c.want {
+			t.Errorf("%v(%g,%g) = %g, want %g", c.op, x, y, m.FPR[3], c.want)
+		}
+	}
+
+	// Unary ops and conversions.
+	bld := program.NewBuilder("fpu")
+	bld.Doubles("k", y)
+	bld.La(1, "k")
+	bld.Fld(1, 1, 0)
+	bld.Fneg(2, 1)  // 4.5
+	bld.Fabs(3, 1)  // 4.5
+	bld.Fsqrt(4, 2) // sqrt(4.5)
+	bld.Fmov(5, 1)
+	bld.Cvtfi(2, 1) // int(-4.5) = -4
+	bld.Mff(3, 1)   // raw bits
+	bld.Li(4, 1)
+	bld.Mtf(6, 4) // bits 1 -> denormal
+	bld.Halt()
+	m := New(bld.MustBuild())
+	if err := m.RunQuiet(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.FPR[2] != 4.5 || m.FPR[3] != 4.5 {
+		t.Errorf("fneg/fabs: %g %g", m.FPR[2], m.FPR[3])
+	}
+	if m.FPR[4] != math.Sqrt(4.5) || m.FPR[5] != y {
+		t.Errorf("fsqrt/fmov: %g %g", m.FPR[4], m.FPR[5])
+	}
+	if int64(m.IntR[2]) != -4 {
+		t.Errorf("cvtfi(-4.5) = %d", int64(m.IntR[2]))
+	}
+	if m.IntR[3] != math.Float64bits(y) {
+		t.Errorf("mff bits = %#x", m.IntR[3])
+	}
+	if math.Float64bits(m.FPR[6]) != 1 {
+		t.Errorf("mtf bits = %#x", math.Float64bits(m.FPR[6]))
+	}
+}

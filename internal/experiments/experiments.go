@@ -1,0 +1,120 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (see DESIGN.md §4 for the index). Each driver runs
+// the cycle-level simulator over the workload suite and returns the
+// series the paper plots, formatted through package stats.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"earlyrelease/internal/pipeline"
+	"earlyrelease/internal/release"
+	"earlyrelease/internal/stats"
+	"earlyrelease/internal/workloads"
+)
+
+// Options controls experiment fidelity.
+type Options struct {
+	Scale    int  // dynamic instructions per workload
+	Check    bool // run with the invariant checker (slower)
+	Parallel int  // concurrent simulations (0 = GOMAXPROCS)
+}
+
+// DefaultOptions is a good compromise for regenerating all figures in a
+// few minutes.
+func DefaultOptions() Options {
+	return Options{Scale: 300_000, Parallel: runtime.GOMAXPROCS(0)}
+}
+
+// QuickOptions is used by tests.
+func QuickOptions() Options {
+	return Options{Scale: 40_000, Parallel: runtime.GOMAXPROCS(0)}
+}
+
+// Policies under study, in the paper's plotting order.
+var Policies = []release.Kind{release.Conventional, release.Basic, release.Extended}
+
+// Run simulates one workload under one configuration.
+func Run(w workloads.Workload, kind release.Kind, intRegs, fpRegs int, opt Options) (*pipeline.Result, error) {
+	tr, err := w.Trace(opt.Scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg := pipeline.DefaultConfig(kind, intRegs, fpRegs)
+	cfg.Check = opt.Check
+	cfg.TrackRegStates = true
+	core, err := pipeline.New(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run()
+}
+
+// job is one (workload, policy, size) point of a sweep.
+type job struct {
+	w       workloads.Workload
+	kind    release.Kind
+	intRegs int
+	fpRegs  int
+	key     string
+}
+
+// runAll executes jobs concurrently and collects results by key.
+func runAll(jobs []job, opt Options) (map[string]*pipeline.Result, error) {
+	nw := opt.Parallel
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > len(jobs) {
+		nw = len(jobs)
+	}
+	// Pre-build all traces serially (memoized) to avoid duplicate work.
+	for _, j := range jobs {
+		if _, err := j.w.Trace(opt.Scale); err != nil {
+			return nil, err
+		}
+	}
+	results := make(map[string]*pipeline.Result, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				res, err := Run(j.w, j.kind, j.intRegs, j.fpRegs, opt)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("%s/%v/%d: %w", j.w.Name, j.kind, j.intRegs, err)
+				}
+				results[j.key] = res
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	return results, firstErr
+}
+
+func key(w string, k release.Kind, p int) string { return fmt.Sprintf("%s/%v/%d", w, k, p) }
+
+// hmeanIPC computes the harmonic-mean IPC over a workload class.
+func hmeanIPC(results map[string]*pipeline.Result, ws []workloads.Workload, k release.Kind, p int) float64 {
+	var ipcs []float64
+	for _, w := range ws {
+		r := results[key(w.Name, k, p)]
+		if r == nil {
+			return 0
+		}
+		ipcs = append(ipcs, r.IPC)
+	}
+	return stats.HarmonicMean(ipcs)
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"earlyrelease/internal/release"
+	"earlyrelease/internal/workloads"
+)
+
+func testOpts() Options {
+	o := QuickOptions()
+	o.Scale = 25_000
+	return o
+}
+
+func TestFig3ShowsIdleOverhead(t *testing.T) {
+	res, err := Fig3(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	im, fm := res.IdleOverheadMeans()
+	// The paper's headline: conventional renaming wastes a substantial
+	// fraction of allocated registers in the Idle state.
+	if im <= 0.05 {
+		t.Errorf("int idle overhead %.1f%%: conventional waste not visible", 100*im)
+	}
+	if fm <= 0.05 {
+		t.Errorf("fp idle overhead %.1f%%: conventional waste not visible", 100*fm)
+	}
+	if !strings.Contains(res.String(), "Figure 3") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig10PolicyOrdering(t *testing.T) {
+	res, err := Fig10(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FP suite: extended >= basic >= conventional (harmonic means).
+	if res.HmFP[release.Extended] < res.HmFP[release.Basic] {
+		t.Errorf("extended fp (%f) below basic (%f)",
+			res.HmFP[release.Extended], res.HmFP[release.Basic])
+	}
+	if res.HmFP[release.Basic] < res.HmFP[release.Conventional] {
+		t.Errorf("basic fp (%f) below conventional (%f)",
+			res.HmFP[release.Basic], res.HmFP[release.Conventional])
+	}
+	// FP speedup must exceed int speedup (the paper's key contrast).
+	iSp, fpSp := res.Speedups(release.Extended)
+	if fpSp < iSp {
+		t.Errorf("fp speedup (%f) below int speedup (%f)", fpSp, iSp)
+	}
+	if fpSp <= 0 {
+		t.Errorf("no fp speedup at 48 registers: %f", fpSp)
+	}
+}
+
+func TestFig11MonotoneAndConverging(t *testing.T) {
+	sizes := []int{40, 64, 160}
+	res, err := Fig11(testOpts(), sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range Policies {
+		for i := 1; i < len(sizes); i++ {
+			if res.FP[k][i] < res.FP[k][i-1]*0.98 {
+				t.Errorf("%v fp IPC not monotone: %v", k, res.FP[k])
+			}
+		}
+	}
+	// At the loose end all policies converge.
+	last := len(sizes) - 1
+	conv, ext := res.FP[release.Conventional][last], res.FP[release.Extended][last]
+	if ext < conv*0.99 || ext > conv*1.03 {
+		t.Errorf("loose-file divergence: conv %f ext %f", conv, ext)
+	}
+	// At the tight end extended wins clearly.
+	if res.FP[release.Extended][0] <= res.FP[release.Conventional][0] {
+		t.Error("extended does not win at 40 registers")
+	}
+}
+
+func TestTable4FindsSavings(t *testing.T) {
+	res, err := Fig11(testOpts(), []int{40, 48, 56, 64, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Table4(res)
+	var fpSavings bool
+	for _, r := range rows {
+		if r.Class == workloads.FP && r.SavedPct > 0 {
+			fpSavings = true
+		}
+	}
+	if !fpSavings {
+		t.Error("no FP equal-IPC register savings found")
+	}
+	if !strings.Contains(Table4String(rows), "Table 4") {
+		t.Error("render missing title")
+	}
+}
+
+func TestSec33BasicHelpsFP(t *testing.T) {
+	res, err := Sec33(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tighter files benefit more, and FP benefits more than int.
+	if res.FPSp[2] <= 0 {
+		t.Errorf("basic gives no fp speedup at 40 regs: %f", res.FPSp[2])
+	}
+	if res.FPSp[2] < res.IntSp[2] {
+		t.Errorf("fp speedup (%f) below int (%f) at 40 regs", res.FPSp[2], res.IntSp[2])
+	}
+}
+
+func TestFig9AndSec44Render(t *testing.T) {
+	out := Fig9(nil)
+	for _, want := range []string{"Figure 9a", "Figure 9b", "LUs Table"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig9 output missing %q", want)
+		}
+	}
+	out = Sec44()
+	if !strings.Contains(out, "energy balance") || !strings.Contains(out, "LUs Tables") {
+		t.Errorf("Sec44 output incomplete:\n%s", out)
+	}
+}

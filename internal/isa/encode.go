@@ -1,0 +1,80 @@
+package isa
+
+import "fmt"
+
+// Binary instruction formats (32 bits):
+//
+//	R: op[31:26] rd[25:21] rs1[20:16] rs2[15:11] zero[10:0]
+//	I: op[31:26] rd[25:21] rs1[20:16] imm16[15:0]   (signed)
+//	J: op[31:26] rd[25:21] imm21[20:0]              (signed)
+//
+// Stores place the data register in rs2; I-format store encodings reuse
+// the rd field for the data register so the 16-bit displacement fits.
+// (This mirrors how MIPS packs store operands into the I format.)
+
+// Encode packs the instruction into its 32-bit binary form.
+// It returns an error if the instruction is not Valid.
+func Encode(i Inst) (uint32, error) {
+	if !i.Valid() {
+		return 0, fmt.Errorf("isa: cannot encode invalid instruction %+v", i)
+	}
+	w := uint32(i.Op) << 26
+	switch opInfo[i.Op].format {
+	case formatR:
+		w |= uint32(i.Rd)<<21 | uint32(i.Rs1)<<16 | uint32(i.Rs2)<<11
+	case formatI:
+		if i.IsStore() {
+			// rd field carries the data register (architecturally rs2).
+			w |= uint32(i.Rs2)<<21 | uint32(i.Rs1)<<16 | uint32(uint16(int16(i.Imm)))
+		} else {
+			w |= uint32(i.Rd)<<21 | uint32(i.Rs1)<<16 | uint32(uint16(int16(i.Imm)))
+		}
+	case formatJ:
+		w |= uint32(i.Rd)<<21 | (uint32(i.Imm) & 0x1FFFFF)
+	}
+	return w, nil
+}
+
+// Decode unpacks a 32-bit binary instruction. It returns an error for
+// unknown opcodes. Decode is the exact inverse of Encode for all valid
+// instructions.
+func Decode(w uint32) (Inst, error) {
+	op := Opcode(w >> 26)
+	if op >= NumOpcodes || opInfo[op].name == "" {
+		return Inst{}, fmt.Errorf("isa: unknown opcode %d in word %#08x", op, w)
+	}
+	var i Inst
+	i.Op = op
+	switch opInfo[op].format {
+	case formatR:
+		i.Rd = Reg(w >> 21 & 0x1F)
+		i.Rs1 = Reg(w >> 16 & 0x1F)
+		i.Rs2 = Reg(w >> 11 & 0x1F)
+	case formatI:
+		if i.IsStore() {
+			i.Rs2 = Reg(w >> 21 & 0x1F)
+		} else {
+			i.Rd = Reg(w >> 21 & 0x1F)
+		}
+		i.Rs1 = Reg(w >> 16 & 0x1F)
+		i.Imm = int64(int16(uint16(w)))
+	case formatJ:
+		i.Rd = Reg(w >> 21 & 0x1F)
+		imm := int64(w & 0x1FFFFF)
+		if imm >= 1<<20 { // sign-extend 21-bit field
+			imm -= 1 << 21
+		}
+		i.Imm = imm
+	}
+	return i, nil
+}
+
+// MustEncode is Encode for instructions known to be valid; it panics on
+// error. It is intended for tests and generated code.
+func MustEncode(i Inst) uint32 {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,197 @@
+// Package isa defines the 64-bit load/store instruction set architecture
+// used by the early-register-release simulator suite.
+//
+// The ISA is deliberately MIPS-like, matching the machine model of the
+// reproduced paper (Monreal et al., ICPP 2002): 32 integer logical
+// registers, 32 floating-point logical registers, fixed 32-bit instruction
+// encodings, and a small set of formats (R, I, J). Register r0 is
+// hard-wired to zero; f-registers have no zero register.
+//
+// The package provides the instruction representation used throughout the
+// toolchain (assembler, functional emulator, cycle-level pipeline) plus
+// binary encode/decode and disassembly.
+package isa
+
+import "fmt"
+
+// NumLogical is the number of logical (architectural) registers in each
+// register class. The paper's machine has L=32 integer and 32 FP registers.
+const NumLogical = 32
+
+// WordSize is the natural word size of the architecture in bytes.
+const WordSize = 8
+
+// InstBytes is the size of one encoded instruction in bytes.
+const InstBytes = 4
+
+// RegClass identifies one of the two architectural register files.
+type RegClass uint8
+
+// Register classes. ClassNone marks an absent operand.
+const (
+	ClassNone RegClass = iota
+	ClassInt
+	ClassFP
+)
+
+// String returns a short human-readable class name.
+func (c RegClass) String() string {
+	switch c {
+	case ClassInt:
+		return "int"
+	case ClassFP:
+		return "fp"
+	case ClassNone:
+		return "none"
+	}
+	return fmt.Sprintf("RegClass(%d)", uint8(c))
+}
+
+// Reg is a logical register number within a class (0..31).
+type Reg uint8
+
+// Conventional integer register roles used by the code generator and the
+// assembler's register mnemonics. These are software conventions, not
+// hardware features (except Zero).
+const (
+	Zero Reg = 0  // always reads as 0; writes are discarded
+	RA   Reg = 31 // return address (written by JAL/JALR by convention)
+	SP   Reg = 29 // stack pointer
+	GP   Reg = 28 // global pointer (data segment base)
+)
+
+// IntName returns the assembler name of an integer register.
+func IntName(r Reg) string { return fmt.Sprintf("r%d", r) }
+
+// FPName returns the assembler name of a floating-point register.
+func FPName(r Reg) string { return fmt.Sprintf("f%d", r) }
+
+// Inst is one decoded instruction. The same representation is shared by
+// the assembler output, the functional emulator, and the timing pipeline;
+// only Op, Rd, Rs1, Rs2 and Imm are architectural.
+type Inst struct {
+	Op  Opcode
+	Rd  Reg   // destination register (class given by Op)
+	Rs1 Reg   // first source (base register for memory ops)
+	Rs2 Reg   // second source (data register for stores)
+	Imm int64 // immediate / displacement / PC-relative offset in instructions
+}
+
+// DstClass returns the register class of the destination operand, or
+// ClassNone when the instruction writes no register.
+func (i Inst) DstClass() RegClass { return opInfo[i.Op].dst }
+
+// Src1Class returns the register class of the first source operand.
+func (i Inst) Src1Class() RegClass { return opInfo[i.Op].src1 }
+
+// Src2Class returns the register class of the second source operand.
+func (i Inst) Src2Class() RegClass { return opInfo[i.Op].src2 }
+
+// HasDst reports whether the instruction writes a register. Writes to the
+// integer zero register are architecturally discarded and therefore do not
+// count as register-producing.
+func (i Inst) HasDst() bool {
+	c := i.DstClass()
+	if c == ClassNone {
+		return false
+	}
+	if c == ClassInt && i.Rd == Zero {
+		return false
+	}
+	return true
+}
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsBranch() bool { return opInfo[i.Op].flags&flagBranch != 0 }
+
+// IsJump reports whether the instruction is an unconditional control
+// transfer (JAL or JALR).
+func (i Inst) IsJump() bool { return opInfo[i.Op].flags&flagJump != 0 }
+
+// IsIndirect reports whether the instruction's target comes from a
+// register (JALR) rather than the encoding.
+func (i Inst) IsIndirect() bool { return i.Op == JALR }
+
+// IsCtrl reports whether the instruction can redirect fetch.
+func (i Inst) IsCtrl() bool { return i.IsBranch() || i.IsJump() }
+
+// IsLoad reports whether the instruction reads data memory.
+func (i Inst) IsLoad() bool { return opInfo[i.Op].flags&flagLoad != 0 }
+
+// IsStore reports whether the instruction writes data memory.
+func (i Inst) IsStore() bool { return opInfo[i.Op].flags&flagStore != 0 }
+
+// IsMem reports whether the instruction accesses data memory.
+func (i Inst) IsMem() bool { return i.IsLoad() || i.IsStore() }
+
+// IsHalt reports whether the instruction stops the machine.
+func (i Inst) IsHalt() bool { return i.Op == HALT }
+
+// MemBytes returns the access size in bytes for memory instructions and 0
+// otherwise.
+func (i Inst) MemBytes() int { return int(opInfo[i.Op].memBytes) }
+
+// FU returns the functional-unit kind that executes this instruction.
+func (i Inst) FU() FUKind { return opInfo[i.Op].fu }
+
+// Valid reports whether the instruction is well formed: known opcode,
+// register numbers within range, and immediate representable in the
+// encoding format.
+func (i Inst) Valid() bool {
+	if int(i.Op) >= len(opInfo) || opInfo[i.Op].name == "" {
+		return false
+	}
+	if i.Rd >= NumLogical || i.Rs1 >= NumLogical || i.Rs2 >= NumLogical {
+		return false
+	}
+	switch opInfo[i.Op].format {
+	case formatR:
+		return i.Imm == 0
+	case formatI:
+		return i.Imm >= -(1<<15) && i.Imm < (1<<15)
+	case formatJ:
+		return i.Imm >= -(1<<20) && i.Imm < (1<<20)
+	}
+	return false
+}
+
+// FUKind identifies a functional-unit pool in the execution core. The
+// pools and their latencies follow Table 2 of the paper.
+type FUKind uint8
+
+// Functional-unit kinds.
+const (
+	FUNone   FUKind = iota
+	FUIntALU        // simple integer ops, branches, address generation
+	FUIntMul        // integer multiply/divide
+	FUFPAdd         // simple FP (add/sub/compare/convert)
+	FUFPMul         // FP multiply
+	FUFPDiv         // FP divide / square root
+	FUMem           // load/store port
+	numFUKinds
+)
+
+// NumFUKinds is the number of distinct functional-unit kinds (excluding
+// FUNone), usable as an array bound.
+const NumFUKinds = int(numFUKinds)
+
+// String returns a short functional-unit name.
+func (k FUKind) String() string {
+	switch k {
+	case FUNone:
+		return "none"
+	case FUIntALU:
+		return "int-alu"
+	case FUIntMul:
+		return "int-mul"
+	case FUFPAdd:
+		return "fp-add"
+	case FUFPMul:
+		return "fp-mul"
+	case FUFPDiv:
+		return "fp-div"
+	case FUMem:
+		return "mem"
+	}
+	return fmt.Sprintf("FUKind(%d)", uint8(k))
+}

@@ -1,0 +1,229 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpMetadataComplete(t *testing.T) {
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		info := opInfo[op]
+		if info.name == "" {
+			t.Fatalf("opcode %d has no metadata", op)
+		}
+		if info.fu == FUNone {
+			t.Errorf("%s: no functional unit assigned", info.name)
+		}
+		if (info.flags&flagLoad != 0 || info.flags&flagStore != 0) && info.memBytes == 0 {
+			t.Errorf("%s: memory op without access size", info.name)
+		}
+		if info.flags&flagLoad == 0 && info.flags&flagStore == 0 && info.memBytes != 0 {
+			t.Errorf("%s: non-memory op with access size", info.name)
+		}
+	}
+}
+
+func TestOpcodeByName(t *testing.T) {
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		got, ok := OpcodeByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = %v, %v; want %v, true", op.String(), got, ok, op)
+		}
+	}
+	if _, ok := OpcodeByName("bogus"); ok {
+		t.Error("OpcodeByName accepted unknown mnemonic")
+	}
+}
+
+func TestMemFlagsConsistent(t *testing.T) {
+	loads := []Opcode{LB, LW, LD, FLD}
+	stores := []Opcode{SB, SW, SD, FSD}
+	for _, op := range loads {
+		i := Inst{Op: op, Rd: 1, Rs1: 2}
+		if !i.IsLoad() || i.IsStore() || !i.IsMem() {
+			t.Errorf("%v: load flags wrong", op)
+		}
+	}
+	for _, op := range stores {
+		i := Inst{Op: op, Rs1: 2, Rs2: 3}
+		if i.IsLoad() || !i.IsStore() || !i.IsMem() {
+			t.Errorf("%v: store flags wrong", op)
+		}
+		if i.HasDst() {
+			t.Errorf("%v: store should not have a destination", op)
+		}
+	}
+}
+
+func TestBranchJumpFlags(t *testing.T) {
+	for _, op := range []Opcode{BEQ, BNE, BLT, BGE, BLTU, BGEU} {
+		i := Inst{Op: op}
+		if !i.IsBranch() || i.IsJump() || !i.IsCtrl() {
+			t.Errorf("%v: branch classification wrong", op)
+		}
+	}
+	for _, op := range []Opcode{JAL, JALR} {
+		i := Inst{Op: op}
+		if i.IsBranch() || !i.IsJump() || !i.IsCtrl() {
+			t.Errorf("%v: jump classification wrong", op)
+		}
+	}
+	if !(Inst{Op: JALR}).IsIndirect() {
+		t.Error("JALR should be indirect")
+	}
+	if (Inst{Op: JAL}).IsIndirect() {
+		t.Error("JAL should not be indirect")
+	}
+}
+
+func TestHasDstZeroRegister(t *testing.T) {
+	if (Inst{Op: ADD, Rd: Zero}).HasDst() {
+		t.Error("write to r0 must not count as a destination")
+	}
+	if !(Inst{Op: ADD, Rd: 1}).HasDst() {
+		t.Error("ADD r1 should have a destination")
+	}
+	if !(Inst{Op: FADD, Rd: 0}).HasDst() {
+		t.Error("f0 is a normal FP register and counts as a destination")
+	}
+	if (Inst{Op: BEQ}).HasDst() {
+		t.Error("branches have no destination")
+	}
+}
+
+// randomValidInst builds an arbitrary valid instruction from raw random
+// bits, used for the encode/decode round-trip property.
+func randomValidInst(r *rand.Rand) Inst {
+	for {
+		var i Inst
+		i.Op = Opcode(r.Intn(int(NumOpcodes)))
+		i.Rd = Reg(r.Intn(NumLogical))
+		i.Rs1 = Reg(r.Intn(NumLogical))
+		i.Rs2 = Reg(r.Intn(NumLogical))
+		switch opInfo[i.Op].format {
+		case formatI:
+			i.Imm = int64(int16(r.Uint64()))
+		case formatJ:
+			i.Imm = int64(int32(r.Uint64()) % (1 << 20))
+		}
+		// Stores do not encode rd; loads do not encode rs2; keep the
+		// non-encoded fields zero so round-trip equality is exact.
+		switch opInfo[i.Op].format {
+		case formatR:
+			if i.Src1Class() == ClassNone {
+				i.Rs1 = 0
+			}
+			if i.Src2Class() == ClassNone {
+				i.Rs2 = 0
+			}
+			if i.DstClass() == ClassNone {
+				i.Rd = 0
+			}
+		case formatI:
+			if i.IsStore() {
+				i.Rd = 0
+			} else {
+				i.Rs2 = 0
+			}
+			if i.Src1Class() == ClassNone {
+				i.Rs1 = 0
+			}
+		case formatJ:
+			i.Rs1, i.Rs2 = 0, 0
+		}
+		if i.Valid() {
+			return i
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := randomValidInst(r)
+		w, err := Encode(in)
+		if err != nil {
+			t.Logf("encode %v: %v", in, err)
+			return false
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Logf("decode %#08x: %v", w, err)
+			return false
+		}
+		if in != out {
+			t.Logf("round trip mismatch: in=%+v out=%+v word=%#08x", in, out, w)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsUnknownOpcode(t *testing.T) {
+	w := uint32(NumOpcodes) << 26
+	if _, err := Decode(w); err == nil {
+		t.Error("Decode accepted an out-of-range opcode")
+	}
+	w = uint32(63) << 26
+	if _, err := Decode(w); err == nil {
+		t.Error("Decode accepted opcode 63")
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	cases := []Inst{
+		{Op: ADD, Rd: 32},                  // register out of range
+		{Op: ADDI, Rd: 1, Imm: 1 << 15},    // immediate overflow
+		{Op: ADDI, Rd: 1, Imm: -(1 << 16)}, // immediate underflow
+		{Op: ADD, Rd: 1, Imm: 5},           // R-format with immediate
+		{Op: NumOpcodes},                   // bad opcode
+	}
+	for _, c := range cases {
+		if _, err := Encode(c); err == nil {
+			t.Errorf("Encode accepted invalid instruction %+v", c)
+		}
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	cases := map[string]Inst{
+		"add r1, r2, r3":  {Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		"addi r1, r2, -5": {Op: ADDI, Rd: 1, Rs1: 2, Imm: -5},
+		"ld r4, 16(r2)":   {Op: LD, Rd: 4, Rs1: 2, Imm: 16},
+		"fld f4, 16(r2)":  {Op: FLD, Rd: 4, Rs1: 2, Imm: 16},
+		"sd r5, -8(r29)":  {Op: SD, Rs1: 29, Rs2: 5, Imm: -8},
+		"fsd f5, 0(r29)":  {Op: FSD, Rs1: 29, Rs2: 5},
+		"beq r1, r2, 12":  {Op: BEQ, Rs1: 1, Rs2: 2, Imm: 12},
+		"jal r31, -4":     {Op: JAL, Rd: 31, Imm: -4},
+		"jalr r0, r31":    {Op: JALR, Rd: 0, Rs1: 31},
+		"fadd f1, f2, f3": {Op: FADD, Rd: 1, Rs1: 2, Rs2: 3},
+		"flt r1, f2, f3":  {Op: FLT, Rd: 1, Rs1: 2, Rs2: 3},
+		"cvtif f1, r2":    {Op: CVTIF, Rd: 1, Rs1: 2},
+		"lui r7, 100":     {Op: LUI, Rd: 7, Imm: 100},
+		"nop":             {Op: NOP},
+		"halt":            {Op: HALT},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String(%+v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFUAssignments(t *testing.T) {
+	cases := map[Opcode]FUKind{
+		ADD: FUIntALU, MUL: FUIntMul, DIV: FUIntMul,
+		FADD: FUFPAdd, FMUL: FUFPMul, FDIV: FUFPDiv, FSQRT: FUFPDiv,
+		LD: FUMem, SD: FUMem, FLD: FUMem, FSD: FUMem,
+		BEQ: FUIntALU, JAL: FUIntALU,
+	}
+	for op, want := range cases {
+		if got := (Inst{Op: op}).FU(); got != want {
+			t.Errorf("%v.FU() = %v, want %v", op, got, want)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package isa
+
+// Opcode enumerates every instruction of the ISA. The numeric values are
+// architectural: they appear in the 6-bit opcode field of the encoding.
+type Opcode uint8
+
+// Instruction opcodes.
+//
+// Integer R-format arithmetic uses Rd, Rs1, Rs2. I-format uses Rd, Rs1,
+// Imm. Memory operations compute the effective address Rs1+Imm; stores
+// take their data from Rs2. Conditional branches compare Rs1 with Rs2 and
+// jump by Imm instructions relative to the next PC. JAL jumps by Imm
+// instructions and writes the return address to Rd; JALR jumps to the
+// address in Rs1 and writes the return address to Rd.
+const (
+	NOP Opcode = iota
+	HALT
+
+	// Integer arithmetic, R-format.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	NOR
+	SLT
+	SLTU
+	SLLV
+	SRLV
+	SRAV
+	MUL
+	MULH
+	DIV
+	REM
+
+	// Integer arithmetic, I-format.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLTI
+	SLLI
+	SRLI
+	SRAI
+	LUI
+
+	// Memory.
+	LB
+	LW
+	LD
+	SB
+	SW
+	SD
+	FLD
+	FSD
+
+	// Conditional branches.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+
+	// Unconditional control transfer.
+	JAL
+	JALR
+
+	// Floating point, R-format.
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FSQRT
+	FMIN
+	FMAX
+	FNEG
+	FABS
+	FMOV
+
+	// FP comparisons (integer destination).
+	FEQ
+	FLT
+	FLE
+
+	// Conversions and cross-file moves.
+	CVTIF // int -> fp (value conversion)
+	CVTFI // fp -> int (value conversion, truncating)
+	MTF   // move raw bits int -> fp
+	MFF   // move raw bits fp -> int
+
+	NumOpcodes // sentinel; not a real opcode
+)
+
+// encoding formats
+type format uint8
+
+const (
+	formatR format = iota // op | rd | rs1 | rs2
+	formatI               // op | rd | rs1 | imm16
+	formatJ               // op | rd | imm21
+)
+
+// opcode flags
+const (
+	flagBranch uint8 = 1 << iota
+	flagJump
+	flagLoad
+	flagStore
+)
+
+type opMeta struct {
+	name     string
+	format   format
+	dst      RegClass
+	src1     RegClass
+	src2     RegClass
+	fu       FUKind
+	flags    uint8
+	memBytes uint8
+}
+
+// opInfo is the single source of truth for per-opcode metadata. The
+// assembler, disassembler, emulator and pipeline all consult it.
+var opInfo = [NumOpcodes]opMeta{
+	NOP:  {name: "nop", format: formatR, fu: FUIntALU},
+	HALT: {name: "halt", format: formatR, fu: FUIntALU},
+
+	ADD:  {name: "add", format: formatR, dst: ClassInt, src1: ClassInt, src2: ClassInt, fu: FUIntALU},
+	SUB:  {name: "sub", format: formatR, dst: ClassInt, src1: ClassInt, src2: ClassInt, fu: FUIntALU},
+	AND:  {name: "and", format: formatR, dst: ClassInt, src1: ClassInt, src2: ClassInt, fu: FUIntALU},
+	OR:   {name: "or", format: formatR, dst: ClassInt, src1: ClassInt, src2: ClassInt, fu: FUIntALU},
+	XOR:  {name: "xor", format: formatR, dst: ClassInt, src1: ClassInt, src2: ClassInt, fu: FUIntALU},
+	NOR:  {name: "nor", format: formatR, dst: ClassInt, src1: ClassInt, src2: ClassInt, fu: FUIntALU},
+	SLT:  {name: "slt", format: formatR, dst: ClassInt, src1: ClassInt, src2: ClassInt, fu: FUIntALU},
+	SLTU: {name: "sltu", format: formatR, dst: ClassInt, src1: ClassInt, src2: ClassInt, fu: FUIntALU},
+	SLLV: {name: "sllv", format: formatR, dst: ClassInt, src1: ClassInt, src2: ClassInt, fu: FUIntALU},
+	SRLV: {name: "srlv", format: formatR, dst: ClassInt, src1: ClassInt, src2: ClassInt, fu: FUIntALU},
+	SRAV: {name: "srav", format: formatR, dst: ClassInt, src1: ClassInt, src2: ClassInt, fu: FUIntALU},
+	MUL:  {name: "mul", format: formatR, dst: ClassInt, src1: ClassInt, src2: ClassInt, fu: FUIntMul},
+	MULH: {name: "mulh", format: formatR, dst: ClassInt, src1: ClassInt, src2: ClassInt, fu: FUIntMul},
+	DIV:  {name: "div", format: formatR, dst: ClassInt, src1: ClassInt, src2: ClassInt, fu: FUIntMul},
+	REM:  {name: "rem", format: formatR, dst: ClassInt, src1: ClassInt, src2: ClassInt, fu: FUIntMul},
+
+	ADDI: {name: "addi", format: formatI, dst: ClassInt, src1: ClassInt, fu: FUIntALU},
+	ANDI: {name: "andi", format: formatI, dst: ClassInt, src1: ClassInt, fu: FUIntALU},
+	ORI:  {name: "ori", format: formatI, dst: ClassInt, src1: ClassInt, fu: FUIntALU},
+	XORI: {name: "xori", format: formatI, dst: ClassInt, src1: ClassInt, fu: FUIntALU},
+	SLTI: {name: "slti", format: formatI, dst: ClassInt, src1: ClassInt, fu: FUIntALU},
+	SLLI: {name: "slli", format: formatI, dst: ClassInt, src1: ClassInt, fu: FUIntALU},
+	SRLI: {name: "srli", format: formatI, dst: ClassInt, src1: ClassInt, fu: FUIntALU},
+	SRAI: {name: "srai", format: formatI, dst: ClassInt, src1: ClassInt, fu: FUIntALU},
+	LUI:  {name: "lui", format: formatI, dst: ClassInt, fu: FUIntALU},
+
+	LB:  {name: "lb", format: formatI, dst: ClassInt, src1: ClassInt, fu: FUMem, flags: flagLoad, memBytes: 1},
+	LW:  {name: "lw", format: formatI, dst: ClassInt, src1: ClassInt, fu: FUMem, flags: flagLoad, memBytes: 4},
+	LD:  {name: "ld", format: formatI, dst: ClassInt, src1: ClassInt, fu: FUMem, flags: flagLoad, memBytes: 8},
+	SB:  {name: "sb", format: formatI, src1: ClassInt, src2: ClassInt, fu: FUMem, flags: flagStore, memBytes: 1},
+	SW:  {name: "sw", format: formatI, src1: ClassInt, src2: ClassInt, fu: FUMem, flags: flagStore, memBytes: 4},
+	SD:  {name: "sd", format: formatI, src1: ClassInt, src2: ClassInt, fu: FUMem, flags: flagStore, memBytes: 8},
+	FLD: {name: "fld", format: formatI, dst: ClassFP, src1: ClassInt, fu: FUMem, flags: flagLoad, memBytes: 8},
+	FSD: {name: "fsd", format: formatI, src1: ClassInt, src2: ClassFP, fu: FUMem, flags: flagStore, memBytes: 8},
+
+	BEQ:  {name: "beq", format: formatI, src1: ClassInt, src2: ClassInt, fu: FUIntALU, flags: flagBranch},
+	BNE:  {name: "bne", format: formatI, src1: ClassInt, src2: ClassInt, fu: FUIntALU, flags: flagBranch},
+	BLT:  {name: "blt", format: formatI, src1: ClassInt, src2: ClassInt, fu: FUIntALU, flags: flagBranch},
+	BGE:  {name: "bge", format: formatI, src1: ClassInt, src2: ClassInt, fu: FUIntALU, flags: flagBranch},
+	BLTU: {name: "bltu", format: formatI, src1: ClassInt, src2: ClassInt, fu: FUIntALU, flags: flagBranch},
+	BGEU: {name: "bgeu", format: formatI, src1: ClassInt, src2: ClassInt, fu: FUIntALU, flags: flagBranch},
+
+	JAL:  {name: "jal", format: formatJ, dst: ClassInt, fu: FUIntALU, flags: flagJump},
+	JALR: {name: "jalr", format: formatR, dst: ClassInt, src1: ClassInt, fu: FUIntALU, flags: flagJump},
+
+	FADD:  {name: "fadd", format: formatR, dst: ClassFP, src1: ClassFP, src2: ClassFP, fu: FUFPAdd},
+	FSUB:  {name: "fsub", format: formatR, dst: ClassFP, src1: ClassFP, src2: ClassFP, fu: FUFPAdd},
+	FMUL:  {name: "fmul", format: formatR, dst: ClassFP, src1: ClassFP, src2: ClassFP, fu: FUFPMul},
+	FDIV:  {name: "fdiv", format: formatR, dst: ClassFP, src1: ClassFP, src2: ClassFP, fu: FUFPDiv},
+	FSQRT: {name: "fsqrt", format: formatR, dst: ClassFP, src1: ClassFP, fu: FUFPDiv},
+	FMIN:  {name: "fmin", format: formatR, dst: ClassFP, src1: ClassFP, src2: ClassFP, fu: FUFPAdd},
+	FMAX:  {name: "fmax", format: formatR, dst: ClassFP, src1: ClassFP, src2: ClassFP, fu: FUFPAdd},
+	FNEG:  {name: "fneg", format: formatR, dst: ClassFP, src1: ClassFP, fu: FUFPAdd},
+	FABS:  {name: "fabs", format: formatR, dst: ClassFP, src1: ClassFP, fu: FUFPAdd},
+	FMOV:  {name: "fmov", format: formatR, dst: ClassFP, src1: ClassFP, fu: FUFPAdd},
+
+	FEQ: {name: "feq", format: formatR, dst: ClassInt, src1: ClassFP, src2: ClassFP, fu: FUFPAdd},
+	FLT: {name: "flt", format: formatR, dst: ClassInt, src1: ClassFP, src2: ClassFP, fu: FUFPAdd},
+	FLE: {name: "fle", format: formatR, dst: ClassInt, src1: ClassFP, src2: ClassFP, fu: FUFPAdd},
+
+	CVTIF: {name: "cvtif", format: formatR, dst: ClassFP, src1: ClassInt, fu: FUFPAdd},
+	CVTFI: {name: "cvtfi", format: formatR, dst: ClassInt, src1: ClassFP, fu: FUFPAdd},
+	MTF:   {name: "mtf", format: formatR, dst: ClassFP, src1: ClassInt, fu: FUIntALU},
+	MFF:   {name: "mff", format: formatR, dst: ClassInt, src1: ClassFP, fu: FUIntALU},
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (op Opcode) String() string {
+	if int(op) < len(opInfo) && opInfo[op].name != "" {
+		return opInfo[op].name
+	}
+	return "op?" // unreachable for valid opcodes
+}
+
+// OpcodeByName returns the opcode with the given assembler mnemonic.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		if opInfo[op].name != "" {
+			m[opInfo[op].name] = op
+		}
+	}
+	return m
+}()

@@ -1,0 +1,63 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String disassembles the instruction into assembler syntax. The output
+// round-trips through the assembler in package asm.
+func (i Inst) String() string {
+	info := opInfo[i.Op]
+	var b strings.Builder
+	b.WriteString(info.name)
+	switch {
+	case i.Op == NOP || i.Op == HALT:
+		// mnemonic only
+	case i.IsStore():
+		// e.g. "sd r5, 16(r2)" / "fsd f5, 16(r2)"
+		data := IntName(i.Rs2)
+		if i.Src2Class() == ClassFP {
+			data = FPName(i.Rs2)
+		}
+		fmt.Fprintf(&b, " %s, %d(%s)", data, i.Imm, IntName(i.Rs1))
+	case i.IsLoad():
+		dst := IntName(i.Rd)
+		if i.DstClass() == ClassFP {
+			dst = FPName(i.Rd)
+		}
+		fmt.Fprintf(&b, " %s, %d(%s)", dst, i.Imm, IntName(i.Rs1))
+	case i.IsBranch():
+		fmt.Fprintf(&b, " %s, %s, %d", IntName(i.Rs1), IntName(i.Rs2), i.Imm)
+	case i.Op == JAL:
+		fmt.Fprintf(&b, " %s, %d", IntName(i.Rd), i.Imm)
+	case i.Op == JALR:
+		fmt.Fprintf(&b, " %s, %s", IntName(i.Rd), IntName(i.Rs1))
+	default:
+		var ops []string
+		if c := i.DstClass(); c != ClassNone {
+			ops = append(ops, regName(c, i.Rd))
+		}
+		if c := i.Src1Class(); c != ClassNone {
+			ops = append(ops, regName(c, i.Rs1))
+		}
+		if c := i.Src2Class(); c != ClassNone {
+			ops = append(ops, regName(c, i.Rs2))
+		}
+		if info.format == formatI || info.format == formatJ {
+			ops = append(ops, fmt.Sprintf("%d", i.Imm))
+		}
+		if len(ops) > 0 {
+			b.WriteByte(' ')
+			b.WriteString(strings.Join(ops, ", "))
+		}
+	}
+	return b.String()
+}
+
+func regName(c RegClass, r Reg) string {
+	if c == ClassFP {
+		return FPName(r)
+	}
+	return IntName(r)
+}

@@ -1,0 +1,114 @@
+// Package pipeline implements the cycle-level out-of-order processor
+// simulator that plays the role of SimpleScalar's sim-outorder in the
+// reproduced paper: an 8-way superscalar with a 128-entry reorder
+// structure, merged physical register files managed by a pluggable
+// release policy, gshare branch prediction with wrong-path fetch and
+// checkpoint recovery, a 64-entry load/store queue with forwarding, and
+// the Table 2 cache hierarchy.
+package pipeline
+
+import (
+	"fmt"
+
+	"earlyrelease/internal/bpred"
+	"earlyrelease/internal/cache"
+	"earlyrelease/internal/isa"
+	"earlyrelease/internal/release"
+)
+
+// Config describes the simulated microarchitecture. DefaultConfig
+// reproduces Table 2 of the paper.
+type Config struct {
+	FetchWidth       int // instructions fetched per cycle
+	MaxTakenPerCycle int // taken branches followed per fetch cycle
+	DecodeWidth      int // rename/dispatch width
+	IssueWidth       int // maximum instructions issued per cycle
+	CommitWidth      int // retirement width
+	FetchQueue       int // fetch-queue entries
+	FrontEndDepth    int // extra front-end stages (adds to mispredict penalty)
+
+	ROSSize int // reorder structure entries
+	LSQSize int // load/store queue entries
+
+	IntRegs int // physical integer registers
+	FPRegs  int // physical FP registers
+
+	FUCount [isa.NumFUKinds]int
+	FULat   [isa.NumFUKinds]int
+
+	Policy release.Options // Kind/Reuse/Eager/MaxPendingBranches
+
+	BPred bpred.Config
+	Mem   cache.HierarchyConfig
+
+	// Check enables the register-lifetime invariant checker (slower).
+	Check bool
+	// TrackRegStates enables the Fig 2/3 Empty/Ready/Idle accounting.
+	TrackRegStates bool
+
+	// FaultAt injects a precise exception immediately before committing
+	// the listed dynamic (trace) instruction indexes; used to validate
+	// the §4.3 recovery argument.
+	FaultAt []int
+	// ExceptionPenalty models handler entry/exit flush cycles.
+	ExceptionPenalty int64
+
+	// MaxCycles aborts runaway simulations (0 = 64 cycles per trace
+	// instruction + slack).
+	MaxCycles int64
+}
+
+// DefaultConfig returns the paper's processor (Table 2) with the given
+// register file sizes and release policy.
+func DefaultConfig(kind release.Kind, intRegs, fpRegs int) Config {
+	cfg := Config{
+		FetchWidth:       8,
+		MaxTakenPerCycle: 2,
+		DecodeWidth:      8,
+		IssueWidth:       8,
+		CommitWidth:      8,
+		FetchQueue:       16,
+		FrontEndDepth:    2,
+		ROSSize:          128,
+		LSQSize:          64,
+		IntRegs:          intRegs,
+		FPRegs:           fpRegs,
+		Policy:           release.DefaultOptions(kind, intRegs, fpRegs),
+		BPred:            bpred.DefaultConfig(),
+		Mem:              cache.DefaultHierarchy(),
+		ExceptionPenalty: 30,
+	}
+	// Table 2 functional units: 8 simple int (1); 4 int mult (7);
+	// 6 simple FP (4); 4 FP mult (4); 4 FP div (16); 4 load/store.
+	cfg.FUCount[isa.FUIntALU] = 8
+	cfg.FULat[isa.FUIntALU] = 1
+	cfg.FUCount[isa.FUIntMul] = 4
+	cfg.FULat[isa.FUIntMul] = 7
+	cfg.FUCount[isa.FUFPAdd] = 6
+	cfg.FULat[isa.FUFPAdd] = 4
+	cfg.FUCount[isa.FUFPMul] = 4
+	cfg.FULat[isa.FUFPMul] = 4
+	cfg.FUCount[isa.FUFPDiv] = 4
+	cfg.FULat[isa.FUFPDiv] = 16
+	cfg.FUCount[isa.FUMem] = 4
+	cfg.FULat[isa.FUMem] = 1
+	return cfg
+}
+
+// Validate sanity-checks the configuration.
+func (c *Config) Validate() error {
+	switch {
+	case c.FetchWidth <= 0 || c.DecodeWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0:
+		return fmt.Errorf("pipeline: widths must be positive")
+	case c.ROSSize <= 0 || c.LSQSize <= 0 || c.FetchQueue <= 0:
+		return fmt.Errorf("pipeline: queue sizes must be positive")
+	case c.IntRegs < isa.NumLogical || c.FPRegs < isa.NumLogical:
+		return fmt.Errorf("pipeline: register files must hold at least %d registers", isa.NumLogical)
+	}
+	for k := 1; k < isa.NumFUKinds; k++ {
+		if c.FUCount[k] <= 0 || c.FULat[k] <= 0 {
+			return fmt.Errorf("pipeline: FU kind %v needs positive count and latency", isa.FUKind(k))
+		}
+	}
+	return nil
+}

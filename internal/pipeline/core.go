@@ -1,0 +1,407 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"earlyrelease/internal/bpred"
+	"earlyrelease/internal/cache"
+	"earlyrelease/internal/isa"
+	"earlyrelease/internal/regstate"
+	"earlyrelease/internal/release"
+	"earlyrelease/internal/rename"
+	"earlyrelease/internal/trace"
+)
+
+const farFuture int64 = 1 << 60
+
+// uop is one in-flight instruction: a reorder-structure entry.
+type uop struct {
+	release.Slot
+
+	inst     isa.Inst
+	pc       uint64
+	traceIdx int // index into the driving trace; -1 on the wrong path
+
+	issued        bool
+	completed     bool
+	completeCycle int64
+
+	isCtrl       bool
+	checkpointed bool
+	predTaken    bool
+	actTaken     bool
+	predNext     uint64
+	actNext      uint64
+	snap         bpred.Snapshot
+	resolved     bool
+	mispredicted bool
+
+	effAddr uint64
+	srcVer  [2]uint64 // checker: source versions captured at rename
+}
+
+// fetchItem is one instruction waiting in the fetch queue between the
+// fetch and rename stages.
+type fetchItem struct {
+	inst       isa.Inst
+	pc         uint64
+	traceIdx   int
+	wrongPath  bool
+	predTaken  bool
+	predNext   uint64
+	actTaken   bool
+	actNext    uint64
+	snap       bpred.Snapshot
+	mispredict bool // front end knows this prediction diverges from the trace
+	readyAt    int64
+}
+
+// Stalls breaks down the cycles in which rename could not dispatch its
+// full width, by the resource that blocked the head instruction.
+type Stalls struct {
+	NoPhysReg int64 // free list empty: the paper's register-pressure stall
+	ROSFull   int64
+	LSQFull   int64
+	Branches  int64 // pending-branch (checkpoint) limit
+	FetchDry  int64 // nothing in the fetch queue
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	Name      string
+	Policy    string
+	Cycles    int64
+	Committed uint64
+	IPC       float64
+
+	BranchAccuracy float64
+	Mispredicts    uint64
+	WrongPathUops  uint64
+	Exceptions     uint64
+
+	IntBreakdown regstate.Breakdown
+	FPBreakdown  regstate.Breakdown
+
+	Release release.Stats
+	Stalls  Stalls
+
+	L1DMissRate float64
+	L2MissRate  float64
+	L1IMissRate float64
+}
+
+// Core is one simulation instance. Create with New, run with Run.
+type Core struct {
+	cfg Config
+	tr  *trace.Trace
+
+	engine  *release.Engine
+	bp      *bpred.Predictor
+	mem     *cache.Hierarchy
+	tracker [2]*regstate.Tracker
+	checker *regstate.Checker
+
+	// reorder structure: ring buffer of ROSSize entries
+	ros     []uop
+	head    int
+	count   int
+	seqMap  map[uint64]*uop
+	nextSeq uint64
+
+	// load/store queue: seqs of in-flight memory ops in program order
+	lsq []lsqEntry
+
+	// scoreboard: per class, per physical register, the cycle its value
+	// becomes available
+	readyAt [2][]int64
+
+	// fetch state
+	fq            []fetchItem
+	cursor        int // next trace index to fetch on the correct path
+	wrongPath     bool
+	wrongPC       uint64
+	fetchStallTil int64
+	haltFetched   bool
+	lastFetchLine uint64
+
+	cycle     int64
+	committed uint64
+	halted    bool
+
+	faults map[int]bool
+
+	tracer *DebugTracer
+
+	stalls     Stalls
+	wrongUops  uint64
+	exceptions uint64
+}
+
+type lsqEntry struct {
+	seq       uint64
+	isStore   bool
+	wrongPath bool
+	addr      uint64
+	addrReady bool
+}
+
+// New builds a core for the given trace.
+func New(cfg Config, tr *trace.Trace) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Policy.IntRegs = cfg.IntRegs
+	cfg.Policy.FPRegs = cfg.FPRegs
+	c := &Core{cfg: cfg, tr: tr}
+	var err error
+	c.engine, err = release.NewEngine(cfg.Policy, c.lookupSlot, c.onFree)
+	if err != nil {
+		return nil, err
+	}
+	c.bp = bpred.New(cfg.BPred)
+	c.mem = cache.NewHierarchy(cfg.Mem)
+	c.ros = make([]uop, cfg.ROSSize)
+	c.seqMap = make(map[uint64]*uop, cfg.ROSSize)
+	c.readyAt[0] = make([]int64, cfg.IntRegs)
+	c.readyAt[1] = make([]int64, cfg.FPRegs)
+	c.lsq = make([]lsqEntry, 0, cfg.LSQSize)
+	c.fq = make([]fetchItem, 0, cfg.FetchQueue)
+	if cfg.TrackRegStates {
+		c.tracker[0] = regstate.NewTracker(isa.ClassInt, cfg.IntRegs)
+		c.tracker[1] = regstate.NewTracker(isa.ClassFP, cfg.FPRegs)
+	}
+	if cfg.Check {
+		c.checker = regstate.NewChecker(cfg.IntRegs, cfg.FPRegs)
+	}
+	if len(cfg.FaultAt) > 0 {
+		c.faults = make(map[int]bool, len(cfg.FaultAt))
+		for _, f := range cfg.FaultAt {
+			c.faults[f] = true
+		}
+	}
+	return c, nil
+}
+
+func ci(class isa.RegClass) int {
+	if class == isa.ClassFP {
+		return 1
+	}
+	return 0
+}
+
+func (c *Core) lookupSlot(seq uint64) *release.Slot {
+	if u := c.seqMap[seq]; u != nil {
+		return &u.Slot
+	}
+	return nil
+}
+
+// onFree observes every register release for accounting and checking.
+func (c *Core) onFree(class isa.RegClass, p rename.PhysReg, reason release.FreeReason) {
+	if c.tracker[0] != nil {
+		c.tracker[ci(class)].Free(p, c.cycle)
+	}
+	if c.checker != nil {
+		c.checker.OnFree(class, p, reason == release.FreeEager)
+	}
+}
+
+// Run simulates to completion and returns the result.
+func (c *Core) Run() (*Result, error) {
+	maxCycles := c.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 64*int64(c.tr.Len()) + 100_000
+	}
+	for !c.halted {
+		if c.cycle >= maxCycles {
+			return nil, fmt.Errorf("pipeline: cycle limit %d exceeded (%d/%d committed)",
+				maxCycles, c.committed, c.tr.Len())
+		}
+		c.commitStage()
+		if c.halted {
+			break
+		}
+		c.writebackStage()
+		c.issueStage()
+		c.renameStage()
+		c.fetchStage()
+		c.cycle++
+	}
+	if c.checker != nil {
+		if err := c.checker.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return c.result(), nil
+}
+
+func (c *Core) result() *Result {
+	r := &Result{
+		Name:           c.tr.Prog.Name,
+		Policy:         c.cfg.Policy.Kind.String(),
+		Cycles:         c.cycle,
+		Committed:      c.committed,
+		BranchAccuracy: c.bp.Accuracy(),
+		Mispredicts:    c.bp.DirMispred + c.bp.TgtMispred,
+		WrongPathUops:  c.wrongUops,
+		Exceptions:     c.exceptions,
+		Release:        c.engine.Stats,
+		Stalls:         c.stalls,
+		L1DMissRate:    c.mem.L1D.MissRate(),
+		L2MissRate:     c.mem.L2.MissRate(),
+		L1IMissRate:    c.mem.L1I.MissRate(),
+	}
+	if c.cycle > 0 {
+		r.IPC = float64(c.committed) / float64(c.cycle)
+	}
+	if c.tracker[0] != nil {
+		c.tracker[0].CloseAll(c.cycle)
+		c.tracker[1].CloseAll(c.cycle)
+		r.IntBreakdown = c.tracker[0].Averages(c.cycle)
+		r.FPBreakdown = c.tracker[1].Averages(c.cycle)
+	}
+	return r
+}
+
+// --- ring helpers -------------------------------------------------------
+
+func (c *Core) at(i int) *uop { return &c.ros[i%len(c.ros)] }
+
+// forInFlight iterates the ROS oldest to youngest.
+func (c *Core) forInFlight(fn func(u *uop) bool) {
+	for i := 0; i < c.count; i++ {
+		if !fn(c.at(c.head + i)) {
+			return
+		}
+	}
+}
+
+// --- commit -------------------------------------------------------------
+
+func (c *Core) commitStage() {
+	for n := 0; n < c.cfg.CommitWidth && c.count > 0; n++ {
+		u := c.at(c.head)
+		if !u.completed || (u.isCtrl && !u.resolved) {
+			return
+		}
+		if u.WrongPath {
+			// The head of the window can never be wrong-path: wrong-path
+			// uops are always younger than their unresolved branch.
+			panic("pipeline: wrong-path uop reached commit")
+		}
+		if c.faults != nil && c.faults[u.traceIdx] {
+			delete(c.faults, u.traceIdx)
+			c.raiseException(u.traceIdx)
+			return
+		}
+		// Architectural checks (§4.3 taint) before the rename commit.
+		if c.checker != nil {
+			for i := 0; i < 2; i++ {
+				if u.SrcClass[i] != isa.ClassNone {
+					c.checker.OnArchRead(u.SrcClass[i], u.SrcLog[i])
+				}
+			}
+			if u.HasDst() {
+				c.checker.OnArchWrite(u.DstClass, u.DstLog)
+			}
+		}
+		if c.tracker[0] != nil {
+			for i := 0; i < 2; i++ {
+				if u.SrcClass[i] != isa.ClassNone {
+					c.tracker[ci(u.SrcClass[i])].UseCommitted(u.SrcPhys[i], c.cycle)
+				}
+			}
+			if u.HasDst() {
+				c.tracker[ci(u.DstClass)].UseCommitted(u.DstPhys, c.cycle)
+			}
+		}
+		if c.tracer != nil {
+			c.tracer.event(c.cycle, "commit", u, "")
+		}
+		c.engine.Commit(&u.Slot)
+		if u.inst.IsStore() {
+			c.mem.StoreLat(u.effAddr) // retire through the store buffer
+		}
+		if len(c.lsq) > 0 && c.lsq[0].seq == u.Seq {
+			c.lsq = c.lsq[1:]
+		}
+		delete(c.seqMap, u.Seq)
+		c.head++
+		c.count--
+		c.committed++
+		if u.inst.IsHalt() {
+			c.halted = true
+			return
+		}
+	}
+}
+
+// raiseException performs precise-exception recovery at the instruction
+// with the given trace index: flush the window, rebuild the rename state
+// from the In-Order Map Tables, and restart fetch at the faulting
+// instruction (the handler's return point).
+func (c *Core) raiseException(traceIdx int) {
+	c.exceptions++
+	// Flush every in-flight instruction. The free lists are rebuilt
+	// wholesale below, so individual squash releases are not performed.
+	c.forInFlight(func(u *uop) bool {
+		if c.checker != nil && !u.issued {
+			for i := 0; i < 2; i++ {
+				if u.SrcClass[i] != isa.ClassNone {
+					c.checker.OnReadDone(u.SrcClass[i], u.SrcPhys[i])
+				}
+			}
+		}
+		delete(c.seqMap, u.Seq)
+		return true
+	})
+	c.count = 0
+	c.lsq = c.lsq[:0]
+	c.fq = c.fq[:0]
+
+	taintedInt, taintedFP := c.engine.RecoverException()
+	if c.checker != nil {
+		c.checker.OnExceptionRecovery(taintedInt, taintedFP)
+		c.resyncChecker()
+	}
+	c.resyncAfterException()
+
+	c.cursor = traceIdx
+	c.wrongPath = false
+	c.haltFetched = false
+	c.fetchStallTil = c.cycle + c.cfg.ExceptionPenalty
+}
+
+// resyncAfterException reconciles the scoreboard and the lifetime
+// tracker with the rebuilt allocation state: every surviving
+// (architectural) register holds a committed value.
+func (c *Core) resyncAfterException() {
+	for cls := 0; cls < 2; cls++ {
+		class := isa.ClassInt
+		if cls == 1 {
+			class = isa.ClassFP
+		}
+		st := c.engine.State(class)
+		for p := 0; p < st.NumPhys; p++ {
+			if st.IsAllocated(rename.PhysReg(p)) {
+				c.readyAt[cls][p] = c.cycle
+			} else {
+				c.readyAt[cls][p] = farFuture
+			}
+		}
+		if c.tracker[cls] != nil {
+			tr := c.tracker[cls]
+			for p := 0; p < st.NumPhys; p++ {
+				pr := rename.PhysReg(p)
+				alloc := st.IsAllocated(pr)
+				tr.Resync(pr, alloc, c.cycle)
+			}
+		}
+	}
+}
+
+// resyncChecker rebuilds reader counts after a full flush (versions are
+// preserved inside the checker; only in-flight reader counts reset).
+func (c *Core) resyncChecker() {
+	c.checker.ResetReaders()
+}

@@ -1,0 +1,74 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// DebugTracer receives pipeline events for cycle-level debugging. Attach
+// one with Core.SetTracer before Run. The tracer sees only committed-
+// state transitions (rename, issue, writeback, commit, recovery), which
+// is what one needs to follow a release-policy decision through the
+// machine.
+type DebugTracer struct {
+	W     io.Writer
+	From  int64 // first cycle to print
+	To    int64 // last cycle to print (0 = unbounded)
+	lastC int64
+}
+
+// SetTracer attaches a debug tracer to the core.
+func (c *Core) SetTracer(t *DebugTracer) { c.tracer = t }
+
+func (t *DebugTracer) active(cycle int64) bool {
+	if t == nil || t.W == nil {
+		return false
+	}
+	if cycle < t.From {
+		return false
+	}
+	return t.To == 0 || cycle <= t.To
+}
+
+func (t *DebugTracer) event(cycle int64, stage string, u *uop, extra string) {
+	if !t.active(cycle) {
+		return
+	}
+	if cycle != t.lastC {
+		fmt.Fprintf(t.W, "---- cycle %d\n", cycle)
+		t.lastC = cycle
+	}
+	var flags []string
+	if u.WrongPath {
+		flags = append(flags, "wrong-path")
+	}
+	if u.Reused {
+		flags = append(flags, "reused")
+	}
+	for r, set := range u.Rel {
+		if set {
+			flags = append(flags, fmt.Sprintf("rel%d", r+1))
+		}
+	}
+	if u.RelOld {
+		flags = append(flags, "rel_old")
+	}
+	f := ""
+	if len(flags) > 0 {
+		f = " [" + strings.Join(flags, ",") + "]"
+	}
+	fmt.Fprintf(t.W, "%-9s seq=%-6d pc=%#06x %-24s pd=%-3d old=%-3d%s%s\n",
+		stage, u.Seq, u.pc, u.inst.String(), u.DstPhys, u.OldPhys, f, extra)
+}
+
+func (t *DebugTracer) note(cycle int64, msg string) {
+	if !t.active(cycle) {
+		return
+	}
+	if cycle != t.lastC {
+		fmt.Fprintf(t.W, "---- cycle %d\n", cycle)
+		t.lastC = cycle
+	}
+	fmt.Fprintf(t.W, "%s\n", msg)
+}

@@ -1,0 +1,309 @@
+package pipeline
+
+import (
+	"testing"
+
+	"earlyrelease/internal/asm"
+	"earlyrelease/internal/emu"
+	"earlyrelease/internal/isa"
+	"earlyrelease/internal/program"
+	"earlyrelease/internal/release"
+	"earlyrelease/internal/trace"
+)
+
+// traceOf runs a program functionally and returns its dynamic trace.
+func traceOf(t *testing.T, p *program.Program) *trace.Trace {
+	t.Helper()
+	tr, err := emu.New(p).Run(5_000_000)
+	if err != nil {
+		t.Fatalf("emulate %s: %v", p.Name, err)
+	}
+	return tr
+}
+
+// simulate runs the trace on the given policy with checking enabled.
+func simulate(t *testing.T, tr *trace.Trace, kind release.Kind, intRegs, fpRegs int) *Result {
+	t.Helper()
+	cfg := DefaultConfig(kind, intRegs, fpRegs)
+	cfg.Check = true
+	cfg.TrackRegStates = true
+	core, err := New(cfg, tr)
+	if err != nil {
+		t.Fatalf("new core: %v", err)
+	}
+	res, err := core.Run()
+	if err != nil {
+		t.Fatalf("run %s/%v: %v", tr.Prog.Name, kind, err)
+	}
+	return res
+}
+
+// loopProgram is a small int kernel with a data-dependent branch.
+func loopProgram(t *testing.T) *trace.Trace {
+	src := `
+	.data
+	out: .word 0
+	.text
+	    li   r1, 0      ; sum
+	    li   r2, 1      ; i
+	    li   r3, 300    ; n
+	loop:
+	    add  r1, r1, r2
+	    andi r4, r2, 7
+	    bnez r4, skip
+	    sub  r1, r1, r2
+	skip:
+	    addi r2, r2, 1
+	    bge  r3, r2, loop
+	    la   r5, out
+	    sd   r1, 0(r5)
+	    halt
+	`
+	return traceOf(t, asm.MustAssemble("loop", src))
+}
+
+// fpProgram exercises the FP register file with long latency chains.
+func fpProgram(t *testing.T) *trace.Trace {
+	src := `
+	.data
+	a: .double 1.1, 2.2, 3.3, 4.4, 5.5, 6.6, 7.7, 8.8
+	s: .double 0.0
+	.text
+	    la   r1, a
+	    li   r2, 40       ; iterations
+	    li   r3, 0
+	    la   r9, s
+	    fld  f1, 0(r9)
+	outer:
+	    andi r4, r3, 63
+	    sllv r5, r4, r0
+	    add  r6, r1, r5
+	    fld  f2, 0(r6)
+	    fld  f3, 8(r6)
+	    fmul f4, f2, f3
+	    fadd f5, f2, f3
+	    fdiv f6, f4, f5
+	    fadd f1, f1, f6
+	    fsub f7, f4, f5
+	    fmul f8, f7, f7
+	    fadd f1, f1, f8
+	    addi r3, r3, 1
+	    blt  r3, r2, outer
+	    fsd  f1, 0(r9)
+	    halt
+	`
+	return traceOf(t, asm.MustAssemble("fp", src))
+}
+
+// callProgram exercises JAL/JALR (RAS) and recursion.
+func callProgram(t *testing.T) *trace.Trace {
+	src := `
+	    li  r4, 9
+	    call fib
+	    halt
+	fib:
+	    slti r5, r4, 2
+	    beqz r5, rec
+	    mov  r2, r4
+	    ret
+	rec:
+	    addi sp, sp, -24
+	    sd   ra, 0(sp)
+	    sd   r4, 8(sp)
+	    addi r4, r4, -1
+	    call fib
+	    ld   r4, 8(sp)
+	    sd   r2, 16(sp)
+	    addi r4, r4, -2
+	    call fib
+	    ld   r6, 16(sp)
+	    add  r2, r2, r6
+	    ld   ra, 0(sp)
+	    addi sp, sp, 24
+	    ret
+	`
+	return traceOf(t, asm.MustAssemble("fib", src))
+}
+
+func policies() []release.Kind {
+	return []release.Kind{release.Conventional, release.Basic, release.Extended}
+}
+
+func TestPipelineCommitsFullTrace(t *testing.T) {
+	traces := map[string]*trace.Trace{
+		"loop": loopProgram(t),
+		"fp":   fpProgram(t),
+		"fib":  callProgram(t),
+	}
+	for name, tr := range traces {
+		for _, k := range policies() {
+			res := simulate(t, tr, k, 48, 48)
+			if res.Committed != uint64(tr.Len()) {
+				t.Errorf("%s/%v: committed %d, want %d", name, k, res.Committed, tr.Len())
+			}
+			if res.IPC <= 0 || res.IPC > 8 {
+				t.Errorf("%s/%v: implausible IPC %.2f", name, k, res.IPC)
+			}
+		}
+	}
+}
+
+func TestPoliciesPreserveTiming(t *testing.T) {
+	// Early release must never hurt: with tight register files the basic
+	// and extended policies should not be slower than conventional
+	// (modulo nothing: the policies only add release opportunities).
+	tr := fpProgram(t)
+	conv := simulate(t, tr, release.Conventional, 40, 40)
+	basic := simulate(t, tr, release.Basic, 40, 40)
+	ext := simulate(t, tr, release.Extended, 40, 40)
+	if basic.Cycles > conv.Cycles {
+		t.Errorf("basic slower than conventional: %d > %d cycles", basic.Cycles, conv.Cycles)
+	}
+	if ext.Cycles > conv.Cycles {
+		t.Errorf("extended slower than conventional: %d > %d cycles", ext.Cycles, conv.Cycles)
+	}
+}
+
+func TestRegisterPressureRelief(t *testing.T) {
+	// The early policies must measurably reduce register-pressure stalls
+	// on a high-pressure FP kernel with a tight file.
+	tr := fpProgram(t)
+	conv := simulate(t, tr, release.Conventional, 48, 40)
+	ext := simulate(t, tr, release.Extended, 48, 40)
+	if ext.Stalls.NoPhysReg > conv.Stalls.NoPhysReg {
+		t.Errorf("extended has more register stalls (%d) than conventional (%d)",
+			ext.Stalls.NoPhysReg, conv.Stalls.NoPhysReg)
+	}
+	if conv.Release.Frees[release.FreeEarlyCommit] != 0 {
+		t.Error("conventional policy performed early releases")
+	}
+	early := ext.Release.Frees[release.FreeEarlyCommit] +
+		ext.Release.Frees[release.FreeEarlyConfirm] +
+		ext.Release.Frees[release.FreeImmediate] +
+		ext.Release.Frees[release.FreeReuse]
+	if early == 0 {
+		t.Error("extended policy never released early")
+	}
+}
+
+func TestIdleStateAccounting(t *testing.T) {
+	// Conventional renaming must show a substantial Idle component
+	// (Fig 3); the extended policy should shrink it.
+	tr := fpProgram(t)
+	conv := simulate(t, tr, release.Conventional, 96, 96)
+	ext := simulate(t, tr, release.Extended, 96, 96)
+	if conv.FPBreakdown.Idle <= 0 {
+		t.Fatalf("conventional shows no idle FP registers: %+v", conv.FPBreakdown)
+	}
+	if ext.FPBreakdown.Idle >= conv.FPBreakdown.Idle {
+		t.Errorf("extended idle (%.2f) not below conventional (%.2f)",
+			ext.FPBreakdown.Idle, conv.FPBreakdown.Idle)
+	}
+}
+
+func TestLooseFileEquivalence(t *testing.T) {
+	// With a loose register file (P >= L + N) there are no register
+	// stalls, so all policies should produce identical cycle counts.
+	tr := loopProgram(t)
+	loose := isa.NumLogical + 128
+	conv := simulate(t, tr, release.Conventional, loose, loose)
+	ext := simulate(t, tr, release.Extended, loose, loose)
+	if conv.Stalls.NoPhysReg != 0 {
+		t.Errorf("loose file still stalled on registers (%d)", conv.Stalls.NoPhysReg)
+	}
+	if conv.Cycles != ext.Cycles {
+		t.Errorf("loose-file cycle counts differ: conv=%d ext=%d", conv.Cycles, ext.Cycles)
+	}
+}
+
+func TestExceptionRecovery(t *testing.T) {
+	// Inject exceptions at several points and verify the run still
+	// completes with the full committed count and no §4.3 violations
+	// under every policy.
+	tr := fpProgram(t)
+	for _, k := range policies() {
+		cfg := DefaultConfig(k, 44, 44)
+		cfg.Check = true
+		cfg.FaultAt = []int{10, 100, tr.Len() / 2}
+		core, err := New(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if res.Exceptions != 3 {
+			t.Errorf("%v: exceptions = %d, want 3", k, res.Exceptions)
+		}
+		if res.Committed != uint64(tr.Len()) {
+			t.Errorf("%v: committed %d, want %d", k, res.Committed, tr.Len())
+		}
+	}
+}
+
+func TestMispredictionsRecover(t *testing.T) {
+	// The branchy fib program must produce mispredictions (cold
+	// predictor) and still commit the exact trace under every policy.
+	tr := callProgram(t)
+	for _, k := range policies() {
+		res := simulate(t, tr, k, 40, 40)
+		if res.Mispredicts == 0 {
+			t.Errorf("%v: no mispredictions on a branchy workload", k)
+		}
+		if res.Committed != uint64(tr.Len()) {
+			t.Errorf("%v: committed %d, want %d", k, res.Committed, tr.Len())
+		}
+	}
+}
+
+func TestWrongPathActivity(t *testing.T) {
+	tr := loopProgram(t)
+	res := simulate(t, tr, release.Extended, 48, 48)
+	if res.Mispredicts > 0 && res.WrongPathUops == 0 {
+		t.Error("mispredictions occurred but no wrong-path uops were fetched")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	tr := fpProgram(t)
+	a := simulate(t, tr, release.Extended, 44, 44)
+	b := simulate(t, tr, release.Extended, 44, 44)
+	if a.Cycles != b.Cycles || a.Committed != b.Committed {
+		t.Errorf("nondeterministic simulation: %d/%d vs %d/%d cycles/committed",
+			a.Cycles, a.Committed, b.Cycles, b.Committed)
+	}
+}
+
+func TestEagerAblationRuns(t *testing.T) {
+	tr := fpProgram(t)
+	cfg := DefaultConfig(release.Basic, 40, 40)
+	cfg.Policy.Eager = true
+	cfg.Check = true
+	core, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed != uint64(tr.Len()) {
+		t.Errorf("eager: committed %d, want %d", res.Committed, tr.Len())
+	}
+	if res.Release.Frees[release.FreeEager] == 0 {
+		t.Error("eager mode performed no eager releases")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig(release.Basic, 48, 48)
+	cfg.ROSSize = 0
+	if _, err := New(cfg, loopProgram(t)); err == nil {
+		t.Error("invalid config accepted")
+	}
+	cfg = DefaultConfig(release.Basic, 16, 48)
+	if _, err := New(cfg, loopProgram(t)); err == nil {
+		t.Error("tiny register file accepted")
+	}
+}

@@ -1,0 +1,564 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"earlyrelease/internal/bpred"
+	"earlyrelease/internal/isa"
+	"earlyrelease/internal/program"
+	"earlyrelease/internal/release"
+)
+
+// --- fetch ----------------------------------------------------------------
+
+// fetchStage fills the fetch queue along the predicted path: from the
+// trace while predictions agree with the recorded outcomes, from the
+// static program image once a prediction diverges (wrong-path mode).
+func (c *Core) fetchStage() {
+	if c.cycle < c.fetchStallTil || c.haltFetched {
+		return
+	}
+	taken := 0
+	for n := 0; n < c.cfg.FetchWidth && len(c.fq) < c.cfg.FetchQueue; n++ {
+		var pc uint64
+		if c.wrongPath {
+			pc = c.wrongPC
+		} else {
+			if c.cursor >= c.tr.Len() {
+				return
+			}
+			pc = c.tr.At(c.cursor).PC
+		}
+		// Instruction cache: pay the miss latency when a new line is
+		// touched.
+		line := pc / uint64(c.mem.LineBytesI())
+		if line != c.lastFetchLine {
+			c.lastFetchLine = line
+			if lat := c.mem.FetchLat(pc); lat > 1 {
+				c.fetchStallTil = c.cycle + int64(lat)
+				return
+			}
+		}
+		var item fetchItem
+		if c.wrongPath {
+			item = c.fetchWrongPath(pc)
+			c.wrongUops++
+		} else {
+			item = c.fetchOnTrace()
+		}
+		item.readyAt = c.cycle + int64(c.cfg.FrontEndDepth)
+		c.fq = append(c.fq, item)
+		if item.inst.IsHalt() {
+			if item.wrongPath {
+				// Wrong path ran into HALT/end of text: stall until the
+				// mispredicted branch resolves.
+				c.fq = c.fq[:len(c.fq)-1]
+				c.wrongUops--
+			}
+			c.haltFetched = true
+			return
+		}
+		if item.predTaken {
+			taken++
+			if taken >= c.cfg.MaxTakenPerCycle {
+				return
+			}
+		}
+	}
+}
+
+// fetchOnTrace fetches the next correct-path instruction, runs the
+// predictors, and switches to wrong-path mode if a prediction diverges
+// from the recorded execution.
+func (c *Core) fetchOnTrace() fetchItem {
+	e := c.tr.At(c.cursor)
+	in := e.Inst
+	item := fetchItem{
+		inst:     in,
+		pc:       e.PC,
+		traceIdx: c.cursor,
+		actTaken: e.Taken,
+		actNext:  e.NextPC,
+	}
+	c.cursor++
+	switch {
+	case in.IsBranch():
+		item.snap = c.bp.Snap()
+		item.predTaken = c.bp.Predict(e.PC)
+		if item.predTaken == e.Taken {
+			item.predNext = e.NextPC
+		} else {
+			item.mispredict = true
+			if item.predTaken {
+				item.predNext = takenTarget(e.PC, in)
+			} else {
+				item.predNext = e.PC + isa.InstBytes
+			}
+			c.wrongPath = true
+			c.wrongPC = item.predNext
+		}
+	case in.Op == isa.JAL:
+		// Direct target: computed by the front end, never mispredicted.
+		item.predTaken = true
+		item.predNext = e.NextPC
+		if bpred.IsCall(in) {
+			c.bp.OnCall(e.PC + isa.InstBytes)
+		}
+	case in.IsIndirect():
+		item.snap = c.bp.Snap()
+		tgt, ok := c.bp.PredictTarget(in, e.PC)
+		if !ok {
+			tgt = e.PC + isa.InstBytes
+		}
+		item.predTaken = true
+		item.predNext = tgt
+		if bpred.IsCall(in) {
+			c.bp.OnCall(e.PC + isa.InstBytes)
+		}
+		if tgt != e.NextPC {
+			item.mispredict = true
+			c.wrongPath = true
+			c.wrongPC = tgt
+		}
+	default:
+		item.predNext = e.PC + isa.InstBytes
+	}
+	return item
+}
+
+// fetchWrongPath synthesizes a wrong-path instruction from the static
+// program image. Its "actual" outcome is defined as the predicted one:
+// wrong-path branches confirm rather than recover.
+func (c *Core) fetchWrongPath(pc uint64) fetchItem {
+	in, _ := c.tr.Prog.FetchAt(pc)
+	item := fetchItem{
+		inst:      in,
+		pc:        pc,
+		traceIdx:  -1,
+		wrongPath: true,
+	}
+	next := pc + isa.InstBytes
+	switch {
+	case in.IsBranch():
+		item.snap = c.bp.Snap()
+		item.predTaken = c.bp.Predict(pc)
+		if item.predTaken {
+			next = takenTarget(pc, in)
+		}
+	case in.Op == isa.JAL:
+		item.predTaken = true
+		next = jalTarget(pc, in)
+		if bpred.IsCall(in) {
+			c.bp.OnCall(pc + isa.InstBytes)
+		}
+	case in.IsIndirect():
+		item.snap = c.bp.Snap()
+		if tgt, ok := c.bp.PredictTarget(in, pc); ok {
+			next = tgt
+		}
+		item.predTaken = true
+		if bpred.IsCall(in) {
+			c.bp.OnCall(pc + isa.InstBytes)
+		}
+	}
+	item.predNext = next
+	item.actTaken = item.predTaken
+	item.actNext = next
+	c.wrongPC = next
+	return item
+}
+
+func takenTarget(pc uint64, in isa.Inst) uint64 {
+	return pc + isa.InstBytes + uint64(in.Imm)*isa.InstBytes
+}
+
+func jalTarget(pc uint64, in isa.Inst) uint64 {
+	return pc + isa.InstBytes + uint64(in.Imm)*isa.InstBytes
+}
+
+// --- rename / dispatch ------------------------------------------------------
+
+// renameStage moves instructions from the fetch queue into the reorder
+// structure, allocating registers, LSQ entries and branch checkpoints.
+func (c *Core) renameStage() {
+	for n := 0; n < c.cfg.DecodeWidth; n++ {
+		if len(c.fq) == 0 {
+			if n == 0 {
+				c.stalls.FetchDry++
+			}
+			return
+		}
+		item := &c.fq[0]
+		if item.readyAt > c.cycle {
+			if n == 0 {
+				c.stalls.FetchDry++
+			}
+			return
+		}
+		in := item.inst
+		if c.count >= c.cfg.ROSSize {
+			if n == 0 {
+				c.stalls.ROSFull++
+			}
+			return
+		}
+		if in.IsMem() && len(c.lsq) >= c.cfg.LSQSize {
+			if n == 0 {
+				c.stalls.LSQFull++
+			}
+			return
+		}
+		needsChk := in.IsBranch() || in.IsIndirect()
+		if needsChk && !c.engine.CanCheckpoint() {
+			if n == 0 {
+				c.stalls.Branches++
+			}
+			return
+		}
+		needInt, needFP := 0, 0
+		if in.HasDst() {
+			if in.DstClass() == isa.ClassInt {
+				needInt = 1
+			} else {
+				needFP = 1
+			}
+		}
+		if !c.engine.CanRename(needInt, needFP) {
+			if n == 0 {
+				c.stalls.NoPhysReg++
+			}
+			return
+		}
+
+		// Allocate the reorder-structure entry.
+		seq := c.nextSeq
+		c.nextSeq++
+		u := c.at(c.head + c.count)
+		c.count++
+		*u = uop{
+			Slot: release.Slot{
+				Seq:       seq,
+				WrongPath: item.wrongPath,
+			},
+			inst:      in,
+			pc:        item.pc,
+			traceIdx:  item.traceIdx,
+			isCtrl:    in.IsCtrl(),
+			predTaken: item.predTaken,
+			actTaken:  item.actTaken,
+			predNext:  item.predNext,
+			actNext:   item.actNext,
+			snap:      item.snap,
+		}
+		if item.traceIdx >= 0 && in.IsMem() {
+			u.effAddr = c.tr.At(item.traceIdx).EffAddr
+		} else if in.IsMem() {
+			// Wrong-path memory op: synthesize a deterministic address.
+			u.effAddr = program.DataBase + (item.pc*2654435761)%(1<<16)
+		}
+		// Operand classes for the release engine.
+		u.SrcClass = [2]isa.RegClass{in.Src1Class(), in.Src2Class()}
+		u.SrcLog = [2]isa.Reg{in.Rs1, in.Rs2}
+		if in.HasDst() {
+			u.DstClass = in.DstClass()
+			u.DstLog = in.Rd
+		} else {
+			u.DstClass = isa.ClassNone
+		}
+
+		c.seqMap[seq] = u
+		c.engine.Rename(&u.Slot)
+
+		// Scoreboard and instrumentation.
+		for i := 0; i < 2; i++ {
+			if u.SrcClass[i] != isa.ClassNone {
+				if c.checker != nil {
+					c.checker.OnRenameRead(u.SrcClass[i], u.SrcPhys[i])
+					u.srcVer[i] = c.checker.Version(u.SrcClass[i], u.SrcPhys[i])
+				}
+			}
+		}
+		if u.HasDst() {
+			c.readyAt[ci(u.DstClass)][u.DstPhys] = farFuture
+			if c.tracker[0] != nil {
+				c.tracker[ci(u.DstClass)].Alloc(u.DstPhys, c.cycle)
+			}
+			if c.checker != nil {
+				c.checker.OnAlloc(u.DstClass, u.DstPhys)
+			}
+		}
+		if in.IsMem() {
+			c.lsq = append(c.lsq, lsqEntry{
+				seq:       seq,
+				isStore:   in.IsStore(),
+				wrongPath: item.wrongPath,
+				addr:      u.effAddr,
+			})
+		}
+		if needsChk {
+			if !c.engine.PushBranch(seq) {
+				panic("pipeline: checkpoint stack full despite CanCheckpoint")
+			}
+			u.checkpointed = true
+		}
+		if c.tracer != nil {
+			c.tracer.event(c.cycle, "rename", u, "")
+		}
+		c.fq = c.fq[1:]
+	}
+}
+
+// --- issue ------------------------------------------------------------------
+
+// issueStage selects ready instructions oldest-first, bounded by issue
+// width and functional-unit availability.
+func (c *Core) issueStage() {
+	issued := 0
+	var fuUsed [isa.NumFUKinds]int
+	for i := 0; i < c.count && issued < c.cfg.IssueWidth; i++ {
+		u := c.at(c.head + i)
+		if u.issued {
+			continue
+		}
+		if !c.operandsReady(u) {
+			continue
+		}
+		fu := u.inst.FU()
+		if fuUsed[fu] >= c.cfg.FUCount[fu] {
+			continue
+		}
+		if u.inst.IsLoad() && !u.WrongPath && !c.loadMayIssue(u) {
+			continue
+		}
+		fuUsed[fu]++
+		issued++
+		u.issued = true
+		u.completeCycle = c.cycle + int64(c.execLatency(u))
+		if c.tracer != nil {
+			c.tracer.event(c.cycle, "issue", u, fmt.Sprintf(" lat=%d", u.completeCycle-c.cycle))
+		}
+		if u.inst.IsMem() {
+			c.markLSQIssued(u.Seq)
+		}
+		if c.checker != nil {
+			for s := 0; s < 2; s++ {
+				if u.SrcClass[s] != isa.ClassNone {
+					c.checker.OnOperandRead(u.SrcClass[s], u.SrcPhys[s], u.srcVer[s])
+					c.checker.OnReadDone(u.SrcClass[s], u.SrcPhys[s])
+				}
+			}
+		}
+	}
+}
+
+func (c *Core) operandsReady(u *uop) bool {
+	// Stores issue as address computations: only the base register
+	// (src1) gates issue. The data register is architecturally older
+	// than the store and therefore complete by the time the store
+	// commits and writes memory.
+	nsrc := 2
+	if u.inst.IsStore() {
+		nsrc = 1
+	}
+	for i := 0; i < nsrc; i++ {
+		if u.SrcClass[i] == isa.ClassNone {
+			continue
+		}
+		if c.readyAt[ci(u.SrcClass[i])][u.SrcPhys[i]] > c.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// loadMayIssue enforces Table 2's memory ordering: a load issues only
+// when every older store's address is known. A matching older store
+// forwards (the load then takes a 1-cycle latency).
+func (c *Core) loadMayIssue(u *uop) bool {
+	for i := range c.lsq {
+		e := &c.lsq[i]
+		if e.seq >= u.Seq {
+			break
+		}
+		if e.isStore && !e.wrongPath && !e.addrReady {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardedFromStore reports whether an older store to the same word
+// supplies the load's value.
+func (c *Core) forwardedFromStore(u *uop) bool {
+	word := u.effAddr &^ 7
+	hit := false
+	for i := range c.lsq {
+		e := &c.lsq[i]
+		if e.seq >= u.Seq {
+			break
+		}
+		if e.isStore && !e.wrongPath && e.addr&^7 == word {
+			hit = true // youngest older store wins; keep scanning
+		}
+	}
+	return hit
+}
+
+func (c *Core) markLSQIssued(seq uint64) {
+	for i := range c.lsq {
+		if c.lsq[i].seq == seq {
+			c.lsq[i].addrReady = true
+			return
+		}
+	}
+}
+
+// execLatency returns the operation's total execution latency, including
+// cache access for loads.
+func (c *Core) execLatency(u *uop) int {
+	if u.inst.IsLoad() {
+		if u.WrongPath {
+			return 1 // wrong-path loads do not probe the cache (documented)
+		}
+		if c.forwardedFromStore(u) {
+			return 1
+		}
+		return c.mem.LoadLat(u.effAddr)
+	}
+	if u.inst.IsStore() {
+		return 1 // address/data capture; memory written at commit
+	}
+	return c.cfg.FULat[u.inst.FU()]
+}
+
+// --- writeback / branch resolution -------------------------------------------
+
+// writebackStage completes executed instructions, wakes dependents and
+// resolves control flow. At most one misprediction (the oldest) recovers
+// per cycle.
+func (c *Core) writebackStage() {
+	var recoverIdx = -1
+	for i := 0; i < c.count; i++ {
+		u := c.at(c.head + i)
+		if !u.issued || u.completed || u.completeCycle > c.cycle {
+			continue
+		}
+		u.completed = true
+		if c.tracer != nil {
+			c.tracer.event(c.cycle, "writeback", u, "")
+		}
+		c.engine.Executed(&u.Slot)
+		if u.HasDst() {
+			c.readyAt[ci(u.DstClass)][u.DstPhys] = c.cycle
+			if c.tracker[0] != nil {
+				c.tracker[ci(u.DstClass)].Write(u.DstPhys, c.cycle)
+			}
+		}
+		if u.isCtrl && !u.resolved {
+			if c.resolveCtrl(u) && recoverIdx < 0 {
+				recoverIdx = i
+			}
+		}
+	}
+	if recoverIdx >= 0 {
+		c.recover(c.at(c.head + recoverIdx))
+	}
+}
+
+// resolveCtrl resolves one control instruction; it returns true when the
+// instruction mispredicted and needs recovery.
+func (c *Core) resolveCtrl(u *uop) bool {
+	u.resolved = true
+	in := u.inst
+	if u.WrongPath {
+		// Wrong-path control confirms as predicted; it cannot trigger
+		// recovery (its true outcome is unknowable) but must release its
+		// checkpoint so the stack drains.
+		if u.checkpointed {
+			c.engine.ConfirmBranch(u.Seq)
+			u.checkpointed = false
+		}
+		return false
+	}
+	if in.IsBranch() {
+		c.bp.Resolve(u.pc, u.snap, u.actTaken)
+	}
+	if in.IsIndirect() {
+		c.bp.ResolveTarget(u.pc, u.actNext, u.predNext != u.actNext)
+	}
+	if u.predNext == u.actNext && u.predTaken == u.actTaken {
+		if u.checkpointed {
+			c.engine.ConfirmBranch(u.Seq)
+			u.checkpointed = false
+		}
+		return false
+	}
+	u.mispredicted = true
+	return true
+}
+
+// recover squashes everything younger than the mispredicted control
+// instruction, restores the rename/predictor state and redirects fetch.
+func (c *Core) recover(br *uop) {
+	// Locate br's position from the tail.
+	pos := -1
+	for i := 0; i < c.count; i++ {
+		if c.at(c.head+i).Seq == br.Seq {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		panic("pipeline: recovering branch not in window")
+	}
+	// Squash young -> old.
+	for i := c.count - 1; i > pos; i-- {
+		u := c.at(c.head + i)
+		if u.checkpointed {
+			// The engine drops younger checkpoints during
+			// MispredictBranch; nothing to do here.
+			u.checkpointed = false
+		}
+		if c.checker != nil && !u.issued {
+			for s := 0; s < 2; s++ {
+				if u.SrcClass[s] != isa.ClassNone {
+					c.checker.OnReadDone(u.SrcClass[s], u.SrcPhys[s])
+				}
+			}
+		}
+		c.engine.SquashSlot(&u.Slot)
+		delete(c.seqMap, u.Seq)
+	}
+	c.count = pos + 1
+	// Trim the LSQ to entries at or older than the branch.
+	cut := len(c.lsq)
+	for i, e := range c.lsq {
+		if e.seq > br.Seq {
+			cut = i
+			break
+		}
+	}
+	c.lsq = c.lsq[:cut]
+	c.fq = c.fq[:0]
+
+	if br.checkpointed {
+		c.engine.MispredictBranch(br.Seq)
+		br.checkpointed = false
+	}
+	// Predictor recovery.
+	if br.inst.IsBranch() {
+		c.bp.Recover(br.snap, br.actTaken)
+	} else if br.inst.IsIndirect() {
+		c.bp.RecoverIndirect(br.inst, br.snap)
+	}
+	if c.tracer != nil {
+		c.tracer.note(c.cycle, fmt.Sprintf("RECOVER    seq=%d pc=%#06x squashed=%d",
+			br.Seq, br.pc, 0))
+	}
+	// Redirect fetch to the correct path.
+	c.wrongPath = false
+	c.haltFetched = false
+	c.cursor = br.traceIdx + 1
+	c.fetchStallTil = c.cycle + 1
+	c.lastFetchLine = 0
+}

@@ -1,0 +1,114 @@
+// Package power models register-file access time and energy per access
+// as functions of the number of registers, ports and word bits, in the
+// style of Rixner et al. (HPCA-6) for a 0.18 µm technology — the model
+// the paper uses for Fig 9 and the §4.4 energy-balance argument.
+//
+// We do not have the original model's transistor-level parameters, so
+// this is an analytic RC-style surrogate calibrated to the anchor values
+// the paper quotes:
+//
+//   - LUs Table (32 entries, 56 ports, 9-bit words): 0.98 ns, 193.2 pJ;
+//   - the LUs Table delay is ~26% below the smallest (40-entry) integer
+//     file, and its energy ~20% of the least demanding file;
+//   - Econv(RF64int+RF79fp) = 3850 pJ ≈ Eearly(RF56int+RF72fp+2 LUsT).
+//
+// Access time grows with port count times the square root of the array
+// area (word-line plus bit-line wire delay with repeaters); energy grows
+// linearly in registers with a per-port static component. Both shapes
+// match Fig 9 qualitatively across the 40-160 register range.
+package power
+
+import "math"
+
+// Port and word-size constants for the aggressive 8-way processor of §4.4
+// (Tint = 44, Tfp = 50).
+const (
+	IntPorts = 44
+	FPPorts  = 50
+	WordBits = 64
+
+	// LUs Table geometry from §4.4: one entry per logical register, 32
+	// read + 24 write ports for an 8-way machine, 9-bit words.
+	LUsTableEntries = 32
+	LUsTablePorts   = 56
+	LUsTableBits    = 9
+)
+
+// Calibrated model coefficients (see package comment).
+const (
+	timeBase          = 0.7268   // ns, sense/decode fixed cost
+	timeWire          = 2.664e-4 // ns per port per sqrt(bit-cell)
+	energyPerPortBase = 0.979    // pJ per port, static/decode
+	energyPerCell     = 0.0086   // pJ per register per bit per port
+)
+
+// AccessTimeNs returns the modeled access time in nanoseconds of a
+// register file with the given geometry.
+func AccessTimeNs(regs, ports, bits int) float64 {
+	return timeBase + timeWire*float64(ports)*math.Sqrt(float64(regs*bits))
+}
+
+// EnergyPJ returns the modeled energy per access in picojoules.
+func EnergyPJ(regs, ports, bits int) float64 {
+	return energyPerPortBase*float64(ports) +
+		energyPerCell*float64(regs*bits*ports)
+}
+
+// IntFile returns access time (ns) and energy (pJ) for an integer file
+// of the given size with the paper's port count.
+func IntFile(regs int) (ns, pj float64) {
+	return AccessTimeNs(regs, IntPorts, WordBits), EnergyPJ(regs, IntPorts, WordBits)
+}
+
+// FPFile returns access time and energy for an FP file of the given size.
+func FPFile(regs int) (ns, pj float64) {
+	return AccessTimeNs(regs, FPPorts, WordBits), EnergyPJ(regs, FPPorts, WordBits)
+}
+
+// LUsTable returns the modeled access time and energy of the Last-Uses
+// Table itself (the overhead structure added by the mechanisms).
+func LUsTable() (ns, pj float64) {
+	return AccessTimeNs(LUsTableEntries, LUsTablePorts, LUsTableBits),
+		EnergyPJ(LUsTableEntries, LUsTablePorts, LUsTableBits)
+}
+
+// EnergyBalance computes the §4.4 comparison: the conventional
+// configuration's register-file energy versus an early-release
+// configuration with smaller files plus two LUs Tables.
+func EnergyBalance(convInt, convFP, earlyInt, earlyFP int) (econv, eearly float64) {
+	_, ei := IntFile(convInt)
+	_, ef := FPFile(convFP)
+	econv = ei + ef
+	_, ei2 := IntFile(earlyInt)
+	_, ef2 := FPFile(earlyFP)
+	_, lus := LUsTable()
+	eearly = ei2 + ef2 + 2*lus
+	return econv, eearly
+}
+
+// StorageBytes estimates the storage the extended mechanism adds for a
+// machine with the given reorder-structure size, number of pending
+// branches and physical registers (the §4.4 Alpha 21264 example:
+// ~1.22 KB + ~128 B of LUs Tables).
+func StorageBytes(rosSize, pendingBranches, physRegs, physIDBits int) (relQueBytes, lusTableBytes int) {
+	// Each RelQue level: a RwNS bit vector (one bit per physical
+	// register) and a RwC 3-bit array over the ROS.
+	perLevel := physRegs + 3*rosSize
+	rwc0 := 3 * rosSize
+	prid := 3 * rosSize * physIDBits // p1/p2/pd identifiers in the ROS
+	bits := pendingBranches*perLevel + rwc0 + prid
+	relQueBytes = (bits + 7) / 8
+	// Two LUs Tables (int + FP): 32 entries x (ROSid + kind + C).
+	rosIDBits := bitsFor(rosSize)
+	entry := rosIDBits + 2 + 1
+	lusTableBytes = 2 * (32*entry + 7) / 8
+	return relQueBytes, lusTableBytes
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUsTableAnchors(t *testing.T) {
+	ns, pj := LUsTable()
+	if math.Abs(ns-0.98) > 0.02 {
+		t.Errorf("LUs Table access time %.3f ns, paper anchor 0.98", ns)
+	}
+	if math.Abs(pj-193.2) > 5 {
+		t.Errorf("LUs Table energy %.1f pJ, paper anchor 193.2", pj)
+	}
+}
+
+func TestLUsTableFasterThanSmallestIntFile(t *testing.T) {
+	// §4.4: the LUs Table delay is ~26% below the 40-entry integer file.
+	lns, lpj := LUsTable()
+	ins, ipj := IntFile(40)
+	rel := 1 - lns/ins
+	if rel < 0.2 || rel > 0.32 {
+		t.Errorf("LUs Table is %.0f%% faster than int-40, paper ~26%%", 100*rel)
+	}
+	// Energy ~20% of the least demanding file.
+	frac := lpj / ipj
+	if frac < 0.12 || frac > 0.28 {
+		t.Errorf("LUs Table energy is %.0f%% of int-40, paper ~20%%", 100*frac)
+	}
+}
+
+func TestEnergyBalanceNeutral(t *testing.T) {
+	// §4.4: Econv(64+79) = 3850 pJ vs Eearly(56+72+2 LUsT) = 3851 pJ.
+	econv, eearly := EnergyBalance(64, 79, 56, 72)
+	if math.Abs(econv-3850) > 100 {
+		t.Errorf("Econv = %.0f, paper 3850", econv)
+	}
+	if math.Abs(eearly-econv) > 40 {
+		t.Errorf("balance not neutral: conv %.0f vs early %.0f", econv, eearly)
+	}
+}
+
+func TestMonotonicInRegisters(t *testing.T) {
+	f := func(seed uint8) bool {
+		r := 40 + int(seed)%100
+		t1, e1 := IntFile(r)
+		t2, e2 := IntFile(r + 8)
+		return t2 > t1 && e2 > e1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFPFileCostlierThanInt(t *testing.T) {
+	// More ports (50 vs 44) must cost more time and energy at equal size.
+	for _, r := range []int{40, 80, 160} {
+		ti, ei := IntFile(r)
+		tf, ef := FPFile(r)
+		if tf <= ti || ef <= ei {
+			t.Errorf("FP file not costlier at %d regs: %f/%f vs %f/%f", r, tf, ef, ti, ei)
+		}
+	}
+}
+
+func TestFig9Range(t *testing.T) {
+	// The access-time curve must span roughly the paper's 1.3-2.0 ns
+	// range over 40-160 registers.
+	t40, _ := IntFile(40)
+	t160, _ := IntFile(160)
+	if t40 < 1.1 || t40 > 1.5 {
+		t.Errorf("int-40 access time %.2f ns out of Fig 9 range", t40)
+	}
+	if t160 < 1.7 || t160 > 2.1 {
+		t.Errorf("int-160 access time %.2f ns out of Fig 9 range", t160)
+	}
+	_, e160 := FPFile(160)
+	if e160 < 3500 || e160 > 5200 {
+		t.Errorf("fp-160 energy %.0f pJ out of Fig 9 range", e160)
+	}
+}
+
+func TestStorageBytes(t *testing.T) {
+	// §4.4 Alpha 21264 example: about 1.22 KB + ~128 B.
+	relq, lus := StorageBytes(80, 20, 152, 8)
+	if relq < 1000 || relq > 1600 {
+		t.Errorf("RelQue storage %d B, paper ~1.22 KB", relq)
+	}
+	if lus < 64 || lus > 192 {
+		t.Errorf("LUs Tables storage %d B, paper ~128 B", lus)
+	}
+}

@@ -1,0 +1,111 @@
+// Package program defines the executable program container shared by the
+// assembler, the code-generating builder, the functional emulator and the
+// timing pipeline, together with a structured code builder used to write
+// the SPEC95-like workload kernels programmatically.
+package program
+
+import (
+	"fmt"
+
+	"earlyrelease/internal/isa"
+)
+
+// Memory layout constants. The text segment starts at TextBase; data at
+// DataBase. Both are software conventions of this toolchain.
+const (
+	TextBase  uint64 = 0x0000_1000
+	DataBase  uint64 = 0x0010_0000
+	StackBase uint64 = 0x0800_0000 // initial stack pointer (grows down)
+)
+
+// Program is a fully linked executable: a text segment of decoded
+// instructions plus initial data contents.
+type Program struct {
+	Name   string
+	Insts  []isa.Inst        // text segment, Insts[i] at address TextBase + 4*i
+	Data   []byte            // initial data segment contents at DataBase
+	Labels map[string]uint64 // optional: label name -> address (text or data)
+}
+
+// Entry returns the address of the first instruction.
+func (p *Program) Entry() uint64 { return TextBase }
+
+// PCToIndex converts an instruction address to an index into Insts.
+// ok is false when the address is outside the text segment or unaligned.
+func (p *Program) PCToIndex(pc uint64) (int, bool) {
+	if pc < TextBase || (pc-TextBase)%isa.InstBytes != 0 {
+		return 0, false
+	}
+	idx := int((pc - TextBase) / isa.InstBytes)
+	if idx >= len(p.Insts) {
+		return 0, false
+	}
+	return idx, true
+}
+
+// IndexToPC converts an instruction index to its address.
+func IndexToPC(idx int) uint64 { return TextBase + uint64(idx)*isa.InstBytes }
+
+// FetchAt returns the instruction at the given address. For addresses
+// outside the text segment it returns (HALT, false) so that a wrong-path
+// fetch off the end of the program is harmless.
+func (p *Program) FetchAt(pc uint64) (isa.Inst, bool) {
+	idx, ok := p.PCToIndex(pc)
+	if !ok {
+		return isa.Inst{Op: isa.HALT}, false
+	}
+	return p.Insts[idx], true
+}
+
+// Validate checks every instruction in the text segment.
+func (p *Program) Validate() error {
+	if len(p.Insts) == 0 {
+		return fmt.Errorf("program %q: empty text segment", p.Name)
+	}
+	for i, in := range p.Insts {
+		if !in.Valid() {
+			return fmt.Errorf("program %q: invalid instruction at index %d (%+v)", p.Name, i, in)
+		}
+		if in.IsBranch() || in.Op == isa.JAL {
+			tgt := i + 1 + int(in.Imm)
+			if tgt < 0 || tgt > len(p.Insts) {
+				return fmt.Errorf("program %q: control target out of range at index %d (%v)", p.Name, i, in)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the static composition of a program.
+type Stats struct {
+	Insts    int
+	Branches int
+	Jumps    int
+	Loads    int
+	Stores   int
+	IntOps   int
+	FPOps    int
+}
+
+// StaticStats computes the static instruction mix.
+func (p *Program) StaticStats() Stats {
+	var s Stats
+	s.Insts = len(p.Insts)
+	for _, in := range p.Insts {
+		switch {
+		case in.IsBranch():
+			s.Branches++
+		case in.IsJump():
+			s.Jumps++
+		case in.IsLoad():
+			s.Loads++
+		case in.IsStore():
+			s.Stores++
+		case in.DstClass() == isa.ClassFP || in.Src1Class() == isa.ClassFP:
+			s.FPOps++
+		default:
+			s.IntOps++
+		}
+	}
+	return s
+}

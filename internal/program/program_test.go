@@ -1,0 +1,117 @@
+package program
+
+import (
+	"testing"
+
+	"earlyrelease/internal/isa"
+)
+
+func TestBuilderLabelsAndBranches(t *testing.T) {
+	b := NewBuilder("t")
+	b.Li(1, 3)
+	b.Label("top")
+	b.Addi(1, 1, -1)
+	b.Bnez(1, "top")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The branch is the second-to-last instruction, targeting "top".
+	br := p.Insts[len(p.Insts)-2]
+	if !br.IsBranch() || br.Imm != -2 {
+		t.Errorf("branch = %+v, want offset -2", br)
+	}
+	if p.Labels["top"] != IndexToPC(1) {
+		t.Errorf("label addr = %#x", p.Labels["top"])
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := map[string]func(b *Builder){
+		"undefined label": func(b *Builder) { b.J("nowhere") },
+		"duplicate label": func(b *Builder) { b.Label("x"); b.Label("x") },
+		"imm range":       func(b *Builder) { b.Addi(1, 0, 1<<20) },
+		"dup data":        func(b *Builder) { b.Words("d", 1); b.Words("d", 2) },
+		"unknown data":    func(b *Builder) { b.La(1, "missing") },
+		"sd offset":       func(b *Builder) { b.Sd(1, 2, 1<<20) },
+	}
+	for name, f := range cases {
+		b := NewBuilder(name)
+		f(b)
+		b.Halt()
+		if _, err := b.Build(); err == nil {
+			t.Errorf("%s: builder accepted bad input", name)
+		}
+	}
+}
+
+func TestDataAllocationAlignment(t *testing.T) {
+	b := NewBuilder("d")
+	b.Bytes("raw", []byte{1, 2, 3})
+	addr := b.Words("w", 42)
+	if addr%8 != 0 {
+		t.Errorf("word data not aligned: %#x", addr)
+	}
+	b.Halt()
+	p := b.MustBuild()
+	off := addr - DataBase
+	if got := p.Data[off]; got != 42 {
+		t.Errorf("data[%d] = %d", off, got)
+	}
+}
+
+func TestPCConversions(t *testing.T) {
+	b := NewBuilder("pc")
+	b.Nop()
+	b.Nop()
+	b.Halt()
+	p := b.MustBuild()
+	for i := range p.Insts {
+		pc := IndexToPC(i)
+		j, ok := p.PCToIndex(pc)
+		if !ok || j != i {
+			t.Errorf("round trip %d -> %#x -> %d, %v", i, pc, j, ok)
+		}
+	}
+	if _, ok := p.PCToIndex(TextBase - 4); ok {
+		t.Error("address below text accepted")
+	}
+	if _, ok := p.PCToIndex(TextBase + 2); ok {
+		t.Error("unaligned address accepted")
+	}
+	if in, ok := p.FetchAt(TextBase + 4*100); ok || !in.IsHalt() {
+		t.Error("out-of-text fetch should return HALT, false")
+	}
+}
+
+func TestValidateCatchesBadTargets(t *testing.T) {
+	p := &Program{Name: "bad", Insts: []isa.Inst{
+		{Op: isa.BEQ, Imm: 100},
+		{Op: isa.HALT},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range branch target accepted")
+	}
+	empty := &Program{Name: "empty"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty program accepted")
+	}
+}
+
+func TestStaticStats(t *testing.T) {
+	b := NewBuilder("s")
+	b.Add(1, 2, 3)
+	b.Fadd(1, 2, 3)
+	b.Ld(1, 2, 0)
+	b.Sd(1, 2, 0)
+	b.Beq(1, 2, "end")
+	b.Call("end")
+	b.Label("end")
+	b.Halt()
+	p := b.MustBuild()
+	s := p.StaticStats()
+	if s.Branches != 1 || s.Jumps != 1 || s.Loads != 1 || s.Stores != 1 || s.FPOps != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,155 @@
+package regstate
+
+import (
+	"fmt"
+
+	"earlyrelease/internal/isa"
+	"earlyrelease/internal/rename"
+)
+
+// Checker verifies the safety invariants of early register release at
+// simulation time:
+//
+//  1. a physical register is never read (operand issue) after it has been
+//     released and re-allocated to a different version (version check);
+//  2. a released register has no in-flight readers;
+//  3. after an exception recovery, a logical register whose value was
+//     lost to early release (§4.3) is written before it is read on the
+//     correct path.
+//
+// The checker is independent of the release engine so that it catches
+// engine bugs rather than reproducing them.
+type Checker struct {
+	version  [2][]uint64 // bumped on every allocation
+	readers  [2][]int    // in-flight renamed readers per physical register
+	tainted  [2][isa.NumLogical]bool
+	Enabled  bool
+	Failures []string
+}
+
+// NewChecker builds a checker for the two register files.
+func NewChecker(intRegs, fpRegs int) *Checker {
+	c := &Checker{Enabled: true}
+	c.version[0] = make([]uint64, intRegs)
+	c.version[1] = make([]uint64, fpRegs)
+	c.readers[0] = make([]int, intRegs)
+	c.readers[1] = make([]int, fpRegs)
+	return c
+}
+
+func cidx(class isa.RegClass) int {
+	if class == isa.ClassFP {
+		return 1
+	}
+	return 0
+}
+
+func (c *Checker) fail(format string, args ...any) {
+	c.Failures = append(c.Failures, fmt.Sprintf(format, args...))
+}
+
+// Version returns the current allocation version of a register; readers
+// capture it at rename and verify it at operand read.
+func (c *Checker) Version(class isa.RegClass, p rename.PhysReg) uint64 {
+	return c.version[cidx(class)][p]
+}
+
+// OnAlloc notes an allocation (or in-place reuse, which also starts a
+// new version).
+func (c *Checker) OnAlloc(class isa.RegClass, p rename.PhysReg) {
+	i := cidx(class)
+	c.version[i][p]++
+	c.readers[i][p] = 0
+}
+
+// OnRenameRead notes a new in-flight reader of p.
+func (c *Checker) OnRenameRead(class isa.RegClass, p rename.PhysReg) {
+	c.readers[cidx(class)][p]++
+}
+
+// OnReadDone removes an in-flight reader (operand read at issue, or
+// squash of a never-issued reader).
+func (c *Checker) OnReadDone(class isa.RegClass, p rename.PhysReg) {
+	i := cidx(class)
+	if c.readers[i][p] > 0 {
+		c.readers[i][p]--
+	}
+}
+
+// OnOperandRead verifies that the version captured at rename is still
+// live when the operand is actually read at issue time.
+func (c *Checker) OnOperandRead(class isa.RegClass, p rename.PhysReg, renamedVersion uint64) {
+	if !c.Enabled {
+		return
+	}
+	if c.version[cidx(class)][p] != renamedVersion {
+		c.fail("register %v p%d read after release/re-allocation (version %d != %d)",
+			class, p, renamedVersion, c.version[cidx(class)][p])
+	}
+}
+
+// OnFree verifies invariant 2 at release time. Wrong-path readers that
+// were squashed must already have been removed via OnReadDone.
+func (c *Checker) OnFree(class isa.RegClass, p rename.PhysReg, eager bool) {
+	if !c.Enabled {
+		return
+	}
+	if !eager && c.readers[cidx(class)][p] > 0 {
+		c.fail("register %v p%d released with %d in-flight readers",
+			class, p, c.readers[cidx(class)][p])
+	}
+}
+
+// ResetReaders clears all in-flight reader counts after a full pipeline
+// flush (exception recovery squashes every renamed instruction).
+func (c *Checker) ResetReaders() {
+	for i := 0; i < 2; i++ {
+		for p := range c.readers[i] {
+			c.readers[i][p] = 0
+		}
+	}
+}
+
+// OnExceptionRecovery records the tainted logical registers reported by
+// the rename state rebuild.
+func (c *Checker) OnExceptionRecovery(taintedInt, taintedFP []isa.Reg) {
+	for i := range c.tainted[0] {
+		c.tainted[0][i] = false
+		c.tainted[1][i] = false
+	}
+	for _, r := range taintedInt {
+		c.tainted[0][r] = true
+	}
+	for _, r := range taintedFP {
+		c.tainted[1][r] = true
+	}
+}
+
+// OnArchRead verifies the §4.3 property: the correct path never reads a
+// tainted logical register before writing it.
+func (c *Checker) OnArchRead(class isa.RegClass, r isa.Reg) {
+	if !c.Enabled {
+		return
+	}
+	if c.tainted[cidx(class)][r] {
+		c.fail("§4.3 violation: logical %v r%d read before redefinition after exception recovery", class, r)
+	}
+}
+
+// OnArchWrite clears the taint when the register is redefined.
+func (c *Checker) OnArchWrite(class isa.RegClass, r isa.Reg) {
+	c.tainted[cidx(class)][r] = false
+}
+
+// Err returns an error summarizing the first failures, or nil.
+func (c *Checker) Err() error {
+	if len(c.Failures) == 0 {
+		return nil
+	}
+	n := len(c.Failures)
+	show := c.Failures
+	if n > 5 {
+		show = show[:5]
+	}
+	return fmt.Errorf("regstate: %d invariant violations, first: %v", n, show)
+}

@@ -1,0 +1,194 @@
+// Package regstate implements the register-lifetime accounting of Fig 2
+// of the paper: every Allocated physical register is, at any cycle,
+// either Empty (allocated but not yet written), Ready (written, last use
+// not yet committed) or Idle (last use committed, not yet released).
+// Fig 3 plots the average number of registers in each state; this
+// package reconstructs those averages from alloc/write/read-commit/free
+// event times.
+package regstate
+
+import (
+	"fmt"
+
+	"earlyrelease/internal/isa"
+	"earlyrelease/internal/rename"
+)
+
+// Tracker accumulates state-time integrals for one register class.
+type Tracker struct {
+	Class isa.RegClass
+
+	alloc      []int64 // cycle of allocation, -1 if free
+	write      []int64 // cycle the value was produced, -1 if not yet
+	lastUseCmt []int64 // latest commit cycle of any user, -1 if none
+
+	// integrals in register-cycles
+	emptyInt, readyInt, idleInt float64
+	// releases observed
+	frees uint64
+	// idle-time histogram support
+	totalIdle float64
+}
+
+// NewTracker builds a tracker for numPhys registers. The initial 32
+// architectural versions count as written at cycle 0 (they hold
+// committed values).
+func NewTracker(class isa.RegClass, numPhys int) *Tracker {
+	t := &Tracker{
+		Class:      class,
+		alloc:      make([]int64, numPhys),
+		write:      make([]int64, numPhys),
+		lastUseCmt: make([]int64, numPhys),
+	}
+	for p := 0; p < numPhys; p++ {
+		t.alloc[p] = -1
+		t.write[p] = -1
+		t.lastUseCmt[p] = -1
+	}
+	for p := 0; p < isa.NumLogical; p++ {
+		t.alloc[p] = 0
+		t.write[p] = 0
+		t.lastUseCmt[p] = 0
+	}
+	return t
+}
+
+// Alloc records that p was allocated at the given cycle.
+func (t *Tracker) Alloc(p rename.PhysReg, cycle int64) {
+	t.alloc[p] = cycle
+	t.write[p] = -1
+	t.lastUseCmt[p] = -1
+}
+
+// Write records that p's value was produced (writeback) at cycle.
+// Re-execution after recovery may write twice; the first write wins so
+// the Empty interval is not overstated.
+func (t *Tracker) Write(p rename.PhysReg, cycle int64) {
+	if t.alloc[p] < 0 {
+		return // write to a register freed by a racing squash; ignore
+	}
+	if t.write[p] < 0 {
+		t.write[p] = cycle
+	}
+}
+
+// UseCommitted records that an instruction using p (as source, or as the
+// producing destination) committed at cycle.
+func (t *Tracker) UseCommitted(p rename.PhysReg, cycle int64) {
+	if t.alloc[p] < 0 {
+		return
+	}
+	if cycle > t.lastUseCmt[p] {
+		t.lastUseCmt[p] = cycle
+	}
+}
+
+// Free closes the register's lifetime at cycle and accumulates its
+// Empty/Ready/Idle intervals.
+func (t *Tracker) Free(p rename.PhysReg, cycle int64) {
+	a := t.alloc[p]
+	if a < 0 {
+		return // double free is caught elsewhere; avoid poisoning stats
+	}
+	w := t.write[p]
+	lu := t.lastUseCmt[p]
+	switch {
+	case w < 0:
+		// Never written (squashed wrong-path allocation): Empty all along.
+		t.emptyInt += float64(cycle - a)
+	case lu < 0 || lu < w:
+		// Written but no use committed (squashed after writeback, or a
+		// dead value): Empty until write, Ready until free.
+		t.emptyInt += float64(w - a)
+		t.readyInt += float64(cycle - w)
+	default:
+		t.emptyInt += float64(w - a)
+		t.readyInt += float64(lu - w)
+		t.idleInt += float64(cycle - lu)
+		t.totalIdle += float64(cycle - lu)
+	}
+	t.frees++
+	t.alloc[p] = -1
+	t.write[p] = -1
+	t.lastUseCmt[p] = -1
+}
+
+// Resync forces the tracked state of p after an exception recovery
+// rebuilt the allocation wholesale: open lifetimes of now-free registers
+// are closed; still-allocated registers are treated as committed
+// architectural values from this cycle on.
+func (t *Tracker) Resync(p rename.PhysReg, allocated bool, cycle int64) {
+	if !allocated {
+		if t.alloc[p] >= 0 {
+			t.Free(p, cycle)
+			t.frees-- // bookkeeping flush, not a policy release
+		}
+		return
+	}
+	if t.alloc[p] < 0 {
+		t.Alloc(p, cycle)
+	}
+	if t.write[p] < 0 {
+		t.write[p] = cycle
+	}
+	if t.lastUseCmt[p] < t.write[p] {
+		t.lastUseCmt[p] = t.write[p]
+	}
+}
+
+// CloseAll flushes lifetimes still open at the end of simulation so the
+// integrals cover the whole run.
+func (t *Tracker) CloseAll(cycle int64) {
+	for p := range t.alloc {
+		if t.alloc[p] >= 0 {
+			t.Free(rename.PhysReg(p), cycle)
+			t.frees-- // end-of-run flush is not a real release
+		}
+	}
+}
+
+// Breakdown is the Fig 3 result: average register counts per state.
+type Breakdown struct {
+	Empty, Ready, Idle float64
+}
+
+// Allocated returns the average total allocated registers.
+func (b Breakdown) Allocated() float64 { return b.Empty + b.Ready + b.Idle }
+
+// IdleOverhead returns the paper's headline inefficiency metric: idle
+// registers as a fraction of used (empty+ready) registers (45.8% int,
+// 16.8% FP in Fig 3).
+func (b Breakdown) IdleOverhead() float64 {
+	used := b.Empty + b.Ready
+	if used == 0 {
+		return 0
+	}
+	return b.Idle / used
+}
+
+// String formats the breakdown.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("empty=%.1f ready=%.1f idle=%.1f (alloc=%.1f, idle/used=%.1f%%)",
+		b.Empty, b.Ready, b.Idle, b.Allocated(), 100*b.IdleOverhead())
+}
+
+// Averages divides the integrals by the elapsed cycles.
+func (t *Tracker) Averages(cycles int64) Breakdown {
+	if cycles <= 0 {
+		return Breakdown{}
+	}
+	c := float64(cycles)
+	return Breakdown{Empty: t.emptyInt / c, Ready: t.readyInt / c, Idle: t.idleInt / c}
+}
+
+// Frees returns the number of completed register lifetimes.
+func (t *Tracker) Frees() uint64 { return t.frees }
+
+// MeanIdleCycles returns the average Idle-state duration per released
+// register that had a committed use.
+func (t *Tracker) MeanIdleCycles() float64 {
+	if t.frees == 0 {
+		return 0
+	}
+	return t.totalIdle / float64(t.frees)
+}

@@ -1,0 +1,163 @@
+package regstate
+
+import (
+	"testing"
+
+	"earlyrelease/internal/isa"
+	"earlyrelease/internal/rename"
+)
+
+func TestLifecycleIntegrals(t *testing.T) {
+	tr := NewTracker(isa.ClassInt, 40)
+	p := rename.PhysReg(35) // outside the initial architectural set
+	// alloc@10, write@20, last use commits@30, free@50:
+	// empty 10, ready 10, idle 20 register-cycles.
+	tr.Alloc(p, 10)
+	tr.Write(p, 20)
+	tr.UseCommitted(p, 25)
+	tr.UseCommitted(p, 30)
+	tr.Free(p, 50)
+	bd := tr.Averages(100)
+	if got := bd.Empty * 100; got != 10 {
+		t.Errorf("empty integral = %v, want 10", got)
+	}
+	if got := bd.Ready * 100; got != 10 {
+		t.Errorf("ready integral = %v, want 10", got)
+	}
+	if got := bd.Idle * 100; got != 20 {
+		t.Errorf("idle integral = %v, want 20", got)
+	}
+	if tr.Frees() != 1 {
+		t.Errorf("frees = %d", tr.Frees())
+	}
+}
+
+func TestNeverWrittenIsAllEmpty(t *testing.T) {
+	tr := NewTracker(isa.ClassInt, 40)
+	p := rename.PhysReg(33)
+	tr.Alloc(p, 0)
+	tr.Free(p, 40) // squashed wrong-path allocation
+	bd := tr.Averages(40)
+	if bd.Empty != 1 || bd.Ready != 0 || bd.Idle != 0 {
+		t.Errorf("breakdown = %+v, want all-empty", bd)
+	}
+}
+
+func TestDeadValueHasNoIdleWithoutUse(t *testing.T) {
+	tr := NewTracker(isa.ClassInt, 40)
+	p := rename.PhysReg(34)
+	tr.Alloc(p, 0)
+	tr.Write(p, 10)
+	tr.Free(p, 30) // freed after writeback, no committed use
+	bd := tr.Averages(30)
+	if bd.Idle != 0 {
+		t.Errorf("idle = %v, want 0", bd.Idle)
+	}
+	if bd.Ready*30 != 20 {
+		t.Errorf("ready integral = %v, want 20", bd.Ready*30)
+	}
+}
+
+func TestDoubleFreeIgnored(t *testing.T) {
+	tr := NewTracker(isa.ClassInt, 40)
+	p := rename.PhysReg(36)
+	tr.Alloc(p, 0)
+	tr.Free(p, 10)
+	tr.Free(p, 20) // must not poison the integrals
+	if tr.Frees() != 1 {
+		t.Errorf("frees = %d, want 1", tr.Frees())
+	}
+}
+
+func TestCloseAllFlushesArchitecturalRegs(t *testing.T) {
+	tr := NewTracker(isa.ClassFP, 40)
+	tr.CloseAll(100)
+	bd := tr.Averages(100)
+	// The 32 initial versions were Ready from cycle 0 to 100.
+	if bd.Allocated() < 31.9 || bd.Allocated() > 32.1 {
+		t.Errorf("allocated = %v, want 32", bd.Allocated())
+	}
+	if tr.Frees() != 0 {
+		t.Errorf("end-of-run flush counted as releases: %d", tr.Frees())
+	}
+}
+
+func TestIdleOverheadMetric(t *testing.T) {
+	b := Breakdown{Empty: 10, Ready: 20, Idle: 15}
+	if ov := b.IdleOverhead(); ov != 0.5 {
+		t.Errorf("overhead = %v, want 0.5", ov)
+	}
+	if b.Allocated() != 45 {
+		t.Errorf("allocated = %v", b.Allocated())
+	}
+}
+
+func TestResync(t *testing.T) {
+	tr := NewTracker(isa.ClassInt, 40)
+	p := rename.PhysReg(35)
+	tr.Alloc(p, 0)
+	// Exception recovery: p became free.
+	tr.Resync(p, false, 50)
+	// And p2 (architectural) stays allocated.
+	tr.Resync(rename.PhysReg(2), true, 50)
+	// Re-allocate p afterwards; lifetime restarts cleanly.
+	tr.Alloc(p, 60)
+	tr.Write(p, 61)
+	tr.UseCommitted(p, 70)
+	tr.Free(p, 80)
+	bd := tr.Averages(80)
+	if bd.Allocated() <= 0 {
+		t.Errorf("breakdown empty after resync: %+v", bd)
+	}
+}
+
+func TestCheckerVersioning(t *testing.T) {
+	c := NewChecker(40, 40)
+	p := rename.PhysReg(5)
+	c.OnAlloc(isa.ClassInt, p)
+	v := c.Version(isa.ClassInt, p)
+	c.OnOperandRead(isa.ClassInt, p, v)
+	if len(c.Failures) != 0 {
+		t.Fatalf("valid read flagged: %v", c.Failures)
+	}
+	c.OnAlloc(isa.ClassInt, p) // re-allocation bumps the version
+	c.OnOperandRead(isa.ClassInt, p, v)
+	if len(c.Failures) == 0 {
+		t.Fatal("stale read not flagged")
+	}
+}
+
+func TestCheckerReaderCounts(t *testing.T) {
+	c := NewChecker(40, 40)
+	p := rename.PhysReg(7)
+	c.OnRenameRead(isa.ClassInt, p)
+	c.OnFree(isa.ClassInt, p, false)
+	if len(c.Failures) == 0 {
+		t.Fatal("free with in-flight reader not flagged")
+	}
+	c2 := NewChecker(40, 40)
+	c2.OnRenameRead(isa.ClassInt, p)
+	c2.OnReadDone(isa.ClassInt, p)
+	c2.OnFree(isa.ClassInt, p, false)
+	if len(c2.Failures) != 0 {
+		t.Fatalf("clean free flagged: %v", c2.Failures)
+	}
+}
+
+func TestCheckerTaint(t *testing.T) {
+	c := NewChecker(40, 40)
+	c.OnExceptionRecovery([]isa.Reg{3}, nil)
+	c.OnArchWrite(isa.ClassInt, 3)
+	c.OnArchRead(isa.ClassInt, 3) // write cleared the taint
+	if len(c.Failures) != 0 {
+		t.Fatalf("read after redefinition flagged: %v", c.Failures)
+	}
+	c.OnExceptionRecovery([]isa.Reg{4}, nil)
+	c.OnArchRead(isa.ClassInt, 4) // §4.3 violation
+	if len(c.Failures) == 0 {
+		t.Fatal("tainted read not flagged")
+	}
+	if c.Err() == nil {
+		t.Fatal("Err() nil despite failures")
+	}
+}

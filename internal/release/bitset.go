@@ -1,0 +1,46 @@
+package release
+
+import "math/bits"
+
+// bitset is a fixed-size bit vector used for the RwNSx levels of the
+// Release Queue (one bit per physical register, "decodified form" in the
+// paper's terms).
+type bitset struct {
+	words []uint64
+	n     int
+}
+
+func newBitset(n int) *bitset {
+	return &bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+func (b *bitset) set(i int)      { b.words[i>>6] |= 1 << (uint(i) & 63) }
+func (b *bitset) clear(i int)    { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+func (b *bitset) get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// or merges other into b.
+func (b *bitset) or(other *bitset) {
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// count returns the number of set bits.
+func (b *bitset) count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// forEach calls fn for every set bit, ascending.
+func (b *bitset) forEach(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(wi<<6 + bit)
+			w &= w - 1
+		}
+	}
+}

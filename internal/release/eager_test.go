@@ -1,0 +1,150 @@
+package release
+
+import (
+	"testing"
+
+	"earlyrelease/internal/isa"
+)
+
+func eagerOpts() Options {
+	o := DefaultOptions(Basic, 48, 48)
+	o.Eager = true
+	return o
+}
+
+// TestEagerReleasesAtCompletion: with no speculation and all readers
+// done, the scheduled register frees when the LU completes — before the
+// LU commits.
+func TestEagerReleasesAtCompletion(t *testing.T) {
+	h := newHarness(t, eagerOpts())
+	i := h.iDef(1)
+	lu := h.iAdd(3, 2, 1)
+	h.iDef(1) // NV: schedules rel2 on lu
+	if !lu.Rel[RoleSrc2] {
+		t.Fatal("scheduling missing")
+	}
+	// LU completes execution (its read of p_i is done).
+	h.e.Executed(lu)
+	if got, ok := h.reasonOf(i.DstPhys); !ok || got != FreeEager {
+		t.Fatalf("release = %v (found %v), want eager at completion", got, ok)
+	}
+	// Commit must not double-free.
+	h.commit(i)
+	h.commit(lu)
+}
+
+// TestEagerWaitsForOlderReaders: an older reader that has not executed
+// blocks the eager release (the Moudgill pending-read counter).
+func TestEagerWaitsForOlderReaders(t *testing.T) {
+	h := newHarness(t, eagerOpts())
+	i := h.iDef(1)
+	slow := h.iAdd(4, 1, 2) // older reader of p_i, still executing
+	lu := h.iAdd(3, 2, 1)   // last use in program order
+	h.iDef(1)               // NV schedules on lu
+	h.e.Executed(lu)        // LU completes first (out of order)
+	if h.wasFreed(i.DstPhys) {
+		t.Fatal("released while an older reader was still pending")
+	}
+	// The older reader completes: now the release may fire.
+	h.e.Executed(slow)
+	if !h.wasFreed(i.DstPhys) {
+		t.Fatal("deferred eager release never fired")
+	}
+	h.commit(i)
+	h.commit(slow)
+	h.commit(lu)
+}
+
+// TestEagerBlockedBySpeculation: an LU younger than a pending branch
+// must not release eagerly (it could be squashed).
+func TestEagerBlockedBySpeculation(t *testing.T) {
+	h := newHarness(t, eagerOpts())
+	i := h.iDef(1)
+	h.branch()
+	lu := h.iAdd(3, 2, 1)
+	h.iDef(1)
+	h.e.Executed(lu)
+	if h.wasFreed(i.DstPhys) {
+		t.Fatal("eager release fired under an unresolved branch")
+	}
+	// After commit (which implies the branch resolved in a real
+	// pipeline), the release happens on the normal path.
+	h.commit(i)
+	h.commit(lu)
+	if !h.wasFreed(i.DstPhys) {
+		t.Fatal("release lost")
+	}
+}
+
+// TestEagerSquashCleansCounters: squashing un-executed readers must not
+// leave stale pending-read counts that block later releases.
+func TestEagerSquashCleansCounters(t *testing.T) {
+	h := newHarness(t, eagerOpts())
+	i := h.iDef(1)
+	br := h.branch()
+	wrongReader := h.iAdd(5, 1, 2) // wrong-path reader of p_i
+	h.e.SquashSlot(wrongReader)
+	h.e.MispredictBranch(br.Seq)
+	delete(h.ros, wrongReader.Seq)
+	// Correct path: LU + NV, eager release must fire normally.
+	lu := h.iAdd(3, 2, 1)
+	h.iDef(1)
+	h.e.Executed(lu)
+	if !h.wasFreed(i.DstPhys) {
+		t.Fatal("stale reader count from squashed uop blocked the release")
+	}
+}
+
+// TestEagerStatsReasons verifies eager frees are classified correctly.
+func TestEagerStatsReasons(t *testing.T) {
+	h := newHarness(t, eagerOpts())
+	h.iDef(1)
+	lu := h.iAdd(3, 2, 1)
+	h.iDef(1)
+	h.e.Executed(lu)
+	if h.e.Stats.Frees[FreeEager] == 0 {
+		t.Error("eager free not counted")
+	}
+	if h.e.Stats.Frees[FreeEarlyCommit] != 0 {
+		t.Error("eager free misclassified as commit-time")
+	}
+}
+
+// TestEagerDisabled: without the flag, completion must never free.
+func TestEagerDisabled(t *testing.T) {
+	h := newHarness(t, opts(Basic))
+	i := h.iDef(1)
+	lu := h.iAdd(3, 2, 1)
+	h.iDef(1)
+	h.e.Executed(lu)
+	if h.wasFreed(i.DstPhys) {
+		t.Fatal("precise mode released at completion")
+	}
+	_ = i
+}
+
+// TestRecoverExceptionResetsEngine covers the exception path end to end
+// at the engine level.
+func TestRecoverExceptionResetsEngine(t *testing.T) {
+	h := newHarness(t, opts(Extended))
+	i := h.iDef(1)
+	h.commit(i)
+	h.branch()
+	h.iDef(2)
+	taintedInt, _ := h.e.RecoverException()
+	if h.e.PendingBranches() != 0 {
+		t.Error("checkpoints survived exception recovery")
+	}
+	st := h.e.State(isa.ClassInt)
+	// The committed mapping of r1 must survive; the speculative r2
+	// version must be gone.
+	if st.MT[1] != i.DstPhys {
+		t.Errorf("MT[1] = %d, want %d", st.MT[1], i.DstPhys)
+	}
+	_ = taintedInt
+	// Renaming continues to work after recovery.
+	nv := h.iDef(1)
+	if nv.DstPhys < 0 {
+		t.Error("rename broken after exception recovery")
+	}
+}

@@ -1,0 +1,556 @@
+package release
+
+import (
+	"fmt"
+
+	"earlyrelease/internal/isa"
+	"earlyrelease/internal/rename"
+)
+
+// LookupFunc resolves an in-flight instruction by sequence number. The
+// pipeline provides it (backed by the reorder structure); it must return
+// nil for instructions that are no longer in flight.
+type LookupFunc func(seq uint64) *Slot
+
+// FreeHook observes every physical-register release, before the register
+// returns to the free list. The pipeline uses it for register-lifetime
+// accounting and invariant checking.
+type FreeHook func(class isa.RegClass, p rename.PhysReg, reason FreeReason)
+
+// chk is one entry of the combined recovery stack: the branch's rename
+// checkpoints plus (for the extended policy) its Release Queue level.
+// Stack position i holds the (i+1)-th oldest pending branch; the RelQue
+// level number in the paper's Fig 7 is therefore i+1.
+type chk struct {
+	seq  uint64 // sequence number of the checkpointed control instruction
+	cp   [2]*rename.Checkpoint
+	rwns [2]*bitset          // conditional releases, LU already committed
+	rwc  [2]map[uint64]uint8 // LU seq -> role mask, LU still in flight
+}
+
+// Engine implements register allocation and release under a configured
+// policy. It owns the renaming state of both register classes and the
+// checkpoint stack / Release Queue.
+type Engine struct {
+	opt    Options
+	states [2]*rename.State // [0] int, [1] fp
+	chks   []*chk
+	lookup LookupFunc
+	free   FreeHook
+
+	// eager-mode pending-read counters (Moudgill-style), per class.
+	readers     [2][]int32
+	pendingFree [2][]bool
+
+	Stats Stats
+}
+
+// NewEngine builds an engine. lookup and freeHook may be nil for tests
+// that do not exercise in-flight scheduling or accounting.
+func NewEngine(opt Options, lookup LookupFunc, freeHook FreeHook) (*Engine, error) {
+	if opt.MaxPendingBranches <= 0 {
+		opt.MaxPendingBranches = 20
+	}
+	intSt, err := rename.NewState(isa.ClassInt, opt.IntRegs)
+	if err != nil {
+		return nil, err
+	}
+	fpSt, err := rename.NewState(isa.ClassFP, opt.FPRegs)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{opt: opt, states: [2]*rename.State{intSt, fpSt}, lookup: lookup, free: freeHook}
+	if opt.Eager {
+		e.readers[0] = make([]int32, opt.IntRegs)
+		e.readers[1] = make([]int32, opt.FPRegs)
+		e.pendingFree[0] = make([]bool, opt.IntRegs)
+		e.pendingFree[1] = make([]bool, opt.FPRegs)
+	}
+	return e, nil
+}
+
+// Options returns the engine configuration.
+func (e *Engine) Options() Options { return e.opt }
+
+// State returns the renaming state for a class (for inspection).
+func (e *Engine) State(class isa.RegClass) *rename.State { return e.states[ci(class)] }
+
+// PendingBranches returns the current checkpoint stack depth.
+func (e *Engine) PendingBranches() int { return len(e.chks) }
+
+func ci(class isa.RegClass) int {
+	if class == isa.ClassFP {
+		return 1
+	}
+	return 0
+}
+
+// CanRename reports whether the free lists can satisfy an instruction
+// needing the given number of destination registers per class. Decode
+// stalls otherwise — this is the register-pressure stall at the heart of
+// the paper's evaluation.
+func (e *Engine) CanRename(needInt, needFP int) bool {
+	return e.states[0].Free.Len() >= needInt && e.states[1].Free.Len() >= needFP
+}
+
+// CanCheckpoint reports whether another pending branch is allowed.
+func (e *Engine) CanCheckpoint() bool {
+	return len(e.chks) < e.opt.MaxPendingBranches
+}
+
+// Rename maps the slot's source operands, allocates (or reuses) its
+// destination register and performs the policy's release-scheduling
+// steps (Renaming 1 and 2 in §3.2). The caller must have checked
+// CanRename; Rename panics if the free list underflows.
+func (e *Engine) Rename(s *Slot) {
+	e.Stats.Renamed++
+	// Renaming 1: map sources and record last uses.
+	for i := 0; i < 2; i++ {
+		cls := s.SrcClass[i]
+		if cls == isa.ClassNone {
+			s.SrcPhys[i] = rename.NoReg
+			continue
+		}
+		if cls == isa.ClassInt && s.SrcLog[i] == isa.Zero {
+			// r0 carries no dependence and is never renamed.
+			s.SrcClass[i] = isa.ClassNone
+			s.SrcPhys[i] = rename.NoReg
+			continue
+		}
+		st := e.states[ci(cls)]
+		p := st.Lookup(s.SrcLog[i])
+		s.SrcPhys[i] = p
+		kind := rename.LUSrc1
+		if i == 1 {
+			kind = rename.LUSrc2
+		}
+		st.LU.RecordUse(s.SrcLog[i], s.Seq, kind)
+		if e.opt.Eager {
+			e.readers[ci(cls)][p]++
+		}
+	}
+	// Renaming 2: destination handling.
+	if s.DstClass == isa.ClassNone {
+		s.DstPhys, s.OldPhys = rename.NoReg, rename.NoReg
+		return
+	}
+	st := e.states[ci(s.DstClass)]
+	old := st.Lookup(s.DstLog)
+	s.OldPhys = old
+	e.renameDest(s, st, old)
+	st.LU.RecordUse(s.DstLog, s.Seq, rename.LUDst)
+}
+
+// renameDest applies the policy-specific release scheduling for a
+// destination register (the NV instruction's decode-time actions).
+func (e *Engine) renameDest(s *Slot, st *rename.State, old rename.PhysReg) {
+	switch e.opt.Kind {
+	case Conventional:
+		s.RelOld = true
+		e.allocNew(s, st)
+		return
+
+	case Basic:
+		entry := st.LU[s.DstLog]
+		committed := !entry.HasInst || entry.C
+		// Case 1 requires no unverified branch between LU and NV. All
+		// pending branches are older than NV, so the test reduces to:
+		// the youngest pending branch is older than the LU instruction.
+		noPending := len(e.chks) == 0 ||
+			(entry.HasInst && e.chks[len(e.chks)-1].seq < entry.Seq)
+		if !noPending {
+			// Case 2: fall back to conventional release.
+			s.RelOld = true
+			e.allocNew(s, st)
+			return
+		}
+		if committed {
+			e.releaseOrReuse(s, st, old)
+			return
+		}
+		// Schedule the early release on the LU instruction.
+		if lu := e.lookup(entry.Seq); lu != nil {
+			lu.Rel[roleOfKind(entry.Kind)] = true
+			s.RelOld = false
+			e.Stats.Scheduled++
+			e.allocNew(s, st)
+			// Eager ablation: the LU may already have completed.
+			if e.opt.Eager && lu.Done {
+				e.tryEagerRelease(lu)
+			}
+			return
+		}
+		// LU vanished from the window (should not happen: C would be
+		// set); be conservative.
+		s.RelOld = true
+		e.allocNew(s, st)
+		return
+
+	case Extended:
+		entry := st.LU[s.DstLog]
+		committed := !entry.HasInst || entry.C
+		n := len(e.chks)
+		if n == 0 {
+			// Non-speculative NV: same rules as the basic mechanism.
+			if committed {
+				e.releaseOrReuse(s, st, old)
+				return
+			}
+			if lu := e.lookup(entry.Seq); lu != nil {
+				lu.Rel[roleOfKind(entry.Kind)] = true // RwC0
+				s.RelOld = false
+				e.Stats.Scheduled++
+				e.allocNew(s, st)
+				return
+			}
+			s.RelOld = true
+			e.allocNew(s, st)
+			return
+		}
+		// Speculative NV: conditional release at level n (stack index
+		// n-1), Step 2 in §4.2.
+		lvl := e.chks[n-1]
+		c := ci(s.DstClass)
+		if committed {
+			lvl.rwns[c].set(int(old))
+		} else {
+			lvl.rwc[c][entry.Seq] |= 1 << roleOfKind(entry.Kind)
+		}
+		s.RelOld = false
+		e.Stats.Scheduled++
+		e.Stats.RelQueCond++
+		e.allocNew(s, st)
+		return
+	}
+	panic(fmt.Sprintf("release: unknown policy %v", e.opt.Kind))
+}
+
+// releaseOrReuse handles a redefinition whose previous version's last use
+// has committed and is non-speculative: either reuse the register
+// in place, or release it immediately and allocate a fresh one.
+func (e *Engine) releaseOrReuse(s *Slot, st *rename.State, old rename.PhysReg) {
+	s.RelOld = false
+	if e.opt.Reuse {
+		s.DstPhys = old
+		s.Reused = true
+		s.AllocatedNew = false
+		e.Stats.ReuseHits++
+		e.Stats.Frees[FreeReuse]++
+		// Mapping is untouched and there is no free-list traffic, but
+		// the old version's lifetime ends here; tell the accounting hook.
+		if e.free != nil {
+			e.free(s.DstClass, old, FreeReuse)
+		}
+		return
+	}
+	e.releaseReg(s.DstClass, old, FreeImmediate)
+	e.allocNew(s, st)
+}
+
+// allocNew takes a fresh destination register and updates the Map Table.
+func (e *Engine) allocNew(s *Slot, st *rename.State) {
+	p, ok := st.AllocReg()
+	if !ok {
+		panic("release: rename without free register; caller must check CanRename")
+	}
+	s.DstPhys = p
+	s.AllocatedNew = true
+	st.MT[s.DstLog] = p
+}
+
+// releaseReg routes a register release through the instrumentation hook
+// and back to the free list.
+func (e *Engine) releaseReg(class isa.RegClass, p rename.PhysReg, reason FreeReason) {
+	e.Stats.Frees[reason]++
+	if e.opt.Eager && reason != FreeSquash && e.readers[ci(class)][p] > 0 {
+		// Cannot free yet: an older reader has not issued. Defer.
+		e.pendingFree[ci(class)][p] = true
+		return
+	}
+	if e.free != nil {
+		e.free(class, p, reason)
+	}
+	e.states[ci(class)].FreeReg(p)
+}
+
+// --- branch checkpointing / Release Queue ------------------------------
+
+// PushBranch records a checkpoint (and, for the extended policy, a new
+// Release Queue level) for a control instruction entering the window.
+// It returns false when the pending-branch limit is reached (decode must
+// stall).
+func (e *Engine) PushBranch(seq uint64) bool {
+	if len(e.chks) >= e.opt.MaxPendingBranches {
+		return false
+	}
+	c := &chk{
+		seq: seq,
+		cp:  [2]*rename.Checkpoint{e.states[0].TakeCheckpoint(), e.states[1].TakeCheckpoint()},
+	}
+	if e.opt.Kind == Extended {
+		c.rwns = [2]*bitset{newBitset(e.opt.IntRegs), newBitset(e.opt.FPRegs)}
+		c.rwc = [2]map[uint64]uint8{make(map[uint64]uint8), make(map[uint64]uint8)}
+	}
+	e.chks = append(e.chks, c)
+	if len(e.chks) > e.Stats.PeakPending {
+		e.Stats.PeakPending = len(e.chks)
+	}
+	return true
+}
+
+func (e *Engine) chkIndex(seq uint64) int {
+	for i, c := range e.chks {
+		if c.seq == seq {
+			return i
+		}
+	}
+	return -1
+}
+
+// ConfirmBranch verifies a pending branch as correctly predicted
+// (Step 4/6 in §4.2). Branches may verify out of order. For the extended
+// policy, confirming the oldest branch releases its RwNS1 registers and
+// migrates its RwC1 entries into the reorder structure's rel bits (RwC0);
+// confirming a younger branch merges its level into the next older one.
+func (e *Engine) ConfirmBranch(seq uint64) {
+	i := e.chkIndex(seq)
+	if i < 0 {
+		return // already resolved (e.g. squashed by an older recovery)
+	}
+	c := e.chks[i]
+	if e.opt.Kind == Extended {
+		if i == 0 {
+			// Branch-confirm release: RwNS1 registers are now safe.
+			for cls := 0; cls < 2; cls++ {
+				class := isa.ClassInt
+				if cls == 1 {
+					class = isa.ClassFP
+				}
+				c.rwns[cls].forEach(func(p int) {
+					e.releaseReg(class, rename.PhysReg(p), FreeEarlyConfirm)
+				})
+				// RwC1 -> RwC0: move schedulings onto the in-flight LUs.
+				for luSeq, mask := range c.rwc[cls] {
+					if lu := e.lookup(luSeq); lu != nil {
+						applyMask(lu, mask)
+					}
+				}
+			}
+		} else {
+			// Merge level i+1 into level i (OR the structures).
+			prev := e.chks[i-1]
+			for cls := 0; cls < 2; cls++ {
+				prev.rwns[cls].or(c.rwns[cls])
+				for luSeq, mask := range c.rwc[cls] {
+					prev.rwc[cls][luSeq] |= mask
+				}
+			}
+		}
+	}
+	e.chks = append(e.chks[:i], e.chks[i+1:]...)
+}
+
+// applyMask sets the slot's early-release bits for every role in mask.
+func applyMask(lu *Slot, mask uint8) {
+	for r := RoleSrc1; r <= RoleDst; r++ {
+		if mask&(1<<r) != 0 {
+			lu.Rel[r] = true
+		}
+	}
+}
+
+// MispredictBranch restores the rename state to the mispredicted
+// branch's checkpoint and clears the Release Queue levels belonging to
+// the branch and everything younger (Step 3 in §4.2). The pipeline must
+// separately squash the younger instructions via SquashSlot.
+func (e *Engine) MispredictBranch(seq uint64) {
+	i := e.chkIndex(seq)
+	if i < 0 {
+		panic(fmt.Sprintf("release: misprediction for unknown checkpoint seq=%d", seq))
+	}
+	c := e.chks[i]
+	e.states[0].Restore(c.cp[0])
+	e.states[1].Restore(c.cp[1])
+	if e.opt.Kind == Extended {
+		for j := i; j < len(e.chks); j++ {
+			for cls := 0; cls < 2; cls++ {
+				e.Stats.RelQueDrop += uint64(e.chks[j].rwns[cls].count())
+				e.Stats.RelQueDrop += uint64(len(e.chks[j].rwc[cls]))
+			}
+		}
+	}
+	e.chks = e.chks[:i]
+}
+
+// SquashSlot undoes the allocation of one squashed instruction. The
+// pipeline calls it for every squashed slot, youngest first, after
+// MispredictBranch (or during exception recovery).
+func (e *Engine) SquashSlot(s *Slot) {
+	if e.opt.Eager {
+		e.noteReadsDone(s)
+	}
+	if s.HasDst() && s.AllocatedNew {
+		if e.opt.Eager {
+			// A squash returns the register unconditionally; drop any
+			// deferred release that pointed at it.
+			e.pendingFree[ci(s.DstClass)][s.DstPhys] = false
+		}
+		e.releaseReg(s.DstClass, s.DstPhys, FreeSquash)
+	}
+}
+
+// --- commit and writeback ----------------------------------------------
+
+// Commit performs the commit-stage duties for one instruction (§3.2
+// "Commit: C bit update and register release" and §4.2 Steps 5/6):
+// C-bit broadcast to every LUs Table copy, In-Order Map Table update,
+// early releases via the rel bits, conventional release of old_pd, and
+// the RwCx -> RwNSx migration for still-conditional schedulings.
+func (e *Engine) Commit(s *Slot) {
+	e.Stats.Committed++
+	s.Committed = true
+
+	// C-bit update in the working tables and every checkpoint copy.
+	e.markCommitted(s, isa.ClassInt)
+	e.markCommitted(s, isa.ClassFP)
+
+	if s.HasDst() {
+		e.states[ci(s.DstClass)].CommitMapping(s.DstLog, s.DstPhys, s.Seq)
+	}
+
+	// Step 5 (extended): migrate this instruction's conditional
+	// schedulings from the RwCx arrays to the RwNSx bit vectors.
+	if e.opt.Kind == Extended {
+		for _, c := range e.chks {
+			for cls := 0; cls < 2; cls++ {
+				if mask, ok := c.rwc[cls][s.Seq]; ok {
+					delete(c.rwc[cls], s.Seq)
+					e.Stats.RelQueMark++
+					for r := RoleSrc1; r <= RoleDst; r++ {
+						if mask&(1<<r) != 0 {
+							_, p := s.PhysForRole(r)
+							c.rwns[cls].set(int(p))
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Early releases tied to this commit (rel1/rel2/reld, i.e. RwC0).
+	for r := RoleSrc1; r <= RoleDst; r++ {
+		if s.Rel[r] {
+			s.Rel[r] = false
+			class, p := s.PhysForRole(r)
+			e.releaseReg(class, p, FreeEarlyCommit)
+		}
+	}
+
+	// Conventional release of the previous version.
+	if s.HasDst() && s.RelOld {
+		e.releaseReg(s.DstClass, s.OldPhys, FreeConventional)
+	}
+
+	if e.opt.Eager {
+		e.noteReadsDone(s)
+	}
+}
+
+// markCommitted broadcasts the C bit for each of the slot's logical
+// registers of the given class.
+func (e *Engine) markCommitted(s *Slot, class isa.RegClass) {
+	c := ci(class)
+	st := e.states[c]
+	update := func(r isa.Reg) {
+		st.LU.MarkCommitted(r, s.Seq)
+		for _, ck := range e.chks {
+			ck.cp[c].LU.MarkCommitted(r, s.Seq)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if s.SrcClass[i] == class {
+			update(s.SrcLog[i])
+		}
+	}
+	if s.DstClass == class {
+		update(s.DstLog)
+	}
+}
+
+// Executed notifies the engine that a slot completed execution. In the
+// eager ablation this is where last-use releases happen (guarded by the
+// pending-read counters and by non-speculativity of the LU).
+func (e *Engine) Executed(s *Slot) {
+	s.Done = true
+	if !e.opt.Eager {
+		return
+	}
+	e.noteReadsDone(s)
+	e.tryEagerRelease(s)
+}
+
+// noteReadsDone decrements the pending-read counters for the slot's
+// sources and performs any releases that were waiting on them.
+func (e *Engine) noteReadsDone(s *Slot) {
+	if s.readsCounted {
+		return
+	}
+	s.readsCounted = true
+	for i := 0; i < 2; i++ {
+		if s.SrcClass[i] != isa.ClassNone {
+			e.decReader(s.SrcClass[i], s.SrcPhys[i])
+		}
+	}
+}
+
+func (e *Engine) decReader(class isa.RegClass, p rename.PhysReg) {
+	c := ci(class)
+	if e.readers[c][p] > 0 {
+		e.readers[c][p]--
+	}
+	if e.readers[c][p] == 0 && e.pendingFree[c][p] {
+		e.pendingFree[c][p] = false
+		if e.free != nil {
+			e.free(class, p, FreeEager)
+		}
+		e.states[c].FreeReg(p)
+	}
+}
+
+// tryEagerRelease releases the slot's scheduled registers at completion
+// time when the slot is non-speculative (no older pending branch).
+func (e *Engine) tryEagerRelease(s *Slot) {
+	if s.Committed {
+		return
+	}
+	if len(e.chks) > 0 && e.chks[0].seq < s.Seq {
+		return // still speculative; release will happen at commit
+	}
+	for r := RoleSrc1; r <= RoleDst; r++ {
+		if s.Rel[r] {
+			s.Rel[r] = false
+			class, p := s.PhysForRole(r)
+			e.releaseReg(class, p, FreeEager)
+		}
+	}
+}
+
+// --- exception recovery -------------------------------------------------
+
+// RecoverException rebuilds both register classes from the In-Order Map
+// Tables and clears all checkpoints and Release Queue state. It returns
+// the logical registers per class whose recovered values are junk
+// (released early while architecturally mapped); the §4.3 safety
+// property guarantees the program rewrites them before reading.
+func (e *Engine) RecoverException() (taintedInt, taintedFP []isa.Reg) {
+	e.chks = e.chks[:0]
+	if e.opt.Eager {
+		for c := 0; c < 2; c++ {
+			for i := range e.readers[c] {
+				e.readers[c][i] = 0
+				e.pendingFree[c][i] = false
+			}
+		}
+	}
+	return e.states[0].RecoverFromIOMT(), e.states[1].RecoverFromIOMT()
+}

@@ -1,0 +1,518 @@
+package release
+
+import (
+	"testing"
+
+	"earlyrelease/internal/isa"
+	"earlyrelease/internal/rename"
+)
+
+// harness drives an Engine the way the pipeline would, with a map-based
+// stand-in for the reorder structure.
+type harness struct {
+	t     *testing.T
+	e     *Engine
+	ros   map[uint64]*Slot
+	seq   uint64
+	freed []freeEvent
+}
+
+type freeEvent struct {
+	class  isa.RegClass
+	p      rename.PhysReg
+	reason FreeReason
+}
+
+func newHarness(t *testing.T, opt Options) *harness {
+	h := &harness{t: t, ros: make(map[uint64]*Slot)}
+	e, err := NewEngine(opt,
+		func(seq uint64) *Slot { return h.ros[seq] },
+		func(c isa.RegClass, p rename.PhysReg, r FreeReason) {
+			h.freed = append(h.freed, freeEvent{c, p, r})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.e = e
+	return h
+}
+
+// inst renames an instruction; src/dst use (class, logical) pairs with
+// class None meaning absent. Returns the slot.
+func (h *harness) inst(dst isa.RegClass, rd isa.Reg, s1c isa.RegClass, r1 isa.Reg, s2c isa.RegClass, r2 isa.Reg) *Slot {
+	h.seq++
+	s := &Slot{
+		Seq:      h.seq,
+		DstClass: dst, DstLog: rd,
+		SrcClass: [2]isa.RegClass{s1c, s2c},
+		SrcLog:   [2]isa.Reg{r1, r2},
+	}
+	need := 0
+	if dst != isa.ClassNone {
+		need = 1
+	}
+	if dst == isa.ClassInt && !h.e.CanRename(need, 0) {
+		h.t.Fatalf("seq %d: no free int registers", h.seq)
+	}
+	if dst == isa.ClassFP && !h.e.CanRename(0, need) {
+		h.t.Fatalf("seq %d: no free fp registers", h.seq)
+	}
+	// Register the slot before renaming: the LU of an instruction can be
+	// the instruction itself (e.g. r1 = r1 + 1), and the engine resolves
+	// it through the reorder structure.
+	h.ros[s.Seq] = s
+	h.e.Rename(s)
+	return s
+}
+
+// iAdd emits "rd = r1 + r2" (all integer).
+func (h *harness) iAdd(rd, r1, r2 isa.Reg) *Slot {
+	return h.inst(isa.ClassInt, rd, isa.ClassInt, r1, isa.ClassInt, r2)
+}
+
+// iDef emits "rd = imm" (no sources).
+func (h *harness) iDef(rd isa.Reg) *Slot {
+	return h.inst(isa.ClassInt, rd, isa.ClassNone, 0, isa.ClassNone, 0)
+}
+
+// branch emits a checkpointed branch.
+func (h *harness) branch() *Slot {
+	h.seq++
+	s := &Slot{Seq: h.seq}
+	if !h.e.PushBranch(s.Seq) {
+		h.t.Fatalf("seq %d: checkpoint stack full", h.seq)
+	}
+	h.ros[s.Seq] = s
+	return s
+}
+
+func (h *harness) commit(s *Slot) {
+	h.e.Commit(s)
+	delete(h.ros, s.Seq)
+}
+
+func (h *harness) freedRegs(reason FreeReason) []rename.PhysReg {
+	var out []rename.PhysReg
+	for _, f := range h.freed {
+		if f.reason == reason {
+			out = append(out, f.p)
+		}
+	}
+	return out
+}
+
+// reasonOf returns the release reason of the first real free event for
+// p. FreeReuse events are virtual (the register never reaches the free
+// list) and are skipped.
+func (h *harness) reasonOf(p rename.PhysReg) (FreeReason, bool) {
+	for _, f := range h.freed {
+		if f.p == p && f.reason != FreeReuse {
+			return f.reason, true
+		}
+	}
+	return 0, false
+}
+
+func (h *harness) wasFreed(p rename.PhysReg) bool {
+	_, ok := h.reasonOf(p)
+	return ok
+}
+
+func opts(k Kind) Options {
+	o := DefaultOptions(k, 48, 48)
+	return o
+}
+
+// --- conventional -------------------------------------------------------
+
+func TestConventionalReleasesOldAtNVCommit(t *testing.T) {
+	h := newHarness(t, opts(Conventional))
+	i1 := h.iDef(1) // r1 = ...   (old version of r1 is p1)
+	lu := h.iAdd(3, 2, 1)
+	nv := h.iDef(1) // redefines r1
+	h.commit(i1)
+	h.commit(lu)
+	if h.wasFreed(i1.DstPhys) {
+		t.Fatal("previous version freed before the NV commit")
+	}
+	h.commit(nv)
+	// NV's commit frees i1's register (the previous version).
+	if got, ok := h.reasonOf(i1.DstPhys); !ok || got != FreeConventional {
+		t.Fatalf("frees = %v, want old_pd %d conventional", h.freed, i1.DstPhys)
+	}
+}
+
+// --- basic: Fig 4a (source last use) -------------------------------------
+
+func TestBasicFig4aEarlyReleaseAtLUCommit(t *testing.T) {
+	h := newHarness(t, opts(Basic))
+	i := h.iDef(1)        // r1 = ...        -> p_i
+	lu := h.iAdd(3, 2, 1) // LU: r3 = r2 + r1 (last use of r1 as src2)
+	nv := h.iDef(1)       // NV: r1 = ...
+	if !lu.Rel[RoleSrc2] {
+		t.Fatal("NV decode did not set rel2 on the LU instruction")
+	}
+	if nv.RelOld {
+		t.Fatal("NV kept conventional release despite early scheduling")
+	}
+	h.commit(i)
+	h.commit(lu)
+	// p_i must be freed at LU commit, NOT at NV commit.
+	if got, ok := h.reasonOf(i.DstPhys); !ok || got != FreeEarlyCommit {
+		t.Fatalf("release of %d = %v (found %v), want early-commit", i.DstPhys, got, ok)
+	}
+	h.commit(nv) // must not double free (would panic)
+}
+
+// --- basic: Fig 4b (destination last use) --------------------------------
+
+func TestBasicFig4bDeadValueReleasedAtOwnCommit(t *testing.T) {
+	h := newHarness(t, opts(Basic))
+	lu := h.iAdd(3, 5, 9) // LU: r3 = r5 + r9, value never read
+	nv := h.iDef(3)       // NV: r3 = ...
+	if !lu.Rel[RoleDst] {
+		t.Fatal("reld not set for dead destination value")
+	}
+	if nv.RelOld {
+		t.Fatal("rel_old not cleared")
+	}
+	h.commit(lu)
+	// LU's own destination register is freed at its commit even though
+	// r3 architecturally still maps to it until NV commits.
+	if !h.wasFreed(lu.DstPhys) {
+		t.Fatalf("dead value register %d not freed at LU commit", lu.DstPhys)
+	}
+}
+
+// --- basic: committed LU -> immediate reuse ------------------------------
+
+func TestBasicReuseOnCommittedLU(t *testing.T) {
+	h := newHarness(t, opts(Basic))
+	i := h.iDef(1)
+	lu := h.iAdd(3, 2, 1)
+	h.commit(i)
+	h.commit(lu) // last use of r1's version has committed
+	nv := h.iDef(1)
+	if !nv.Reused || nv.AllocatedNew {
+		t.Fatal("redefinition did not reuse the committed register")
+	}
+	if nv.DstPhys != i.DstPhys {
+		t.Fatalf("reused %d, want %d", nv.DstPhys, i.DstPhys)
+	}
+	if h.e.State(isa.ClassInt).MT[1] != i.DstPhys {
+		t.Fatal("map table changed despite reuse")
+	}
+	if h.e.Stats.ReuseHits == 0 {
+		t.Fatal("ReuseHits not counted")
+	}
+}
+
+func TestBasicImmediateFreeWithoutReuse(t *testing.T) {
+	o := opts(Basic)
+	o.Reuse = false
+	h := newHarness(t, o)
+	i := h.iDef(1)
+	lu := h.iAdd(3, 2, 1)
+	h.commit(i)
+	h.commit(lu)
+	nv := h.iDef(1)
+	if nv.Reused {
+		t.Fatal("reuse disabled but register reused")
+	}
+	if got, ok := h.reasonOf(i.DstPhys); !ok || got != FreeImmediate {
+		t.Fatalf("release of %d = %v (found %v), want immediate", i.DstPhys, got, ok)
+	}
+}
+
+// --- basic: case 2 (pending branch between LU and NV) --------------------
+
+func TestBasicCase2FallsBackToConventional(t *testing.T) {
+	h := newHarness(t, opts(Basic))
+	i := h.iDef(1)
+	lu := h.iAdd(3, 2, 1)
+	h.branch() // unverified branch between LU and NV
+	nv := h.iDef(1)
+	if lu.Rel[RoleSrc2] {
+		t.Fatal("early release scheduled across a pending branch")
+	}
+	if !nv.RelOld {
+		t.Fatal("conventional fallback not applied")
+	}
+	_ = i
+}
+
+func TestBasicBranchOlderThanLUDoesNotBlock(t *testing.T) {
+	h := newHarness(t, opts(Basic))
+	i := h.iDef(1)
+	h.branch() // pending branch BEFORE the LU instruction
+	lu := h.iAdd(3, 2, 1)
+	nv := h.iDef(1)
+	// Branch is older than LU, so there is no branch BETWEEN LU and NV:
+	// scheduling must proceed (it will be squashed together with LU if
+	// the branch mispredicts).
+	if !lu.Rel[RoleSrc2] || nv.RelOld {
+		t.Fatal("scheduling blocked by a branch older than the LU")
+	}
+	_ = i
+}
+
+// --- basic: same-instruction LU==NV --------------------------------------
+
+func TestBasicSelfLastUse(t *testing.T) {
+	h := newHarness(t, opts(Basic))
+	i := h.iDef(1)
+	nv := h.iAdd(1, 1, 2) // r1 = r1 + r2: LU of old r1 is NV itself
+	if !nv.Rel[RoleSrc1] {
+		t.Fatal("rel1 not set on self")
+	}
+	if nv.RelOld {
+		t.Fatal("rel_old should be disconnected")
+	}
+	h.commit(i)
+	h.commit(nv)
+	if !h.wasFreed(i.DstPhys) {
+		t.Fatal("old version not freed at NV(=LU) commit")
+	}
+}
+
+// --- misprediction recovery ----------------------------------------------
+
+func TestBasicMispredictSquashesScheduling(t *testing.T) {
+	h := newHarness(t, opts(Basic))
+	h.iDef(1)
+	br := h.branch()
+	// Wrong path: LU and NV both younger than the branch.
+	lu := h.iAdd(3, 2, 1)
+	nv := h.iDef(1)
+	if !lu.Rel[RoleSrc2] {
+		t.Fatal("expected scheduling on wrong path")
+	}
+	// Mispredict: squash young -> old, then restore.
+	h.e.SquashSlot(nv)
+	h.e.SquashSlot(lu)
+	h.e.MispredictBranch(br.Seq)
+	delete(h.ros, nv.Seq)
+	delete(h.ros, lu.Seq)
+	// Squash returned the allocations.
+	if !h.wasFreed(lu.DstPhys) || !h.wasFreed(nv.DstPhys) {
+		t.Fatal("squashed allocations not returned")
+	}
+	// Allocation must be back to the initial 32 architectural versions
+	// (the first definition reused its committed previous version, so it
+	// holds no extra register).
+	st := h.e.State(isa.ClassInt)
+	if st.AllocatedCount() != isa.NumLogical {
+		t.Fatalf("allocated = %d, want %d", st.AllocatedCount(), isa.NumLogical)
+	}
+	// The LUs table was restored: a fresh NV after recovery must see the
+	// pre-branch LU state (the def of r1, still in flight).
+	nv2 := h.iDef(1)
+	if nv2.RelOld {
+		t.Fatal("post-recovery scheduling failed")
+	}
+}
+
+// --- extended: RelQue basics ----------------------------------------------
+
+func TestExtendedConditionalReleaseConfirm(t *testing.T) {
+	h := newHarness(t, opts(Extended))
+	i := h.iDef(1)
+	h.commit(i) // version p_i committed...
+	lu := h.iAdd(3, 2, 1)
+	h.commit(lu) // ...and its last use committed too
+	br := h.branch()
+	nv := h.iDef(1) // speculative NV: conditional release of p_i in RwNS1
+	if nv.RelOld {
+		t.Fatal("extended policy must not use rel_old")
+	}
+	if h.wasFreed(i.DstPhys) {
+		t.Fatal("released before branch confirmation")
+	}
+	h.e.ConfirmBranch(br.Seq)
+	if !h.wasFreed(i.DstPhys) {
+		t.Fatal("RwNS1 release did not fire at oldest-branch confirmation")
+	}
+	if got, _ := h.reasonOf(i.DstPhys); got != FreeEarlyConfirm {
+		t.Fatalf("reason = %v, want early-confirm", got)
+	}
+}
+
+func TestExtendedConditionalReleaseMispredict(t *testing.T) {
+	h := newHarness(t, opts(Extended))
+	i := h.iDef(1)
+	h.commit(i)
+	lu := h.iAdd(3, 2, 1)
+	h.commit(lu)
+	br := h.branch()
+	nv := h.iDef(1)
+	h.e.SquashSlot(nv)
+	h.e.MispredictBranch(br.Seq)
+	// p_i must NOT have been freed: the redefinition was squashed and
+	// p_i is again the live version of r1.
+	if h.wasFreed(i.DstPhys) {
+		t.Fatal("conditional release survived a misprediction")
+	}
+	if h.e.State(isa.ClassInt).MT[1] != i.DstPhys {
+		t.Fatal("map table not restored")
+	}
+	// The correct path can redefine r1 again and release p_i then.
+	nv2 := h.iDef(1)
+	_ = nv2
+	if !h.wasFreed(i.DstPhys) && !nv2.Reused {
+		t.Fatal("re-scheduled release lost")
+	}
+}
+
+func TestExtendedInFlightLUAcrossBranch(t *testing.T) {
+	// LU still in pipeline when a speculative NV schedules: RwCn path,
+	// then LU commits (Mark: RwCx -> RwNSx), then the branch confirms.
+	h := newHarness(t, opts(Extended))
+	i := h.iDef(1)
+	lu := h.iAdd(3, 2, 1) // in flight
+	br := h.branch()
+	nv := h.iDef(1) // conditional schedule on LU via RwC1
+	if lu.Rel[RoleSrc2] {
+		t.Fatal("conditional schedule must not set RwC0 bits yet")
+	}
+	h.commit(i)
+	h.commit(lu) // moves the scheduling to RwNS1 (decoded as p_i)
+	if h.e.Stats.RelQueMark != 1 {
+		t.Fatalf("RelQueMark = %d, want 1", h.e.Stats.RelQueMark)
+	}
+	if h.wasFreed(i.DstPhys) {
+		t.Fatal("released before confirmation")
+	}
+	h.e.ConfirmBranch(br.Seq)
+	if !h.wasFreed(i.DstPhys) {
+		t.Fatal("marked release did not fire at confirmation")
+	}
+	_ = nv
+}
+
+func TestExtendedConfirmBeforeLUCommit(t *testing.T) {
+	// Branch confirms while the LU is still in flight: RwC1 merges into
+	// the reorder structure's rel bits (RwC0) and the release happens at
+	// LU commit.
+	h := newHarness(t, opts(Extended))
+	i := h.iDef(1)
+	lu := h.iAdd(3, 2, 1)
+	br := h.branch()
+	h.iDef(1) // NV schedules RwC1[LU]
+	h.e.ConfirmBranch(br.Seq)
+	if !lu.Rel[RoleSrc2] {
+		t.Fatal("RwC1 did not merge into RwC0 at confirmation")
+	}
+	h.commit(i)
+	h.commit(lu)
+	if !h.wasFreed(i.DstPhys) {
+		t.Fatal("release did not fire at LU commit after confirmation")
+	}
+}
+
+func TestExtendedNestedBranchesMerge(t *testing.T) {
+	// Two pending branches; NV after the second. Confirming the younger
+	// branch merges level 2 into level 1; confirming the older branch
+	// then releases.
+	h := newHarness(t, opts(Extended))
+	i := h.iDef(1)
+	h.commit(i)
+	lu := h.iAdd(3, 2, 1)
+	h.commit(lu)
+	br1 := h.branch()
+	br2 := h.branch()
+	h.iDef(1) // RwNS2 mark for p_i
+	h.e.ConfirmBranch(br2.Seq)
+	if h.wasFreed(i.DstPhys) {
+		t.Fatal("released after inner confirmation only")
+	}
+	h.e.ConfirmBranch(br1.Seq)
+	if !h.wasFreed(i.DstPhys) {
+		t.Fatal("release lost in level merge")
+	}
+}
+
+func TestExtendedOutOfOrderConfirmation(t *testing.T) {
+	// Confirm the OLDER branch first: level 1 releases only its own
+	// entries; the younger level becomes the new level 1.
+	h := newHarness(t, opts(Extended))
+	i := h.iDef(1)
+	h.commit(i)
+	lu := h.iAdd(3, 2, 1)
+	h.commit(lu)
+	br1 := h.branch()
+	br2 := h.branch()
+	h.iDef(1) // scheduled at level 2
+	h.e.ConfirmBranch(br1.Seq)
+	if h.wasFreed(i.DstPhys) {
+		t.Fatal("level-2 release fired when only level 1 confirmed")
+	}
+	h.e.ConfirmBranch(br2.Seq)
+	if !h.wasFreed(i.DstPhys) {
+		t.Fatal("release lost after out-of-order confirmation")
+	}
+}
+
+func TestExtendedMispredictClearsYoungerLevels(t *testing.T) {
+	h := newHarness(t, opts(Extended))
+	i1 := h.iDef(1)
+	i2 := h.iDef(2)
+	h.commit(i1)
+	h.commit(i2)
+	lu1 := h.iAdd(3, 4, 1)
+	lu2 := h.iAdd(5, 4, 2)
+	h.commit(lu1)
+	h.commit(lu2)
+	br1 := h.branch()
+	nv1 := h.iDef(1) // level 1 schedule (release of i1's reg)
+	br2 := h.branch()
+	nv2 := h.iDef(2) // level 2 schedule (release of i2's reg)
+	// br2 mispredicts: only the level-2 schedule dies.
+	h.e.SquashSlot(nv2)
+	h.e.MispredictBranch(br2.Seq)
+	h.e.ConfirmBranch(br1.Seq)
+	if !h.wasFreed(i1.DstPhys) {
+		t.Fatal("surviving level-1 release lost")
+	}
+	if h.wasFreed(i2.DstPhys) {
+		t.Fatal("level-2 release survived its misprediction")
+	}
+	_ = nv1
+}
+
+// --- stats / misc ---------------------------------------------------------
+
+func TestCanRenameAndCheckpointLimits(t *testing.T) {
+	o := opts(Basic)
+	o.MaxPendingBranches = 2
+	h := newHarness(t, o)
+	h.branch()
+	h.branch()
+	if h.e.CanCheckpoint() {
+		t.Error("checkpoint limit not enforced")
+	}
+	if h.e.PushBranch(999) {
+		t.Error("PushBranch exceeded the limit")
+	}
+	// Exhaust the integer free list (48-32 = 16 free registers).
+	for i := 0; i < 16; i++ {
+		h.iDef(isa.Reg(1 + i%8))
+	}
+	if h.e.CanRename(1, 0) {
+		t.Error("free-list exhaustion not detected")
+	}
+	if !h.e.CanRename(0, 1) {
+		t.Error("FP file should still have free registers")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{Conventional, Basic, Extended} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind accepted junk")
+	}
+}

@@ -1,0 +1,223 @@
+// Package release implements the register release policies studied in
+// the reproduced paper (Monreal et al., "Hardware Schemes for Early
+// Register Release", ICPP 2002):
+//
+//   - Conventional: a physical register is released when the instruction
+//     that redefines the same logical register commits (§2, Fig 1).
+//   - Basic: the Last-Uses Table identifies LU (last-use) / NV
+//     (next-version) pairs at NV decode; when no unverified branch lies
+//     between them, the release is tied to the LU instruction's commit
+//     via early-release bits in the reorder structure (§3, Fig 5/6).
+//   - Extended: conditional releases for speculative NV instructions are
+//     kept in a Release Queue with one level per pending branch (RwNSx
+//     bit vectors for committed LUs, RwCx bit arrays for in-flight LUs);
+//     branch confirmation migrates levels downward and misprediction
+//     clears them (§4, Fig 7/8).
+//
+// An additional Moudgill/Farkas-style *eager* mode (release at LU
+// completion rather than commit, guarded by pending-read counters) is
+// provided as the related-work ablation discussed in §6.
+package release
+
+import (
+	"fmt"
+
+	"earlyrelease/internal/isa"
+	"earlyrelease/internal/rename"
+)
+
+// Kind selects the release policy.
+type Kind int
+
+// The implemented policies.
+const (
+	Conventional Kind = iota
+	Basic
+	Extended
+)
+
+// String returns the policy name used in reports.
+func (k Kind) String() string {
+	switch k {
+	case Conventional:
+		return "conv"
+	case Basic:
+		return "basic"
+	case Extended:
+		return "extended"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind converts a policy name ("conv", "basic", "extended").
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "conv", "conventional":
+		return Conventional, nil
+	case "basic":
+		return Basic, nil
+	case "extended", "ext":
+		return Extended, nil
+	}
+	return 0, fmt.Errorf("release: unknown policy %q", s)
+}
+
+// Options configures the release engine.
+type Options struct {
+	Kind  Kind
+	Reuse bool // §3.2: reuse the physical register on committed-LU redefinition
+
+	// Eager enables the Farkas/Moudgill-style ablation: schedule as in
+	// Basic, but release at LU completion (guarded by pending-read
+	// counters) instead of LU commit. Imprecise w.r.t. exceptions.
+	Eager bool
+
+	// MaxPendingBranches bounds the checkpoint stack / Release Queue
+	// depth (Table 2: 20).
+	MaxPendingBranches int
+
+	IntRegs int // physical integer registers (>= 32)
+	FPRegs  int // physical FP registers (>= 32)
+}
+
+// DefaultOptions returns the paper's baseline engine configuration for a
+// given register file size and policy.
+func DefaultOptions(kind Kind, intRegs, fpRegs int) Options {
+	return Options{
+		Kind:               kind,
+		Reuse:              true,
+		MaxPendingBranches: 20,
+		IntRegs:            intRegs,
+		FPRegs:             fpRegs,
+	}
+}
+
+// FreeReason classifies why a register was released, for statistics.
+type FreeReason uint8
+
+// Release reasons.
+const (
+	FreeConventional FreeReason = iota // old_pd at NV commit
+	FreeEarlyCommit                    // early-release bit at LU commit (RwC0)
+	FreeEarlyConfirm                   // RwNS1 at oldest-branch confirmation
+	FreeImmediate                      // committed LU at NV decode, no reuse
+	FreeSquash                         // squashed speculative allocation
+	FreeEager                          // eager ablation: at LU completion
+	FreeReuse                          // virtual release: register reused in place
+	numFreeReasons
+)
+
+// NumFreeReasons is the number of FreeReason values.
+const NumFreeReasons = int(numFreeReasons)
+
+// String names the release reason.
+func (r FreeReason) String() string {
+	switch r {
+	case FreeConventional:
+		return "conventional"
+	case FreeEarlyCommit:
+		return "early-commit"
+	case FreeEarlyConfirm:
+		return "early-confirm"
+	case FreeImmediate:
+		return "immediate"
+	case FreeSquash:
+		return "squash"
+	case FreeEager:
+		return "eager"
+	case FreeReuse:
+		return "reuse"
+	}
+	return fmt.Sprintf("FreeReason(%d)", uint8(r))
+}
+
+// Role indexes the three register operands an instruction can release
+// early: src1, src2 and dst (rel1/rel2/reld in Fig 5).
+type Role uint8
+
+// Operand roles.
+const (
+	RoleSrc1 Role = iota
+	RoleSrc2
+	RoleDst
+)
+
+func roleOfKind(k rename.LUKind) Role {
+	switch k {
+	case rename.LUSrc1:
+		return RoleSrc1
+	case rename.LUSrc2:
+		return RoleSrc2
+	default:
+		return RoleDst
+	}
+}
+
+// Slot is the rename-time view of one in-flight instruction: the fields
+// the renaming and release hardware adds to a reorder-structure entry
+// (Fig 5: p1/p2/pd, old_pd, rel bits). The pipeline embeds Slot in its
+// instruction records and passes it back to the Engine at commit,
+// writeback and squash.
+type Slot struct {
+	Seq       uint64 // dynamic sequence number; stands in for the ROSid
+	WrongPath bool
+
+	SrcClass [2]isa.RegClass
+	SrcLog   [2]isa.Reg
+	SrcPhys  [2]rename.PhysReg
+
+	DstClass isa.RegClass // ClassNone when the instruction writes nothing
+	DstLog   isa.Reg
+	DstPhys  rename.PhysReg
+	OldPhys  rename.PhysReg // previous version of the destination (old_pd)
+
+	AllocatedNew bool // allocated a fresh register (false when reused)
+	Reused       bool // redefinition reused the committed previous version
+
+	Rel    [3]bool // early-release bits rel1/rel2/reld (the RwC0 level)
+	RelOld bool    // conventional release of OldPhys at commit
+
+	Done      bool // completed execution (set by the pipeline)
+	Committed bool
+
+	readsCounted bool // eager mode: pending-read counters already decremented
+}
+
+// HasDst reports whether the slot produced a register.
+func (s *Slot) HasDst() bool { return s.DstClass != isa.ClassNone }
+
+// PhysForRole returns the physical register the given role refers to.
+func (s *Slot) PhysForRole(r Role) (isa.RegClass, rename.PhysReg) {
+	switch r {
+	case RoleSrc1:
+		return s.SrcClass[0], s.SrcPhys[0]
+	case RoleSrc2:
+		return s.SrcClass[1], s.SrcPhys[1]
+	default:
+		return s.DstClass, s.DstPhys
+	}
+}
+
+// Stats aggregates release-engine activity.
+type Stats struct {
+	Renamed     uint64
+	Committed   uint64
+	Frees       [NumFreeReasons]uint64
+	Scheduled   uint64 // early releases scheduled via rel bits / RelQue
+	ReuseHits   uint64 // redefinitions that reused the previous register
+	RelQueCond  uint64 // conditional releases entered into RelQue levels
+	RelQueDrop  uint64 // conditional releases squashed by misprediction
+	RelQueMark  uint64 // RwCx -> RwNSx migrations at LU commit
+	PeakPending int    // maximum pending branches observed
+}
+
+// TotalFrees sums all releases except squash recycling.
+func (s *Stats) TotalFrees() uint64 {
+	var t uint64
+	for r := 0; r < NumFreeReasons; r++ {
+		if FreeReason(r) != FreeSquash {
+			t += s.Frees[r]
+		}
+	}
+	return t
+}

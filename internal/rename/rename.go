@@ -1,0 +1,276 @@
+// Package rename implements the register-renaming substrate of the
+// simulated out-of-order core: merged physical register files (MIPS R10K
+// style), the Map Table, the Free List, the In-Order Map Table used for
+// exception recovery, per-branch checkpoints, and the paper's Last-Uses
+// Table (Fig 5 of Monreal et al., ICPP 2002).
+package rename
+
+import (
+	"fmt"
+
+	"earlyrelease/internal/isa"
+)
+
+// PhysReg identifies a physical register within one class's file.
+// NoReg marks an absent operand mapping.
+type PhysReg int16
+
+// NoReg is the sentinel "no physical register".
+const NoReg PhysReg = -1
+
+// FreeList is a FIFO of free physical registers.
+type FreeList struct {
+	ring []PhysReg
+	head int
+	n    int
+}
+
+// NewFreeList returns a free list with capacity for total registers.
+func NewFreeList(total int) *FreeList {
+	return &FreeList{ring: make([]PhysReg, total)}
+}
+
+// Len returns the number of free registers.
+func (f *FreeList) Len() int { return f.n }
+
+// Alloc removes and returns the oldest free register.
+func (f *FreeList) Alloc() (PhysReg, bool) {
+	if f.n == 0 {
+		return NoReg, false
+	}
+	p := f.ring[f.head]
+	f.head = (f.head + 1) % len(f.ring)
+	f.n--
+	return p, true
+}
+
+// Free appends a register to the list. It panics if the list would
+// overflow, which indicates a double-free bug in the caller.
+func (f *FreeList) Free(p PhysReg) {
+	if f.n == len(f.ring) {
+		panic(fmt.Sprintf("rename: free list overflow freeing p%d", p))
+	}
+	f.ring[(f.head+f.n)%len(f.ring)] = p
+	f.n++
+}
+
+// Reset empties the list and refills it with the given registers.
+func (f *FreeList) Reset(regs []PhysReg) {
+	f.head, f.n = 0, 0
+	for _, p := range regs {
+		f.Free(p)
+	}
+}
+
+// LUKind records how the last-use instruction used the register
+// (the Kind field of the LUs Table in Fig 5).
+type LUKind uint8
+
+// Last-use kinds. LUNone marks an architectural version with no
+// recorded use since the table was initialized or restored.
+const (
+	LUNone LUKind = iota
+	LUSrc1
+	LUSrc2
+	LUDst
+)
+
+// LUEntry is one Last-Uses Table entry: the identity (sequence number
+// standing in for the ROSid) of the instruction that used the logical
+// register last, how it used it, and whether that instruction has
+// committed (bit C).
+type LUEntry struct {
+	Seq     uint64
+	Kind    LUKind
+	C       bool
+	HasInst bool // false: no in-flight LU recorded; treat as committed
+}
+
+// LUsTable is the paper's Last-Uses Table for one register class: one
+// entry per logical register.
+type LUsTable [isa.NumLogical]LUEntry
+
+// InitCommitted resets every entry to "architectural version, committed".
+func (t *LUsTable) InitCommitted() {
+	for i := range t {
+		t[i] = LUEntry{C: true}
+	}
+}
+
+// RecordUse notes that instruction seq used logical register r as kind.
+func (t *LUsTable) RecordUse(r isa.Reg, seq uint64, kind LUKind) {
+	t[r] = LUEntry{Seq: seq, Kind: kind, HasInst: true}
+}
+
+// MarkCommitted sets the C bit for any entry naming seq. The hardware
+// does this on every table copy at commit; callers iterate the copies.
+func (t *LUsTable) MarkCommitted(r isa.Reg, seq uint64) {
+	if t[r].HasInst && t[r].Seq == seq {
+		t[r].C = true
+	}
+}
+
+// State is the renaming state of one register class: the speculative Map
+// Table, the Free List, and the Last-Uses Table, plus the In-Order Map
+// Table updated at commit (used for exception recovery).
+type State struct {
+	Class     isa.RegClass
+	NumPhys   int
+	MT        [isa.NumLogical]PhysReg
+	IOMT      [isa.NumLogical]PhysReg
+	IOMTStamp [isa.NumLogical]uint64 // commit sequence of each IOMT mapping
+	Free      *FreeList
+	LU        LUsTable
+	allocated []bool // per physical register, for double-free detection
+}
+
+// NewState builds the initial renaming state: logical register i maps to
+// physical register i, the remaining numPhys-32 registers are free.
+// numPhys must be at least NumLogical.
+func NewState(class isa.RegClass, numPhys int) (*State, error) {
+	if numPhys < isa.NumLogical {
+		return nil, fmt.Errorf("rename: %v file needs >= %d physical registers, got %d",
+			class, isa.NumLogical, numPhys)
+	}
+	s := &State{
+		Class:     class,
+		NumPhys:   numPhys,
+		Free:      NewFreeList(numPhys),
+		allocated: make([]bool, numPhys),
+	}
+	for r := 0; r < isa.NumLogical; r++ {
+		s.MT[r] = PhysReg(r)
+		s.IOMT[r] = PhysReg(r)
+		s.allocated[r] = true
+	}
+	for p := isa.NumLogical; p < numPhys; p++ {
+		s.Free.Free(PhysReg(p))
+	}
+	s.LU.InitCommitted()
+	return s, nil
+}
+
+// Lookup returns the current physical mapping of a logical register.
+func (s *State) Lookup(r isa.Reg) PhysReg { return s.MT[r] }
+
+// AllocReg takes a register from the free list.
+func (s *State) AllocReg() (PhysReg, bool) {
+	p, ok := s.Free.Alloc()
+	if ok {
+		s.allocated[p] = true
+	}
+	return p, ok
+}
+
+// FreeReg returns a register to the free list. It panics on double-free,
+// which would indicate a release-policy bug.
+func (s *State) FreeReg(p PhysReg) {
+	if p == NoReg {
+		panic("rename: freeing NoReg")
+	}
+	if !s.allocated[p] {
+		panic(fmt.Sprintf("rename: double free of %v p%d", s.Class, p))
+	}
+	s.allocated[p] = false
+	s.Free.Free(p)
+}
+
+// IsAllocated reports whether p is currently allocated.
+func (s *State) IsAllocated(p PhysReg) bool { return s.allocated[p] }
+
+// Checkpoint is a recovery snapshot of the speculative rename state of
+// one class, taken at a checkpointed control instruction.
+type Checkpoint struct {
+	MT [isa.NumLogical]PhysReg
+	LU LUsTable
+}
+
+// TakeCheckpoint snapshots MT and the LUs Table.
+func (s *State) TakeCheckpoint() *Checkpoint {
+	return &Checkpoint{MT: s.MT, LU: s.LU}
+}
+
+// Restore rewinds MT and the LUs Table to a checkpoint.
+func (s *State) Restore(c *Checkpoint) {
+	s.MT = c.MT
+	s.LU = c.LU
+}
+
+// CommitMapping updates the In-Order Map Table when the instruction with
+// commit order seq, writing logical register r, commits with physical
+// register p.
+func (s *State) CommitMapping(r isa.Reg, p PhysReg, seq uint64) {
+	s.IOMT[r] = p
+	s.IOMTStamp[r] = seq
+}
+
+// RecoverFromIOMT rebuilds the speculative state from the architectural
+// (in-order) mapping, as an exception handler would: MT := IOMT, the
+// free list becomes every register not named by the mapping, and the LUs
+// Table resets to all-committed.
+//
+// Early release makes the IOMT imprecise (§4.3 of the paper): a mapped
+// register may have been released — and even reallocated to a younger
+// committed version of another logical register. Such stale mappings hold
+// junk that the program is guaranteed to overwrite before reading. To
+// keep the rename invariant that MT is injective, each stale duplicate
+// (the mapping with the older commit stamp) is remapped to a fresh
+// register. RecoverFromIOMT returns the logical registers whose recovered
+// value is junk; the pipeline's checker asserts they are rewritten before
+// any read.
+func (s *State) RecoverFromIOMT() (tainted []isa.Reg) {
+	// Identify, for each physical register, the youngest IOMT mapping.
+	owner := make([]int, s.NumPhys)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for r := 0; r < isa.NumLogical; r++ {
+		p := s.IOMT[r]
+		if p == NoReg {
+			continue
+		}
+		if o := owner[p]; o < 0 || s.IOMTStamp[r] > s.IOMTStamp[o] {
+			owner[p] = r
+		}
+	}
+	s.MT = s.IOMT
+	// Registers released early while still architecturally mapped hold
+	// junk: they were free (or reallocated) at exception time.
+	for r := 0; r < isa.NumLogical; r++ {
+		p := s.MT[r]
+		if owner[p] != r || !s.allocated[p] {
+			tainted = append(tainted, isa.Reg(r))
+		}
+	}
+	// Rebuild allocation so that exactly the MT image (deduplicated) is
+	// live. Stale duplicates get fresh registers.
+	mapped := make([]bool, s.NumPhys)
+	for r := 0; r < isa.NumLogical; r++ {
+		if owner[s.MT[r]] == r {
+			mapped[s.MT[r]] = true
+		}
+	}
+	var free []PhysReg
+	for p := 0; p < s.NumPhys; p++ {
+		s.allocated[p] = mapped[p]
+		if !mapped[p] {
+			free = append(free, PhysReg(p))
+		}
+	}
+	s.Free.Reset(free)
+	for r := 0; r < isa.NumLogical; r++ {
+		if owner[s.MT[r]] != r {
+			p, ok := s.AllocReg()
+			if !ok {
+				panic("rename: no free register during exception recovery")
+			}
+			s.MT[r] = p
+			s.IOMT[r] = p
+		}
+	}
+	s.LU.InitCommitted()
+	return tainted
+}
+
+// AllocatedCount returns the number of currently allocated registers.
+func (s *State) AllocatedCount() int { return s.NumPhys - s.Free.Len() }

@@ -1,0 +1,253 @@
+package rename
+
+import (
+	"testing"
+	"testing/quick"
+
+	"earlyrelease/internal/isa"
+)
+
+func TestFreeListFIFO(t *testing.T) {
+	f := NewFreeList(4)
+	for i := 0; i < 4; i++ {
+		f.Free(PhysReg(i))
+	}
+	for i := 0; i < 4; i++ {
+		p, ok := f.Alloc()
+		if !ok || p != PhysReg(i) {
+			t.Fatalf("alloc %d = %v, %v", i, p, ok)
+		}
+	}
+	if _, ok := f.Alloc(); ok {
+		t.Error("alloc from empty list succeeded")
+	}
+	f.Free(9)
+	if p, _ := f.Alloc(); p != 9 {
+		t.Error("free/alloc cycle broken")
+	}
+}
+
+func TestFreeListOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow did not panic")
+		}
+	}()
+	f := NewFreeList(1)
+	f.Free(0)
+	f.Free(1)
+}
+
+func TestFreeListWraparound(t *testing.T) {
+	f := NewFreeList(3)
+	f.Free(0)
+	f.Free(1)
+	f.Free(2)
+	// Property: a long sequence of alloc/free pairs preserves FIFO order
+	// and count.
+	check := func(rounds uint8) bool {
+		for i := 0; i < int(rounds); i++ {
+			p, ok := f.Alloc()
+			if !ok {
+				return false
+			}
+			f.Free(p)
+			if f.Len() != 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewStateInitialMapping(t *testing.T) {
+	s, err := NewState(isa.ClassInt, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < isa.NumLogical; r++ {
+		if s.MT[r] != PhysReg(r) {
+			t.Fatalf("MT[%d] = %d", r, s.MT[r])
+		}
+		if !s.IsAllocated(PhysReg(r)) {
+			t.Fatalf("initial register p%d not allocated", r)
+		}
+	}
+	if s.Free.Len() != 16 {
+		t.Errorf("free = %d, want 16", s.Free.Len())
+	}
+	if _, err := NewState(isa.ClassInt, 16); err == nil {
+		t.Error("accepted file smaller than logical count")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	s, _ := NewState(isa.ClassInt, 40)
+	p, _ := s.AllocReg()
+	s.FreeReg(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	s.FreeReg(p)
+}
+
+func TestLUsTable(t *testing.T) {
+	var lu LUsTable
+	lu.InitCommitted()
+	for r := 0; r < isa.NumLogical; r++ {
+		if lu[r].HasInst || !lu[r].C {
+			t.Fatalf("entry %d not initialized committed", r)
+		}
+	}
+	lu.RecordUse(5, 100, LUSrc2)
+	if e := lu[5]; !e.HasInst || e.C || e.Seq != 100 || e.Kind != LUSrc2 {
+		t.Errorf("RecordUse result %+v", e)
+	}
+	lu.MarkCommitted(5, 99) // wrong seq: no effect
+	if lu[5].C {
+		t.Error("MarkCommitted matched wrong seq")
+	}
+	lu.MarkCommitted(5, 100)
+	if !lu[5].C {
+		t.Error("MarkCommitted did not set C")
+	}
+	// A newer use overwrites the entry (new LU identity).
+	lu.RecordUse(5, 200, LUDst)
+	if lu[5].C || lu[5].Seq != 200 || lu[5].Kind != LUDst {
+		t.Errorf("overwrite result %+v", lu[5])
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	s, _ := NewState(isa.ClassInt, 40)
+	s.LU.RecordUse(3, 7, LUSrc1)
+	cp := s.TakeCheckpoint()
+	// Mutate state past the checkpoint.
+	p, _ := s.AllocReg()
+	s.MT[3] = p
+	s.LU.RecordUse(3, 9, LUDst)
+	s.Restore(cp)
+	if s.MT[3] != 3 {
+		t.Errorf("MT not restored: %d", s.MT[3])
+	}
+	if s.LU[3].Seq != 7 || s.LU[3].Kind != LUSrc1 {
+		t.Errorf("LU not restored: %+v", s.LU[3])
+	}
+	// C-bit updates go to checkpoint copies too (caller responsibility);
+	// verify the snapshot is an independent copy.
+	cp2 := s.TakeCheckpoint()
+	s.LU.RecordUse(3, 11, LUSrc2)
+	if cp2.LU[3].Seq == 11 {
+		t.Error("checkpoint aliases live table")
+	}
+}
+
+func TestRecoverFromIOMTSimple(t *testing.T) {
+	s, _ := NewState(isa.ClassInt, 40)
+	// Commit a new version of r1 into p35.
+	p, _ := s.AllocReg()
+	if p != 32 {
+		t.Fatalf("unexpected alloc order %d", p)
+	}
+	s.MT[1] = p
+	s.CommitMapping(1, p, 10)
+	s.FreeReg(1) // old version released (conventional)
+	tainted := s.RecoverFromIOMT()
+	if len(tainted) != 0 {
+		t.Errorf("unexpected taints %v", tainted)
+	}
+	if s.MT[1] != p {
+		t.Errorf("MT[1] = %d, want %d", s.MT[1], p)
+	}
+	// 40 regs, 32 mapped -> 8 free.
+	if s.Free.Len() != 8 {
+		t.Errorf("free = %d, want 8", s.Free.Len())
+	}
+}
+
+func TestRecoverFromIOMTEarlyReleased(t *testing.T) {
+	s, _ := NewState(isa.ClassInt, 40)
+	// Early release of r2's architectural version (p2) while the IOMT
+	// still maps it: §4.3 situation.
+	s.FreeReg(2)
+	tainted := s.RecoverFromIOMT()
+	found := false
+	for _, r := range tainted {
+		if r == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("r2 should be tainted; got %v", tainted)
+	}
+	// The mapping itself is preserved (paper: value does not matter).
+	if s.MT[2] != 2 {
+		t.Errorf("MT[2] = %d, want 2", s.MT[2])
+	}
+}
+
+func TestRecoverFromIOMTDuplicate(t *testing.T) {
+	s, _ := NewState(isa.ClassInt, 40)
+	// r2's version p2 is early released, reallocated, and committed as
+	// r7's version: IOMT maps both r2 and r7 to p2.
+	s.FreeReg(2)
+	for {
+		q, ok := s.AllocReg()
+		if !ok {
+			t.Fatal("allocation failed before p2 recycled")
+		}
+		if q == 2 {
+			break
+		}
+	}
+	s.MT[7] = 2
+	s.CommitMapping(7, 2, 50) // younger than r2's stamp (0)
+	tainted := s.RecoverFromIOMT()
+	// r2 is the stale duplicate: must be tainted and remapped to a
+	// fresh register so MT stays injective.
+	foundR2 := false
+	for _, r := range tainted {
+		if r == 2 {
+			foundR2 = true
+		}
+	}
+	if !foundR2 {
+		t.Fatalf("r2 not tainted: %v", tainted)
+	}
+	if s.MT[2] == s.MT[7] {
+		t.Error("MT not injective after recovery")
+	}
+	if s.MT[7] != 2 {
+		t.Errorf("younger mapping lost: MT[7]=%d", s.MT[7])
+	}
+	seen := make(map[PhysReg]bool)
+	for r := 0; r < isa.NumLogical; r++ {
+		if seen[s.MT[r]] {
+			t.Fatalf("duplicate mapping p%d", s.MT[r])
+		}
+		seen[s.MT[r]] = true
+		if !s.IsAllocated(s.MT[r]) {
+			t.Fatalf("mapped register p%d not allocated", s.MT[r])
+		}
+	}
+}
+
+func TestAllocatedCount(t *testing.T) {
+	s, _ := NewState(isa.ClassFP, 64)
+	if s.AllocatedCount() != 32 {
+		t.Errorf("initial allocated = %d", s.AllocatedCount())
+	}
+	p, _ := s.AllocReg()
+	if s.AllocatedCount() != 33 {
+		t.Errorf("after alloc = %d", s.AllocatedCount())
+	}
+	s.FreeReg(p)
+	if s.AllocatedCount() != 32 {
+		t.Errorf("after free = %d", s.AllocatedCount())
+	}
+}

@@ -1,0 +1,185 @@
+// Package stats provides the small statistical and report-formatting
+// helpers shared by the experiment drivers: harmonic means (the paper
+// reports IPC harmonic means), speedups, and fixed-width text tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// HarmonicMean returns the harmonic mean of xs (0 for empty input).
+// Non-positive values are rejected with NaN since they have no harmonic
+// mean.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv
+}
+
+// ArithmeticMean returns the average of xs (0 for empty input).
+func ArithmeticMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeometricMean returns the geometric mean of xs.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var lg float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		lg += math.Log(x)
+	}
+	return math.Exp(lg / float64(len(xs)))
+}
+
+// Speedup returns (new/old - 1), i.e. the fractional improvement the
+// paper reports as "x% speedup".
+func Speedup(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return newV/oldV - 1
+}
+
+// Pct formats a fraction as a percentage string ("+5.3%").
+func Pct(f float64) string { return fmt.Sprintf("%+.1f%%", 100*f) }
+
+// Table accumulates rows and renders them with aligned columns; used by
+// cmd/figures to print the paper's tables and figure series.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values.
+func (t *Table) AddRowf(format string, cells ...any) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			parts[i] = fmt.Sprintf(format, v)
+		default:
+			parts[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(parts...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	var rule []string
+	for _, w := range width {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	writeRow(rule)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is one named curve of a figure: y-values indexed by the shared
+// x-axis of the figure.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is a printable reconstruction of one paper figure: a shared
+// x-axis and several series.
+type Figure struct {
+	Title  string
+	XLabel string
+	X      []float64
+	Series []Series
+}
+
+// Add appends a series.
+func (f *Figure) Add(name string, y []float64) {
+	f.Series = append(f.Series, Series{Name: name, Y: y})
+}
+
+// String renders the figure as a table of series values.
+func (f *Figure) String() string {
+	t := NewTable(append([]string{f.XLabel}, seriesNames(f.Series)...)...)
+	for i, x := range f.X {
+		cells := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				cells = append(cells, fmt.Sprintf("%.3f", s.Y[i]))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	return f.Title + "\n" + t.String()
+}
+
+func seriesNames(ss []Series) []string {
+	names := make([]string, len(ss))
+	for i, s := range ss {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}

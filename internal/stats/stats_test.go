@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1, 1}); got != 1 {
+		t.Errorf("Hm(1,1,1) = %f", got)
+	}
+	if got := HarmonicMean([]float64{2, 4, 4}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Hm(2,4,4) = %f, want 3", got)
+	}
+	if got := HarmonicMean(nil); got != 0 {
+		t.Errorf("Hm() = %f", got)
+	}
+	if !math.IsNaN(HarmonicMean([]float64{1, 0})) {
+		t.Error("Hm with zero should be NaN")
+	}
+}
+
+func TestMeanInequalities(t *testing.T) {
+	// Property: Hm <= Gm <= Am for positive inputs.
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		hm, gm, am := HarmonicMean(xs), GeometricMean(xs), ArithmeticMean(xs)
+		return hm <= gm+1e-9 && gm <= am+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(2, 2.2); math.Abs(s-0.1) > 1e-12 {
+		t.Errorf("Speedup = %f", s)
+	}
+	if s := Speedup(0, 5); s != 0 {
+		t.Errorf("Speedup from 0 = %f", s)
+	}
+	if Pct(0.053) != "+5.3%" {
+		t.Errorf("Pct = %q", Pct(0.053))
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	w := len(lines[0])
+	for i, l := range lines {
+		if len(l) != w {
+			t.Errorf("line %d width %d != %d:\n%s", i, len(l), w, out)
+		}
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	f := Figure{Title: "T", XLabel: "x", X: []float64{1, 2}}
+	f.Add("a", []float64{0.5, 0.6})
+	f.Add("b", []float64{0.7}) // short series: missing cell is "-"
+	out := f.String()
+	if !strings.Contains(out, "T") || !strings.Contains(out, "0.500") {
+		t.Errorf("figure output missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing-cell marker not rendered:\n%s", out)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRowf("%.2f", 1.234, "x")
+	out := tb.String()
+	if !strings.Contains(out, "1.23") || !strings.Contains(out, "x") {
+		t.Errorf("AddRowf output:\n%s", out)
+	}
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"earlyrelease/internal/isa"
+)
+
+func TestDynamicMix(t *testing.T) {
+	tr := &Trace{Entries: []Entry{
+		{Inst: isa.Inst{Op: isa.ADD, Rd: 1}},
+		{Inst: isa.Inst{Op: isa.FADD, Rd: 1}},
+		{Inst: isa.Inst{Op: isa.LD, Rd: 2}},
+		{Inst: isa.Inst{Op: isa.SD}},
+		{Inst: isa.Inst{Op: isa.BEQ}, Taken: true},
+		{Inst: isa.Inst{Op: isa.BNE}},
+		{Inst: isa.Inst{Op: isa.JAL, Rd: 31}},
+	}}
+	m := tr.DynamicMix()
+	if m.Total != 7 || m.Branches != 2 || m.TakenBr != 1 || m.Jumps != 1 {
+		t.Errorf("mix = %+v", m)
+	}
+	if m.Loads != 1 || m.Stores != 1 || m.FPArith != 1 || m.IntArith != 1 {
+		t.Errorf("mix ops = %+v", m)
+	}
+	if m.IntWriters != 3 || m.FPWriters != 1 { // add, ld, jal / fadd
+		t.Errorf("writers = %d/%d", m.IntWriters, m.FPWriters)
+	}
+	if m.BranchEvery != 3.5 {
+		t.Errorf("branch every = %v", m.BranchEvery)
+	}
+	if !strings.Contains(m.String(), "total=7") {
+		t.Errorf("String() = %q", m.String())
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	tr := &Trace{Entries: []Entry{{PC: 0x1000}, {PC: 0x1004}}}
+	if tr.Len() != 2 || tr.At(1).PC != 0x1004 {
+		t.Errorf("accessors broken")
+	}
+}

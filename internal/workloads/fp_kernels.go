@@ -1,0 +1,479 @@
+package workloads
+
+import (
+	"earlyrelease/internal/program"
+)
+
+// fpGrid allocates an n-element float64 array with deterministic
+// pseudo-random positive contents. Each allocation is preceded by a
+// line-staggering pad so that the kernels' parallel array streams do not
+// alias in the set-indexed caches (Fortran compilers apply the same
+// array padding to the SPEC codes).
+func fpGrid(b *program.Builder, name string, n int, seed uint64) {
+	pad(b, name)
+	rng := newLCG(seed)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.float()
+	}
+	b.Doubles(name, vals...)
+}
+
+// pad inserts a deterministic, name-dependent cache-line stagger before
+// an array (the pads accumulate, so consecutive arrays never share a
+// set alignment).
+func pad(b *program.Builder, name string) {
+	h := 0
+	for _, c := range name {
+		h = h*31 + int(c)
+	}
+	b.Space("_pad_"+name, 192*(h%7)+72)
+}
+
+// fpSpace is Space with the same anti-aliasing padding.
+func fpSpace(b *program.Builder, name string, bytes int) {
+	pad(b, name)
+	b.Space(name, bytes)
+}
+
+// buildMgrid models mgrid's 3D 7-point relaxation: for each interior
+// point, a weighted sum of the six neighbors and the center. Unrolled by
+// two to raise the number of simultaneously live FP values.
+func buildMgrid(scale int) *program.Program {
+	const (
+		dim     = 16 // 16^3 grid
+		perIter = 36 // two points per iteration
+	)
+	n := dim * dim * dim
+	interior := (dim - 2) * dim * dim // sweep a contiguous interior band
+	sweeps := max(1, scale/(interior/2*perIter))
+	b := program.NewBuilder("mgrid")
+
+	fpGrid(b, "u", n, 10)
+	fpSpace(b, "r", n*8)
+	b.Doubles("coef", 0.5, 1.0/6.0)
+
+	const (
+		rU   = 10
+		rR   = 11
+		rI   = 12
+		rEnd = 13
+		rS   = 14
+		rNS  = 15
+		rT0  = 16
+		rT1  = 17
+	)
+	const (
+		fC0 = 1
+		fC1 = 2
+		// per-point temporaries below
+	)
+	b.La(rT0, "coef")
+	b.Fld(fC0, rT0, 0)
+	b.Fld(fC1, rT0, 8)
+	b.La(rU, "u")
+	b.La(rR, "r")
+	b.Li(rS, 0)
+	b.Li(rNS, int64(sweeps))
+
+	stride := int64(8)
+	strideY := int64(dim * 8)
+	strideZ := int64(dim * dim * 8)
+
+	b.Label("sweep")
+	b.Li(rI, int64(dim*dim)*8) // start of interior band (z = 1)
+	b.Li(rEnd, int64(n-dim*dim)*8)
+	b.Label("pt")
+	b.Add(rT0, rU, rI)
+	b.Add(rT1, rR, rI)
+	// point 0: f3..f10 live together
+	b.Fld(3, rT0, 0)        // center
+	b.Fld(4, rT0, -stride)  // x-1
+	b.Fld(5, rT0, stride)   // x+1
+	b.Fld(6, rT0, -strideY) // y-1
+	b.Fld(7, rT0, strideY)  // y+1
+	b.Fld(8, rT0, -strideZ) // z-1
+	b.Fld(9, rT0, strideZ)  // z+1
+	b.Fadd(10, 4, 5)
+	b.Fadd(11, 6, 7)
+	b.Fadd(12, 8, 9)
+	b.Fadd(10, 10, 11)
+	b.Fadd(10, 10, 12)
+	b.Fmul(10, 10, fC1)
+	b.Fmul(13, 3, fC0)
+	b.Fadd(13, 13, 10)
+	b.Fsd(13, rT1, 0)
+	// point 1 (unrolled): f14..f21
+	b.Fld(14, rT0, stride)
+	b.Fld(15, rT0, 0)
+	b.Fld(16, rT0, 2*stride)
+	b.Fld(17, rT0, stride-strideY)
+	b.Fld(18, rT0, stride+strideY)
+	b.Fld(19, rT0, stride-strideZ)
+	b.Fld(20, rT0, stride+strideZ)
+	b.Fadd(21, 15, 16)
+	b.Fadd(22, 17, 18)
+	b.Fadd(23, 19, 20)
+	b.Fadd(21, 21, 22)
+	b.Fadd(21, 21, 23)
+	b.Fmul(21, 21, fC1)
+	b.Fmul(24, 14, fC0)
+	b.Fadd(24, 24, 21)
+	b.Fsd(24, rT1, stride)
+	b.Addi(rI, rI, 16)
+	b.Blt(rI, rEnd, "pt")
+	b.Addi(rS, rS, 1)
+	b.Blt(rS, rNS, "sweep")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildTomcatv models tomcatv's mesh-generation loop: eight neighbor
+// loads from two coordinate arrays feed a long expression tree with many
+// simultaneously live intermediates — the highest register pressure in
+// the suite, matching the paper's most pressure-sensitive benchmark.
+func buildTomcatv(scale int) *program.Program {
+	const (
+		dim     = 64
+		perIter = 44
+	)
+	n := dim * dim
+	interiorRows := dim - 2
+	sweeps := max(1, scale/(interiorRows*(dim-2)*perIter))
+	b := program.NewBuilder("tomcatv")
+
+	fpGrid(b, "x", n, 20)
+	fpGrid(b, "y", n, 21)
+	fpSpace(b, "rx", n*8)
+	fpSpace(b, "ry", n*8)
+	b.Doubles("k", 0.5, 0.25, 0.125)
+
+	const (
+		rX   = 10
+		rY   = 11
+		rRX  = 12
+		rRY  = 13
+		rI   = 14
+		rEnd = 15
+		rS   = 8
+		rNS  = 9
+		rT0  = 16
+		rT1  = 17
+		rT2  = 18
+		rT3  = 19
+	)
+	row := int64(dim * 8)
+	b.La(rX, "x")
+	b.La(rY, "y")
+	b.La(rRX, "rx")
+	b.La(rRY, "ry")
+	b.La(rT0, "k")
+	b.Fld(29, rT0, 0)  // 0.5
+	b.Fld(30, rT0, 8)  // 0.25
+	b.Fld(31, rT0, 16) // 0.125
+	b.Li(rS, 0)
+	b.Li(rNS, int64(sweeps))
+
+	b.Label("sweep")
+	b.Li(rI, row+8)              // first interior point
+	b.Li(rEnd, int64(n)*8-row-8) // last interior point
+	b.Label("pt")
+	b.Add(rT0, rX, rI)
+	b.Add(rT1, rY, rI)
+	b.Add(rT2, rRX, rI)
+	b.Add(rT3, rRY, rI)
+	// eight neighbor loads: f1..f8 all live
+	b.Fld(1, rT0, 8)    // x[i+1,j]
+	b.Fld(2, rT0, -8)   // x[i-1,j]
+	b.Fld(3, rT0, row)  // x[i,j+1]
+	b.Fld(4, rT0, -row) // x[i,j-1]
+	b.Fld(5, rT1, 8)
+	b.Fld(6, rT1, -8)
+	b.Fld(7, rT1, row)
+	b.Fld(8, rT1, -row)
+	// central differences: f9..f12
+	b.Fsub(9, 1, 2)
+	b.Fmul(9, 9, 29) // xx
+	b.Fsub(10, 3, 4)
+	b.Fmul(10, 10, 29) // xy
+	b.Fsub(11, 5, 6)
+	b.Fmul(11, 11, 29) // yx
+	b.Fsub(12, 7, 8)
+	b.Fmul(12, 12, 29) // yy
+	// quadratic forms: f13..f20 (peak liveness ~16 FP registers)
+	b.Fmul(13, 10, 10)
+	b.Fmul(14, 12, 12)
+	b.Fadd(15, 13, 14)
+	b.Fmul(15, 15, 30) // a
+	b.Fmul(16, 9, 9)
+	b.Fmul(17, 11, 11)
+	b.Fadd(18, 16, 17)
+	b.Fmul(18, 18, 30) // b
+	b.Fmul(19, 9, 10)
+	b.Fmul(20, 11, 12)
+	b.Fadd(21, 19, 20)
+	b.Fmul(21, 21, 31) // c
+	// residuals
+	b.Fmul(22, 15, 9)
+	b.Fmul(23, 21, 10)
+	b.Fsub(24, 22, 23)
+	b.Fsd(24, rT2, 0)
+	b.Fmul(25, 18, 12)
+	b.Fmul(26, 21, 11)
+	b.Fsub(27, 25, 26)
+	b.Fsd(27, rT3, 0)
+	b.Addi(rI, rI, 8)
+	b.Blt(rI, rEnd, "pt")
+	b.Addi(rS, rS, 1)
+	b.Blt(rS, rNS, "sweep")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildApplu models applu's blocked lower-triangular solves: each cell
+// performs a 3-stage forward substitution whose divides form a serial
+// dependence chain (long FP lifetimes).
+func buildApplu(scale int) *program.Program {
+	const (
+		cells   = 2048
+		perIter = 30
+	)
+	sweeps := max(1, scale/(cells*perIter))
+	b := program.NewBuilder("applu")
+
+	fpGrid(b, "a", cells*6, 30) // per-cell coefficients (lower triangle)
+	fpGrid(b, "d", cells*3, 31) // diagonals (positive)
+	fpGrid(b, "rhs", cells*3, 32)
+	fpSpace(b, "sol", cells*3*8)
+
+	const (
+		rA  = 10
+		rD  = 11
+		rB  = 12
+		rS  = 13
+		rI  = 14
+		rN  = 15
+		rSw = 8
+		rNS = 9
+		rT0 = 16
+		rT1 = 17
+		rT2 = 18
+		rT3 = 19
+	)
+	b.La(rA, "a")
+	b.La(rD, "d")
+	b.La(rB, "rhs")
+	b.La(rS, "sol")
+	b.Li(rSw, 0)
+	b.Li(rNS, int64(sweeps))
+
+	b.Label("sweep")
+	b.Li(rI, 0)
+	b.Li(rN, cells)
+	b.Label("cell")
+	// addresses: cell i's rhs/diag/sol live at offset i*24 (3 doubles)
+	b.Slli(rT0, rI, 3)
+	b.Slli(rT1, rI, 4)
+	b.Add(rT1, rT1, rT0) // i*24
+	b.Add(rT2, rB, rT1)
+	b.Add(rT3, rD, rT1)
+	// load rhs and diagonal
+	b.Fld(1, rT2, 0)
+	b.Fld(2, rT2, 8)
+	b.Fld(3, rT2, 16)
+	b.Fld(4, rT3, 0)
+	b.Fld(5, rT3, 8)
+	b.Fld(6, rT3, 16)
+	// load triangle coefficients at offset i*48 (6 doubles per cell)
+	b.Slli(rT0, rI, 5)
+	b.Slli(rT2, rI, 4)
+	b.Add(rT0, rT0, rT2) // i*48
+	b.Add(rT0, rA, rT0)
+	b.Fld(7, rT0, 0)  // a10
+	b.Fld(8, rT0, 8)  // a20
+	b.Fld(9, rT0, 16) // a21
+	// forward substitution: serial divide chain
+	b.Fdiv(10, 1, 4) // x0
+	b.Fmul(11, 7, 10)
+	b.Fsub(12, 2, 11)
+	b.Fdiv(13, 12, 5) // x1
+	b.Fmul(14, 8, 10)
+	b.Fmul(15, 9, 13)
+	b.Fsub(16, 3, 14)
+	b.Fsub(17, 16, 15)
+	b.Fdiv(18, 17, 6) // x2
+	// store solution
+	b.Add(rT2, rS, rT1)
+	b.Fsd(10, rT2, 0)
+	b.Fsd(13, rT2, 8)
+	b.Fsd(18, rT2, 16)
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "cell")
+	b.Addi(rSw, rSw, 1)
+	b.Blt(rSw, rNS, "sweep")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildSwim models swim's shallow-water updates: three grids feed
+// stencil computations for two derived fields per point.
+func buildSwim(scale int) *program.Program {
+	const (
+		dim     = 64
+		perIter = 28
+	)
+	n := dim * dim
+	sweeps := max(1, scale/((dim-2)*(dim-2)*perIter))
+	b := program.NewBuilder("swim")
+
+	fpGrid(b, "u", n, 40)
+	fpGrid(b, "v", n, 41)
+	fpGrid(b, "p", n, 42)
+	fpSpace(b, "cu", n*8)
+	fpSpace(b, "h", n*8)
+	b.Doubles("c", 0.5, 0.25, 2.0)
+
+	const (
+		rU   = 10
+		rV   = 11
+		rP   = 12
+		rCU  = 13
+		rH   = 14
+		rI   = 15
+		rEnd = 8
+		rS   = 9
+		rNS  = 7
+		rT0  = 16
+		rT1  = 17
+		rT2  = 18
+		rT3  = 19
+		rT4  = 20
+	)
+	row := int64(dim * 8)
+	b.La(rU, "u")
+	b.La(rV, "v")
+	b.La(rP, "p")
+	b.La(rCU, "cu")
+	b.La(rH, "h")
+	b.La(rT0, "c")
+	b.Fld(29, rT0, 0)
+	b.Fld(30, rT0, 8)
+	b.Fld(31, rT0, 16)
+	b.Li(rS, 0)
+	b.Li(rNS, int64(sweeps))
+
+	b.Label("sweep")
+	b.Li(rI, row+8)
+	b.Li(rEnd, int64(n)*8-row-8)
+	b.Label("pt")
+	b.Add(rT0, rU, rI)
+	b.Add(rT1, rV, rI)
+	b.Add(rT2, rP, rI)
+	b.Add(rT3, rCU, rI)
+	b.Add(rT4, rH, rI)
+	b.Fld(1, rT0, 0)   // u
+	b.Fld(2, rT1, 0)   // v
+	b.Fld(3, rT2, 0)   // p
+	b.Fld(4, rT2, 8)   // p east
+	b.Fld(5, rT2, row) // p north
+	// cu = 0.5*(p + p_e)*u
+	b.Fadd(6, 3, 4)
+	b.Fmul(6, 6, 29)
+	b.Fmul(6, 6, 1)
+	b.Fsd(6, rT3, 0)
+	// h = p + 0.25*(u*u + v*v) + 0.5*(p_n - p)
+	b.Fmul(7, 1, 1)
+	b.Fmul(8, 2, 2)
+	b.Fadd(9, 7, 8)
+	b.Fmul(9, 9, 30)
+	b.Fsub(10, 5, 3)
+	b.Fmul(10, 10, 29)
+	b.Fadd(11, 3, 9)
+	b.Fadd(11, 11, 10)
+	b.Fsd(11, rT4, 0)
+	b.Addi(rI, rI, 8)
+	b.Blt(rI, rEnd, "pt")
+	b.Addi(rS, rS, 1)
+	b.Blt(rS, rNS, "sweep")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildHydro2d models hydro2d's gas-dynamics updates: per-cell derived
+// quantities through divide and square-root chains (very long latencies
+// keep many versions live).
+func buildHydro2d(scale int) *program.Program {
+	const (
+		cells   = 4096
+		perIter = 26
+	)
+	sweeps := max(1, scale/(cells*perIter))
+	b := program.NewBuilder("hydro2d")
+
+	fpGrid(b, "rho", cells, 50)
+	fpGrid(b, "mom", cells, 51)
+	fpGrid(b, "ene", cells, 52)
+	fpSpace(b, "flux", cells*8)
+	fpSpace(b, "cs", cells*8)
+	b.Doubles("g", 1.4, 0.4, 0.5)
+
+	const (
+		rRho  = 10
+		rMom  = 11
+		rEne  = 12
+		rFlux = 13
+		rCs   = 14
+		rI    = 15
+		rN    = 8
+		rS    = 9
+		rNS   = 7
+		rT0   = 16
+		rT1   = 17
+	)
+	b.La(rRho, "rho")
+	b.La(rMom, "mom")
+	b.La(rEne, "ene")
+	b.La(rFlux, "flux")
+	b.La(rCs, "cs")
+	b.La(rT0, "g")
+	b.Fld(29, rT0, 0)  // gamma
+	b.Fld(30, rT0, 8)  // gamma-1
+	b.Fld(31, rT0, 16) // 0.5
+	b.Li(rS, 0)
+	b.Li(rNS, int64(sweeps))
+
+	b.Label("sweep")
+	b.Li(rI, 0)
+	b.Li(rN, int64(cells)*8)
+	b.Label("cell")
+	b.Add(rT0, rRho, rI)
+	b.Add(rT1, rMom, rI)
+	b.Fld(1, rT0, 0) // rho
+	b.Fld(2, rT1, 0) // mom
+	b.Add(rT0, rEne, rI)
+	b.Fld(3, rT0, 0) // energy
+	// v = mom / rho (divide chain head)
+	b.Fdiv(4, 2, 1)
+	// pressure = (gamma-1) * (e - 0.5*mom*v)
+	b.Fmul(5, 2, 4)
+	b.Fmul(5, 5, 31)
+	b.Fsub(6, 3, 5)
+	b.Fmul(6, 6, 30)
+	// sound speed = sqrt(gamma * pr / rho)
+	b.Fmul(7, 6, 29)
+	b.Fdiv(8, 7, 1)
+	b.Fsqrt(9, 8)
+	// flux = mom*v + pr
+	b.Fmul(10, 2, 4)
+	b.Fadd(10, 10, 6)
+	b.Add(rT0, rFlux, rI)
+	b.Fsd(10, rT0, 0)
+	b.Add(rT1, rCs, rI)
+	b.Fsd(9, rT1, 0)
+	b.Addi(rI, rI, 8)
+	b.Blt(rI, rN, "cell")
+	b.Addi(rS, rS, 1)
+	b.Blt(rS, rNS, "sweep")
+	b.Halt()
+	return b.MustBuild()
+}

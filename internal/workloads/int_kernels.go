@@ -1,0 +1,468 @@
+package workloads
+
+import (
+	"earlyrelease/internal/isa"
+	"earlyrelease/internal/program"
+)
+
+// buildCompress models compress95's hot loop: stream bytes, maintain a
+// rolling hash, probe a code table, and take a data-dependent hit/miss
+// branch. Roughly 16 dynamic instructions per input byte.
+func buildCompress(scale int) *program.Program {
+	const (
+		inputLen = 4096
+		tableLen = 8192
+		perIter  = 17
+	)
+	iters := max(64, scale/perIter)
+	b := program.NewBuilder("compress")
+
+	rng := newLCG(1)
+	input := make([]byte, inputLen)
+	for i := range input {
+		// Mix of repetitive and random content, like the compress input.
+		if i%7 < 4 {
+			input[i] = byte('a' + i%11)
+		} else {
+			input[i] = byte(rng.intn(256))
+		}
+	}
+	b.Bytes("input", input)
+	b.Space("table", tableLen*8)
+	b.Words("out", 0, 0)
+
+	const (
+		rIn   = 10
+		rI    = 11
+		rN    = 12
+		rHash = 13
+		rTab  = 14
+		rMiss = 15
+		rHit  = 24
+		rT0   = 16
+		rT1   = 17
+		rT2   = 18
+		rT3   = 19
+		rT4   = 20
+		rT5   = 21
+	)
+	b.La(rIn, "input")
+	b.La(rTab, "table")
+	b.Li(rI, 0)
+	b.Li(rN, int64(iters))
+	b.Li(rHash, 0)
+	b.Li(rMiss, 0)
+	b.Li(rHit, 0)
+
+	b.Label("loop")
+	b.Andi(rT0, rI, inputLen-1)
+	b.Add(rT1, rIn, rT0)
+	b.Lb(rT2, rT1, 0) // next byte
+	// hash = (hash*31 + byte) & (tableLen-1)
+	b.Slli(rT3, rHash, 5)
+	b.Sub(rT3, rT3, rHash)
+	b.Add(rT3, rT3, rT2)
+	b.Andi(rHash, rT3, tableLen-1)
+	// probe the code table
+	b.Slli(rT4, rHash, 3)
+	b.Add(rT4, rTab, rT4)
+	b.Ld(rT5, rT4, 0)
+	b.Beq(rT5, rT2, "hit")
+	// miss: install the code
+	b.Sd(rT2, rT4, 0)
+	b.Addi(rMiss, rMiss, 1)
+	b.J("next")
+	b.Label("hit")
+	b.Addi(rHit, rHit, 1)
+	b.Label("next")
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+
+	b.La(rT0, "out")
+	b.Sd(rMiss, rT0, 0)
+	b.Sd(rHit, rT0, 8)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildGCC models gcc's IR walks: load a pseudo-opcode, dispatch through
+// a compare tree into one of six short basic blocks.
+func buildGCC(scale int) *program.Program {
+	const (
+		opsLen  = 2048
+		memLen  = 1024
+		perIter = 13
+	)
+	iters := max(64, scale/perIter)
+	b := program.NewBuilder("gcc")
+
+	rng := newLCG(2)
+	ops := make([]int64, opsLen)
+	for i := range ops {
+		ops[i] = int64(rng.intn(6))
+	}
+	b.Words("ops", ops...)
+	b.Space("mem", memLen*8)
+	b.Words("out", 0)
+
+	const (
+		rOps = 10
+		rMem = 12
+		rI   = 11
+		rN   = 13
+		rAcc = 20
+		rVal = 21
+		rT0  = 16
+		rT1  = 17
+		rT2  = 18
+		rT3  = 19
+	)
+	b.La(rOps, "ops")
+	b.La(rMem, "mem")
+	b.Li(rI, 0)
+	b.Li(rN, int64(iters))
+	b.Li(rAcc, 0x1234)
+	b.Li(rVal, 7)
+
+	b.Label("loop")
+	b.Andi(rT0, rI, opsLen-1)
+	b.Slli(rT0, rT0, 3)
+	b.Add(rT1, rOps, rT0)
+	b.Ld(rT2, rT1, 0) // opcode
+	// dispatch tree
+	b.Slti(rT3, rT2, 3)
+	b.Beqz(rT3, "hi")
+	b.Slti(rT3, rT2, 1)
+	b.Beqz(rT3, "op12")
+	b.Add(rAcc, rAcc, rVal) // op 0
+	b.J("next")
+	b.Label("op12")
+	b.Slti(rT3, rT2, 2)
+	b.Beqz(rT3, "op2")
+	b.Xor(rVal, rVal, rAcc) // op 1
+	b.J("next")
+	b.Label("op2")
+	b.Slli(rT3, rVal, 1)
+	b.Or(rAcc, rAcc, rT3) // op 2
+	b.J("next")
+	b.Label("hi")
+	b.Slti(rT3, rT2, 4)
+	b.Beqz(rT3, "op45")
+	b.Andi(rT3, rAcc, memLen-1) // op 3: load
+	b.Slli(rT3, rT3, 3)
+	b.Add(rT3, rMem, rT3)
+	b.Ld(rT0, rT3, 0)
+	b.Add(rAcc, rAcc, rT0)
+	b.J("next")
+	b.Label("op45")
+	b.Slti(rT3, rT2, 5)
+	b.Beqz(rT3, "op5")
+	b.Andi(rT3, rVal, memLen-1) // op 4: store
+	b.Slli(rT3, rT3, 3)
+	b.Add(rT3, rMem, rT3)
+	b.Sd(rAcc, rT3, 0)
+	b.J("next")
+	b.Label("op5")
+	b.Sub(rAcc, rAcc, rVal) // op 5
+	b.Label("next")
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+
+	b.La(rT0, "out")
+	b.Sd(rAcc, rT0, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildGo models go's recursive evaluation: an irregular binary game
+// tree walked by real calls/returns, with data-dependent pruning.
+func buildGo(scale int) *program.Program {
+	const (
+		boardLen = 256
+		depth    = 7
+		perTop   = 2600 // ~dynamic instructions per top-level evaluation
+	)
+	tops := max(4, scale/perTop)
+	b := program.NewBuilder("go")
+
+	rng := newLCG(3)
+	board := make([]int64, boardLen)
+	for i := range board {
+		board[i] = int64(rng.intn(97))
+	}
+	b.Words("board", board...)
+	b.Words("out", 0)
+
+	const (
+		rBoard = 10
+		rTop   = 11
+		rNTop  = 12
+		rSum   = 13
+		rD     = 4 // depth argument
+		rP     = 5 // position argument
+		rRes   = 2 // result
+		rT0    = 16
+		rT1    = 17
+		rT2    = 18
+	)
+	b.La(rBoard, "board")
+	b.Li(rTop, 0)
+	b.Li(rNTop, int64(tops))
+	b.Li(rSum, 0)
+
+	b.Label("toploop")
+	b.Li(rD, depth)
+	b.Mul(rP, rTop, rTop)
+	b.Addi(rP, rP, 37)
+	b.Call("eval")
+	b.Add(rSum, rSum, rRes)
+	b.Addi(rTop, rTop, 1)
+	b.Blt(rTop, rNTop, "toploop")
+	b.La(rT0, "out")
+	b.Sd(rSum, rT0, 0)
+	b.Halt()
+
+	// eval(d in rD, p in rP) -> rRes
+	b.Label("eval")
+	b.Andi(rT0, rP, boardLen-1)
+	b.Slli(rT0, rT0, 3)
+	b.Add(rT0, rBoard, rT0)
+	b.Ld(rT1, rT0, 0) // board value at p
+	b.Bnez(rD, "interior")
+	b.Mov(rRes, rT1)
+	b.Ret()
+	b.Label("interior")
+	// First child always explored.
+	b.Prologue(40)
+	b.Sd(rD, isa.SP, 8)
+	b.Sd(rP, isa.SP, 16)
+	b.Sd(rT1, isa.SP, 24)
+	b.Addi(rD, rD, -1)
+	b.Slli(rP, rP, 1)
+	b.Addi(rP, rP, 1)
+	b.Call("eval")
+	b.Ld(rD, isa.SP, 8)
+	b.Ld(rP, isa.SP, 16)
+	b.Ld(rT1, isa.SP, 24)
+	// Prune the second child when the board value is even (data
+	// dependent, poorly predictable).
+	b.Andi(rT2, rT1, 1)
+	b.Beqz(rT2, "prune")
+	b.Sd(rRes, isa.SP, 32)
+	b.Addi(rD, rD, -1)
+	b.Slli(rP, rP, 1)
+	b.Addi(rP, rP, 3)
+	b.Call("eval")
+	b.Ld(rT0, isa.SP, 32)
+	// max(children)
+	b.Slt(rT2, rRes, rT0)
+	b.Beqz(rT2, "keep")
+	b.Mov(rRes, rT0)
+	b.Label("keep")
+	b.J("combine")
+	b.Label("prune")
+	// single child: negate-and-offset
+	b.Sub(rRes, isa.Zero, rRes)
+	b.Label("combine")
+	b.Ld(rT1, isa.SP, 24)
+	b.Add(rRes, rRes, rT1)
+	b.Epilogue(40)
+	return b.MustBuild()
+}
+
+// buildLi models lisp's cons-cell traversal: pointer chasing through a
+// heap of tagged cells with per-tag dispatch.
+func buildLi(scale int) *program.Program {
+	const (
+		cells   = 4096
+		perCell = 12
+	)
+	sweeps := max(1, scale/(cells*perCell))
+	b := program.NewBuilder("li")
+
+	// Heap of cells: [tag, value, nextOffset], 24 bytes each. The next
+	// pointers form one long pseudo-random permutation cycle so the
+	// traversal is a dependent-load chain.
+	rng := newLCG(4)
+	perm := make([]int, cells)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := cells - 1; i > 0; i-- {
+		j := rng.intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	heap := make([]int64, cells*3)
+	for i := 0; i < cells; i++ {
+		next := perm[(indexOf(perm, i)+1)%cells]
+		heap[i*3+0] = int64(rng.intn(4))   // tag
+		heap[i*3+1] = int64(rng.intn(999)) // value
+		heap[i*3+2] = int64(next * 24)     // next cell offset
+	}
+	b.Words("heap", heap...)
+	b.Words("out", 0)
+
+	const (
+		rHeap = 10
+		rPtr  = 11
+		rS    = 12
+		rNS   = 13
+		rCnt  = 14
+		rAcc  = 20
+		rTag  = 16
+		rVal  = 17
+		rT0   = 18
+	)
+	b.La(rHeap, "heap")
+	b.Li(rS, 0)
+	b.Li(rNS, int64(sweeps))
+	b.Li(rAcc, 0)
+
+	b.Label("sweep")
+	b.Li(rPtr, 0) // offset of first cell
+	b.Li(rCnt, cells)
+	b.Label("walk")
+	b.Add(rT0, rHeap, rPtr)
+	b.Ld(rTag, rT0, 0)
+	b.Ld(rVal, rT0, 8)
+	b.Ld(rPtr, rT0, 16) // dependent load: next pointer
+	// tag dispatch
+	b.Slti(rT0, rTag, 2)
+	b.Beqz(rT0, "tag23")
+	b.Beqz(rTag, "tag0")
+	b.Sub(rAcc, rAcc, rVal) // tag 1
+	b.J("walked")
+	b.Label("tag0")
+	b.Add(rAcc, rAcc, rVal)
+	b.J("walked")
+	b.Label("tag23")
+	b.Slti(rT0, rTag, 3)
+	b.Beqz(rT0, "tag3")
+	b.Xor(rAcc, rAcc, rVal) // tag 2
+	b.J("walked")
+	b.Label("tag3")
+	b.Slli(rVal, rVal, 1)
+	b.Add(rAcc, rAcc, rVal)
+	b.Label("walked")
+	b.Addi(rCnt, rCnt, -1)
+	b.Bnez(rCnt, "walk")
+	b.Addi(rS, rS, 1)
+	b.Blt(rS, rNS, "sweep")
+
+	b.La(rT0, "out")
+	b.Sd(rAcc, rT0, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func indexOf(perm []int, v int) int {
+	for i, x := range perm {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// buildPerl models perl's hash workload: hash 8-byte "words" from a text
+// buffer and insert/count them in an open-addressing table with linear
+// probing (an inner data-dependent while loop).
+func buildPerl(scale int) *program.Program {
+	const (
+		textLen  = 8192
+		tableLen = 4096
+		perIter  = 38
+	)
+	iters := max(64, scale/perIter)
+	b := program.NewBuilder("perl")
+
+	rng := newLCG(5)
+	text := make([]byte, textLen)
+	words := []string{"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog"}
+	pos := 0
+	for pos < textLen {
+		w := words[rng.intn(len(words))]
+		for i := 0; i < len(w) && pos < textLen; i++ {
+			text[pos] = w[i]
+			pos++
+		}
+		if pos < textLen {
+			text[pos] = ' '
+			pos++
+		}
+	}
+	b.Bytes("text", text)
+	b.Space("table", tableLen*16) // [key, count] pairs
+	b.Words("out", 0)
+
+	const (
+		rText = 10
+		rTab  = 11
+		rI    = 12
+		rN    = 13
+		rIns  = 14
+		rT0   = 16
+		rT1   = 17
+		rKey  = 18
+		rH    = 19
+		rJ    = 20
+		rSlot = 21
+		rK    = 22
+	)
+	b.La(rText, "text")
+	b.La(rTab, "table")
+	b.Li(rI, 0)
+	b.Li(rN, int64(iters))
+	b.Li(rIns, 0)
+
+	b.Label("loop")
+	// key = 8 bytes at a pseudo-random, byte-granular offset
+	b.Mul(rT0, rI, rI)
+	b.Addi(rT0, rT0, 131)
+	b.Andi(rT0, rT0, textLen-16)
+	b.Add(rT0, rText, rT0)
+	b.Ld(rKey, rT0, 0)
+	// hash: xor-fold and multiply
+	b.Srli(rT1, rKey, 23)
+	b.Xor(rH, rKey, rT1)
+	b.Slli(rT1, rH, 7)
+	b.Add(rH, rH, rT1)
+	b.Andi(rH, rH, tableLen-1)
+	// linear probe
+	b.Li(rJ, 0)
+	b.Label("probe")
+	b.Add(rT0, rH, rJ)
+	b.Andi(rT0, rT0, tableLen-1)
+	b.Slli(rT0, rT0, 4)
+	b.Add(rSlot, rTab, rT0)
+	b.Ld(rK, rSlot, 0)
+	b.Beqz(rK, "insert") // empty slot
+	b.Beq(rK, rKey, "bump")
+	b.Addi(rJ, rJ, 1)
+	b.Slti(rT1, rJ, 8) // probe limit
+	b.Bnez(rT1, "probe")
+	b.J("next") // table pressure: give up
+	b.Label("insert")
+	b.Sd(rKey, rSlot, 0)
+	b.Addi(rIns, rIns, 1)
+	b.J("next")
+	b.Label("bump")
+	b.Ld(rT1, rSlot, 8)
+	b.Addi(rT1, rT1, 1)
+	b.Sd(rT1, rSlot, 8)
+	b.Label("next")
+	b.Addi(rI, rI, 1)
+	b.Blt(rI, rN, "loop")
+
+	b.La(rT0, "out")
+	b.Sd(rIns, rT0, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

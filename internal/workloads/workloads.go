@@ -1,0 +1,187 @@
+// Package workloads provides the benchmark suite driving the
+// reproduction: ten kernels written in the simulator's own ISA that
+// stand in for the SPEC95 subset of the paper (Table 3).
+//
+// SPEC95 binaries (and the Compaq Alpha compilers the paper used) are
+// not available, so each kernel is designed to mimic the dominant
+// dynamic character of its namesake:
+//
+//	compress  LZW-style hash loop: byte stream, data-dependent hit/miss
+//	gcc       IR walk with a dispatch tree: many short basic blocks
+//	go        recursive game-tree search: call-heavy, irregular branches
+//	li        cons-cell interpreter: pointer chasing, tag dispatch
+//	perl      string hashing with open-addressing probe loops
+//	mgrid     3D 7-point stencil relaxation (high FP pressure)
+//	tomcatv   2D mesh generation with long FP expressions (very high
+//	          register pressure; the paper's most pressure-sensitive code)
+//	applu     blocked lower-triangular solves with divides
+//	swim      shallow-water stencil updates over three grids
+//	hydro2d   gas-dynamics cell updates with divide/sqrt chains
+//
+// The integer kernels are branch-intensive with low register pressure;
+// the FP kernels carry many simultaneously-live values and long-latency
+// operations, giving high register pressure — the two workload
+// properties the paper's conclusions rest on. The tests in this package
+// verify those properties on the generated traces.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"earlyrelease/internal/emu"
+	"earlyrelease/internal/program"
+	"earlyrelease/internal/trace"
+)
+
+// Class labels workload type, matching the paper's int/FP split.
+type Class int
+
+// Workload classes.
+const (
+	Int Class = iota
+	FP
+)
+
+func (c Class) String() string {
+	if c == FP {
+		return "fp"
+	}
+	return "int"
+}
+
+// Workload is one benchmark: a program generator parameterized by an
+// approximate dynamic-instruction budget.
+type Workload struct {
+	Name        string
+	Class       Class
+	Description string
+	// Build generates the program sized so that its dynamic trace is
+	// roughly `scale` instructions (within a factor of ~2).
+	Build func(scale int) *program.Program
+}
+
+var registry = []Workload{
+	{"compress", Int, "LZW-style hash compressor loop", buildCompress},
+	{"gcc", Int, "IR traversal with opcode dispatch tree", buildGCC},
+	{"go", Int, "recursive game-tree evaluation", buildGo},
+	{"li", Int, "cons-cell list interpreter", buildLi},
+	{"perl", Int, "string hashing with probe loops", buildPerl},
+	{"mgrid", FP, "3D 7-point stencil relaxation", buildMgrid},
+	{"tomcatv", FP, "2D mesh generation, long FP expressions", buildTomcatv},
+	{"applu", FP, "blocked triangular solves with divides", buildApplu},
+	{"swim", FP, "shallow-water grid updates", buildSwim},
+	{"hydro2d", FP, "gas dynamics with div/sqrt chains", buildHydro2d},
+}
+
+// All returns the full suite in the paper's order (int then FP).
+func All() []Workload {
+	out := make([]Workload, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByClass returns the five workloads of one class.
+func ByClass(c Class) []Workload {
+	var out []Workload
+	for _, w := range registry {
+		if w.Class == c {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ByName finds a workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Names returns all workload names, int kernels first.
+func Names() []string {
+	var names []string
+	for _, w := range registry {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// traceCache memoizes emulated traces per (name, scale): the experiment
+// sweeps re-run the same trace under many configurations.
+var (
+	cacheMu    sync.Mutex
+	traceCache = map[string]*trace.Trace{}
+)
+
+// Trace builds the workload at the given scale, runs it functionally and
+// returns the dynamic trace. Results are memoized.
+func (w Workload) Trace(scale int) (*trace.Trace, error) {
+	key := fmt.Sprintf("%s/%d", w.Name, scale)
+	cacheMu.Lock()
+	if tr, ok := traceCache[key]; ok {
+		cacheMu.Unlock()
+		return tr, nil
+	}
+	cacheMu.Unlock()
+
+	p := w.Build(scale)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := emu.New(p)
+	tr, err := m.Run(uint64(scale)*8 + 1_000_000)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: emulating %s: %w", w.Name, err)
+	}
+
+	cacheMu.Lock()
+	traceCache[key] = tr
+	cacheMu.Unlock()
+	return tr, nil
+}
+
+// MustTrace is Trace that panics on error (for benchmarks).
+func (w Workload) MustTrace(scale int) *trace.Trace {
+	tr, err := w.Trace(scale)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// ClearTraceCache drops memoized traces (tests use it to bound memory).
+func ClearTraceCache() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	traceCache = map[string]*trace.Trace{}
+}
+
+// lcg is the deterministic generator used for synthetic input data.
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed*2862933555777941757 + 3037000493} }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 17
+}
+
+func (l *lcg) intn(n int) int { return int(l.next() % uint64(n)) }
+
+func (l *lcg) float() float64 { return float64(l.next()%1_000_000)/1_000_000 + 0.1 }
+
+// sortedKeys is a test helper exposed for deterministic iteration.
+func sortedKeys(m map[string]*trace.Trace) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"testing"
+
+	"earlyrelease/internal/emu"
+	"earlyrelease/internal/isa"
+)
+
+const testScale = 60_000
+
+func TestAllWorkloadsBuildAndRun(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			tr, err := w.Trace(testScale)
+			if err != nil {
+				t.Fatalf("trace: %v", err)
+			}
+			if tr.Len() < testScale/3 {
+				t.Errorf("trace too short: %d dynamic instructions (want ~%d)", tr.Len(), testScale)
+			}
+			if tr.Len() > testScale*4 {
+				t.Errorf("trace too long: %d dynamic instructions (want ~%d)", tr.Len(), testScale)
+			}
+		})
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	for _, w := range All() {
+		p1 := w.Build(testScale)
+		p2 := w.Build(testScale)
+		m1, m2 := emu.New(p1), emu.New(p2)
+		if err := m1.RunQuiet(2_000_000); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if err := m2.RunQuiet(2_000_000); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if m1.Checksum() != m2.Checksum() {
+			t.Errorf("%s: nondeterministic final state", w.Name)
+		}
+	}
+}
+
+// TestIntWorkloadsAreBranchy verifies the SPEC95-int property the paper
+// relies on: integer codes are branch-intensive (a control transfer
+// every ~4-10 instructions).
+func TestIntWorkloadsAreBranchy(t *testing.T) {
+	for _, w := range ByClass(Int) {
+		tr := w.MustTrace(testScale)
+		mix := tr.DynamicMix()
+		ctrl := mix.Branches + mix.Jumps
+		every := float64(mix.Total) / float64(ctrl)
+		if every > 12 {
+			t.Errorf("%s: control transfer only every %.1f instructions (want <= 12)", w.Name, every)
+		}
+		if mix.FPArith > mix.Total/50 {
+			t.Errorf("%s: unexpected FP content (%d ops)", w.Name, mix.FPArith)
+		}
+	}
+}
+
+// TestFPWorkloadsHavePressure verifies the SPEC95-fp property: a large
+// fraction of instructions produce FP register versions (high pressure),
+// with comparatively few branches.
+func TestFPWorkloadsHavePressure(t *testing.T) {
+	for _, w := range ByClass(FP) {
+		tr := w.MustTrace(testScale)
+		mix := tr.DynamicMix()
+		fpFrac := float64(mix.FPWriters) / float64(mix.Total)
+		if fpFrac < 0.25 {
+			t.Errorf("%s: only %.0f%% of instructions write FP registers (want >= 25%%)",
+				w.Name, 100*fpFrac)
+		}
+		brFrac := float64(mix.Branches) / float64(mix.Total)
+		if brFrac > 0.12 {
+			t.Errorf("%s: too branchy for an FP code (%.0f%% branches)", w.Name, 100*brFrac)
+		}
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	for _, name := range Names() {
+		w, err := ByName(name)
+		if err != nil || w.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, w.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted junk")
+	}
+	if len(All()) != 10 || len(ByClass(Int)) != 5 || len(ByClass(FP)) != 5 {
+		t.Error("registry does not contain 5+5 workloads")
+	}
+}
+
+func TestScaleControlsTraceLength(t *testing.T) {
+	w, _ := ByName("compress")
+	small := w.MustTrace(20_000)
+	large := w.MustTrace(120_000)
+	if large.Len() <= small.Len() {
+		t.Errorf("scale had no effect: %d vs %d", small.Len(), large.Len())
+	}
+}
+
+func TestTraceCaching(t *testing.T) {
+	ClearTraceCache()
+	w, _ := ByName("li")
+	a := w.MustTrace(testScale)
+	b := w.MustTrace(testScale)
+	if a != b {
+		t.Error("trace cache did not memoize")
+	}
+	ClearTraceCache()
+}
+
+// TestGoUsesRealCalls ensures the go kernel exercises JAL/JALR (the RAS
+// path of the front end).
+func TestGoUsesRealCalls(t *testing.T) {
+	w, _ := ByName("go")
+	tr := w.MustTrace(testScale)
+	var calls, rets int
+	for i := 0; i < tr.Len(); i++ {
+		in := tr.At(i).Inst
+		if in.Op == isa.JAL && in.Rd == isa.RA {
+			calls++
+		}
+		if in.Op == isa.JALR && in.Rd == isa.Zero {
+			rets++
+		}
+	}
+	if calls < 100 || rets < 100 {
+		t.Errorf("go kernel: %d calls / %d returns (want >= 100 each)", calls, rets)
+	}
+}
+
+// TestLiIsPointerChasing verifies dependent-load behaviour: most loads
+// in li feed addresses of later loads (low memory-level parallelism).
+func TestLiIsPointerChasing(t *testing.T) {
+	w, _ := ByName("li")
+	tr := w.MustTrace(testScale)
+	mix := tr.DynamicMix()
+	loadFrac := float64(mix.Loads) / float64(mix.Total)
+	if loadFrac < 0.2 {
+		t.Errorf("li: load fraction %.2f too low for a pointer chaser", loadFrac)
+	}
+}
+
+// TestAppluHasDivides confirms the long-latency chains in applu.
+func TestAppluHasDivides(t *testing.T) {
+	w, _ := ByName("applu")
+	tr := w.MustTrace(testScale)
+	var divs int
+	for i := 0; i < tr.Len(); i++ {
+		if tr.At(i).Inst.Op == isa.FDIV {
+			divs++
+		}
+	}
+	if divs < tr.Len()/50 {
+		t.Errorf("applu: only %d divides in %d instructions", divs, tr.Len())
+	}
+}
