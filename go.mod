@@ -1,0 +1,3 @@
+module earlyrelease
+
+go 1.21

@@ -1,0 +1,147 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"earlyrelease/internal/release"
+	"earlyrelease/internal/workloads"
+)
+
+// The golden tests pin every Result field — IPC, cycle counts, stall and
+// release breakdowns, miss rates — for a representative set of
+// (workload, policy, size) points. Performance work on the simulator
+// core must keep these bit-identical: any drift means the optimization
+// changed machine behavior, not just simulator speed.
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json from the current simulator")
+
+const goldenScale = 25_000
+
+type goldenCase struct {
+	Name    string
+	Work    string
+	Kind    release.Kind
+	IntRegs int
+	FPRegs  int
+	NoReuse bool
+	Eager   bool
+	Faults  []int
+	Check   bool
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{Name: "tomcatv-conv-48", Work: "tomcatv", Kind: release.Conventional, IntRegs: 48, FPRegs: 48},
+		{Name: "tomcatv-basic-48", Work: "tomcatv", Kind: release.Basic, IntRegs: 48, FPRegs: 48},
+		{Name: "tomcatv-ext-48", Work: "tomcatv", Kind: release.Extended, IntRegs: 48, FPRegs: 48},
+		{Name: "go-conv-40", Work: "go", Kind: release.Conventional, IntRegs: 40, FPRegs: 40},
+		{Name: "go-ext-40", Work: "go", Kind: release.Extended, IntRegs: 40, FPRegs: 40},
+		{Name: "swim-ext-48-noreuse", Work: "swim", Kind: release.Extended, IntRegs: 48, FPRegs: 48, NoReuse: true},
+		{Name: "tomcatv-basic-48-eager", Work: "tomcatv", Kind: release.Basic, IntRegs: 48, FPRegs: 48, Eager: true},
+		{Name: "applu-ext-44-faults", Work: "applu", Kind: release.Extended, IntRegs: 44, FPRegs: 44,
+			Faults: []int{10, 100, 12345}, Check: true},
+	}
+}
+
+func runGoldenCase(t *testing.T, gc goldenCase) *Result {
+	t.Helper()
+	w, err := workloads.ByName(gc.Work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Trace(goldenScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(gc.Kind, gc.IntRegs, gc.FPRegs)
+	cfg.TrackRegStates = true
+	cfg.Check = gc.Check
+	cfg.Policy.Reuse = !gc.NoReuse
+	cfg.Policy.Eager = gc.Eager
+	cfg.FaultAt = gc.Faults
+	core, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", gc.Name, err)
+	}
+	return res
+}
+
+func TestGoldenResults(t *testing.T) {
+	path := filepath.Join("testdata", "golden.json")
+	got := make(map[string]*Result)
+	for _, gc := range goldenCases() {
+		got[gc.Name] = runGoldenCase(t, gc)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	want := make(map[string]*Result)
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, gc := range goldenCases() {
+		w, ok := want[gc.Name]
+		if !ok {
+			t.Errorf("%s: no golden entry (run with -update)", gc.Name)
+			continue
+		}
+		if !reflect.DeepEqual(got[gc.Name], w) {
+			t.Errorf("%s: result drifted from golden\n got: %+v\nwant: %+v", gc.Name, got[gc.Name], w)
+		}
+	}
+}
+
+// TestDeterministicFullResult runs the same configuration twice and
+// requires every Result field to match exactly.
+func TestDeterministicFullResult(t *testing.T) {
+	for _, gc := range goldenCases()[:3] {
+		a := runGoldenCase(t, gc)
+		b := runGoldenCase(t, gc)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: nondeterministic results\n a: %+v\n b: %+v", gc.Name, a, b)
+		}
+	}
+}
+
+// TestPolicyOrderingOnWorkloads pins the paper's qualitative result on
+// real workloads: with a tight 48+48 file, extended >= basic >=
+// conventional IPC.
+func TestPolicyOrderingOnWorkloads(t *testing.T) {
+	for _, work := range []string{"tomcatv", "swim"} {
+		var ipc [3]float64
+		for i, k := range []release.Kind{release.Conventional, release.Basic, release.Extended} {
+			res := runGoldenCase(t, goldenCase{Name: work, Work: work, Kind: k, IntRegs: 48, FPRegs: 48})
+			ipc[i] = res.IPC
+		}
+		if ipc[1] < ipc[0] {
+			t.Errorf("%s: basic IPC %.4f below conventional %.4f", work, ipc[1], ipc[0])
+		}
+		if ipc[2] < ipc[1] {
+			t.Errorf("%s: extended IPC %.4f below basic %.4f", work, ipc[2], ipc[1])
+		}
+	}
+}
