@@ -159,8 +159,9 @@ func BenchmarkPolicyExtendedGo(b *testing.B)      { benchPolicy(b, "go", release
 func Benchmark_AblationReuse(b *testing.B) {
 	w, _ := workloads.ByName("swim")
 	opt := benchOpts()
-	tr := w.MustTrace(opt.Scale)
-	_ = tr
+	tr := w.MustTrace(opt.Scale) // prebuild so trace emulation is untimed
+	b.SetBytes(2 * int64(tr.Len()))
+	b.ResetTimer()
 	run := func(reuse bool) float64 {
 		rep, err := Run("swim", Config{
 			Policy: PolicyExtended, IntRegs: 48, FPRegs: 48,
@@ -184,7 +185,11 @@ func Benchmark_AblationReuse(b *testing.B) {
 // release (imprecise-exception ablation, §6) against the precise basic
 // mechanism.
 func Benchmark_AblationEager(b *testing.B) {
+	w, _ := workloads.ByName("tomcatv")
 	opt := benchOpts()
+	tr := w.MustTrace(opt.Scale) // prebuild so trace emulation is untimed
+	b.SetBytes(2 * int64(tr.Len()))
+	b.ResetTimer()
 	var precise, eager float64
 	for i := 0; i < b.N; i++ {
 		rep, err := Run("tomcatv", Config{Policy: PolicyBasic, IntRegs: 48, FPRegs: 48, Scale: opt.Scale})
@@ -208,9 +213,11 @@ func Benchmark_AblationEager(b *testing.B) {
 func Benchmark_AblationRelQueDepth(b *testing.B) {
 	w, _ := workloads.ByName("go")
 	opt := benchOpts()
-	tr := w.MustTrace(opt.Scale)
+	tr := w.MustTrace(opt.Scale) // prebuild so trace emulation is untimed
 	depths := []int{4, 8, 20}
 	ipcs := make([]float64, len(depths))
+	b.SetBytes(int64(len(depths)) * int64(tr.Len()))
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for d, depth := range depths {
 			cfg := pipeline.DefaultConfig(release.Extended, 48, 48)

@@ -45,8 +45,8 @@ type Predictor struct {
 	TgtMispred uint64
 }
 
-// New returns a predictor with all counters weakly not-taken.
-func New(cfg Config) *Predictor {
+// canon normalizes out-of-range configuration values to the defaults.
+func (cfg Config) canon() Config {
 	if cfg.HistoryBits <= 0 || cfg.HistoryBits > 30 {
 		cfg.HistoryBits = 18
 	}
@@ -56,6 +56,12 @@ func New(cfg Config) *Predictor {
 	if cfg.RASEntries <= 0 {
 		cfg.RASEntries = 16
 	}
+	return cfg
+}
+
+// New returns a predictor with all counters weakly not-taken.
+func New(cfg Config) *Predictor {
+	cfg = cfg.canon()
 	n := 1 << cfg.HistoryBits
 	return &Predictor{
 		cfg:     cfg,
@@ -65,6 +71,23 @@ func New(cfg Config) *Predictor {
 		btbTgt:  make([]uint64, cfg.BTBEntries),
 		ras:     make([]uint64, cfg.RASEntries),
 	}
+}
+
+// Recycle returns a predictor for cfg, reusing p's tables (the gshare
+// counter array alone is 2^18 bytes) when the geometry matches. The
+// returned predictor is indistinguishable from a fresh New(cfg).
+func Recycle(p *Predictor, cfg Config) *Predictor {
+	if p == nil || p.cfg != cfg.canon() {
+		return New(cfg)
+	}
+	clear(p.counter)
+	clear(p.btbTag)
+	clear(p.btbTgt)
+	clear(p.ras)
+	p.hist, p.rasTop = 0, 0
+	p.Lookups, p.DirMispred = 0, 0
+	p.TgtLookups, p.TgtMispred = 0, 0
+	return p
 }
 
 func (p *Predictor) index(pc uint64) uint32 {

@@ -116,6 +116,18 @@ func (c *Cache) Fill(addr uint64, write bool) (writeback bool) {
 	return writeback
 }
 
+// reset restores the cache to its post-New state, keeping the arrays.
+func (c *Cache) reset() {
+	for i := range c.tags {
+		clear(c.tags[i])
+		clear(c.valid[i])
+		clear(c.dirty[i])
+		clear(c.stamp[i])
+	}
+	c.clock = 0
+	c.Accesses, c.Misses, c.Writebacks = 0, 0, 0
+}
+
 // MissRate returns the observed miss ratio.
 func (c *Cache) MissRate() float64 {
 	if c.Accesses == 0 {
@@ -160,6 +172,19 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		L2:  New(cfg.L2),
 		cfg: cfg,
 	}
+}
+
+// Recycle returns a hierarchy for cfg, reusing h's tag/state arrays
+// (over 300 KB for the Table 2 geometry) when the configuration matches.
+// The returned hierarchy is indistinguishable from a fresh NewHierarchy.
+func Recycle(h *Hierarchy, cfg HierarchyConfig) *Hierarchy {
+	if h == nil || h.cfg != cfg {
+		return NewHierarchy(cfg)
+	}
+	h.L1I.reset()
+	h.L1D.reset()
+	h.L2.reset()
+	return h
 }
 
 // access runs the common L1 -> L2 -> memory latency walk.

@@ -38,18 +38,31 @@ var Policies = []release.Kind{release.Conventional, release.Basic, release.Exten
 
 // Run simulates one workload under one configuration.
 func Run(w workloads.Workload, kind release.Kind, intRegs, fpRegs int, opt Options) (*pipeline.Result, error) {
+	res, _, err := runOn(nil, w, kind, intRegs, fpRegs, opt)
+	return res, err
+}
+
+// runOn simulates one workload, recycling core when one is passed in:
+// the sweep workers run hundreds of points and reuse one Core's reorder
+// structure, queues, predictor and cache arrays across all of them.
+func runOn(core *pipeline.Core, w workloads.Workload, kind release.Kind, intRegs, fpRegs int, opt Options) (*pipeline.Result, *pipeline.Core, error) {
 	tr, err := w.Trace(opt.Scale)
 	if err != nil {
-		return nil, err
+		return nil, core, err
 	}
 	cfg := pipeline.DefaultConfig(kind, intRegs, fpRegs)
 	cfg.Check = opt.Check
 	cfg.TrackRegStates = true
-	core, err := pipeline.New(cfg, tr)
-	if err != nil {
-		return nil, err
+	if core == nil {
+		core, err = pipeline.New(cfg, tr)
+	} else {
+		err = core.Reset(cfg, tr)
 	}
-	return core.Run()
+	if err != nil {
+		return nil, core, err
+	}
+	res, err := core.Run()
+	return res, core, err
 }
 
 // job is one (workload, policy, size) point of a sweep.
@@ -85,8 +98,11 @@ func runAll(jobs []job, opt Options) (map[string]*pipeline.Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var core *pipeline.Core
 			for j := range ch {
-				res, err := Run(j.w, j.kind, j.intRegs, j.fpRegs, opt)
+				var res *pipeline.Result
+				var err error
+				res, core, err = runOn(core, j.w, j.kind, j.intRegs, j.fpRegs, opt)
 				mu.Lock()
 				if err != nil && firstErr == nil {
 					firstErr = fmt.Errorf("%s/%v/%d: %w", j.w.Name, j.kind, j.intRegs, err)

@@ -15,6 +15,7 @@ func testOpts() Options {
 }
 
 func TestFig3ShowsIdleOverhead(t *testing.T) {
+	t.Parallel()
 	res, err := Fig3(testOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -37,6 +38,7 @@ func TestFig3ShowsIdleOverhead(t *testing.T) {
 }
 
 func TestFig10PolicyOrdering(t *testing.T) {
+	t.Parallel()
 	res, err := Fig10(testOpts())
 	if err != nil {
 		t.Fatal(err)
@@ -61,6 +63,7 @@ func TestFig10PolicyOrdering(t *testing.T) {
 }
 
 func TestFig11MonotoneAndConverging(t *testing.T) {
+	t.Parallel()
 	sizes := []int{40, 64, 160}
 	res, err := Fig11(testOpts(), sizes)
 	if err != nil {
@@ -86,6 +89,7 @@ func TestFig11MonotoneAndConverging(t *testing.T) {
 }
 
 func TestTable4FindsSavings(t *testing.T) {
+	t.Parallel()
 	res, err := Fig11(testOpts(), []int{40, 48, 56, 64, 80})
 	if err != nil {
 		t.Fatal(err)
@@ -106,6 +110,7 @@ func TestTable4FindsSavings(t *testing.T) {
 }
 
 func TestSec33BasicHelpsFP(t *testing.T) {
+	t.Parallel()
 	res, err := Sec33(testOpts())
 	if err != nil {
 		t.Fatal(err)

@@ -22,6 +22,13 @@ type uop struct {
 	pc       uint64
 	traceIdx int // index into the driving trace; -1 on the wrong path
 
+	// Predicates of inst, decoded once at rename so the per-cycle loops
+	// never go back to the opcode table.
+	isLoad  bool
+	isStore bool
+	isMem   bool
+	fu      isa.FUKind
+
 	issued        bool
 	completed     bool
 	completeCycle int64
@@ -90,7 +97,11 @@ type Result struct {
 	L1IMissRate float64
 }
 
-// Core is one simulation instance. Create with New, run with Run.
+// Core is one simulation instance. Create with New, run with Run. A Core
+// can be recycled across runs with Reset, which reuses the large
+// allocations (reorder structure, queues, predictor and cache arrays) —
+// the experiment sweeps run hundreds of simulations per worker and would
+// otherwise spend a large fraction of their time in the allocator.
 type Core struct {
 	cfg Config
 	tr  *trace.Trace
@@ -101,22 +112,51 @@ type Core struct {
 	tracker [2]*regstate.Tracker
 	checker *regstate.Checker
 
-	// reorder structure: ring buffer of ROSSize entries
+	// Reorder structure: a power-of-two ring addressed with a mask.
+	// Sequence numbers of in-flight uops are consecutive (headSeq at the
+	// head), so seq -> ring slot is pure arithmetic and no seq->entry map
+	// is needed: slot(seq) = (head + (seq - headSeq)) & rosMask.
 	ros     []uop
+	rosMask int
 	head    int
 	count   int
-	seqMap  map[uint64]*uop
+	headSeq uint64 // Seq of the oldest in-flight uop; valid while count > 0
 	nextSeq uint64
 
-	// load/store queue: seqs of in-flight memory ops in program order
-	lsq []lsqEntry
+	// Age-ordered doubly-linked list (by ring slot index) of dispatched
+	// but not yet issued uops: the issue stage scans only these instead
+	// of the whole window.
+	unNext []int32
+	unPrev []int32
+	unHead int32
+	unTail int32
+
+	// Completion wheel: wheel[cycle&wheelMask] holds the sequence numbers
+	// of uops whose execution completes that cycle, so writeback touches
+	// O(events) entries instead of scanning the window.
+	wheel     [][]uint64
+	wheelMask int64
+
+	// load/store queue: ring of in-flight memory ops in program order
+	lsq     []lsqEntry
+	lsqMask int
+	lsqHead int
+	lsqLen  int
+	// non-wrong-path stores in the LSQ whose address is not yet known;
+	// while zero, any load may issue without scanning the queue.
+	pendingStoreAddrs int
 
 	// scoreboard: per class, per physical register, the cycle its value
 	// becomes available
 	readyAt [2][]int64
 
+	// fetch queue: ring written in place by the fetch stage
+	fq     []fetchItem
+	fqMask int
+	fqHead int
+	fqLen  int
+
 	// fetch state
-	fq            []fetchItem
 	cursor        int // next trace index to fetch on the correct path
 	wrongPath     bool
 	wrongPC       uint64
@@ -145,41 +185,134 @@ type lsqEntry struct {
 	addrReady bool
 }
 
+// ceilPow2 returns the smallest power of two >= n.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
 // New builds a core for the given trace.
 func New(cfg Config, tr *trace.Trace) (*Core, error) {
-	if err := cfg.Validate(); err != nil {
+	c := &Core{}
+	if err := c.init(cfg, tr); err != nil {
 		return nil, err
+	}
+	return c, nil
+}
+
+// Reset re-initializes the core for a new run, reusing every allocation
+// whose geometry still fits the new configuration. The subsequent Run
+// produces results identical to a freshly built core's.
+func (c *Core) Reset(cfg Config, tr *trace.Trace) error {
+	return c.init(cfg, tr)
+}
+
+func (c *Core) init(cfg Config, tr *trace.Trace) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	cfg.Policy.IntRegs = cfg.IntRegs
 	cfg.Policy.FPRegs = cfg.FPRegs
-	c := &Core{cfg: cfg, tr: tr}
+	c.cfg = cfg
+	c.tr = tr
+
 	var err error
 	c.engine, err = release.NewEngine(cfg.Policy, c.lookupSlot, c.onFree)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	c.bp = bpred.New(cfg.BPred)
-	c.mem = cache.NewHierarchy(cfg.Mem)
-	c.ros = make([]uop, cfg.ROSSize)
-	c.seqMap = make(map[uint64]*uop, cfg.ROSSize)
-	c.readyAt[0] = make([]int64, cfg.IntRegs)
-	c.readyAt[1] = make([]int64, cfg.FPRegs)
-	c.lsq = make([]lsqEntry, 0, cfg.LSQSize)
-	c.fq = make([]fetchItem, 0, cfg.FetchQueue)
+	c.bp = bpred.Recycle(c.bp, cfg.BPred)
+	c.mem = cache.Recycle(c.mem, cfg.Mem)
+
+	rosN := ceilPow2(cfg.ROSSize)
+	if len(c.ros) != rosN {
+		c.ros = make([]uop, rosN)
+		c.unNext = make([]int32, rosN)
+		c.unPrev = make([]int32, rosN)
+	}
+	c.rosMask = rosN - 1
+	c.head, c.count = 0, 0
+	c.headSeq, c.nextSeq = 0, 0
+	c.unHead, c.unTail = -1, -1
+
+	// The wheel must hold every latency the machine can produce: the
+	// slowest functional unit or a miss walking the full hierarchy.
+	maxLat := cfg.Mem.L1D.HitLat + cfg.Mem.L2.HitLat + cfg.Mem.MemLat
+	if l := cfg.Mem.L1I.HitLat + cfg.Mem.L2.HitLat + cfg.Mem.MemLat; l > maxLat {
+		maxLat = l
+	}
+	for k := 0; k < isa.NumFUKinds; k++ {
+		if cfg.FULat[k] > maxLat {
+			maxLat = cfg.FULat[k]
+		}
+	}
+	wheelN := ceilPow2(maxLat + 2)
+	if len(c.wheel) != wheelN {
+		c.wheel = make([][]uint64, wheelN)
+	}
+	for i := range c.wheel {
+		c.wheel[i] = c.wheel[i][:0]
+	}
+	c.wheelMask = int64(wheelN - 1)
+
+	lsqN := ceilPow2(cfg.LSQSize)
+	if len(c.lsq) != lsqN {
+		c.lsq = make([]lsqEntry, lsqN)
+	}
+	c.lsqMask = lsqN - 1
+	c.lsqHead, c.lsqLen = 0, 0
+	c.pendingStoreAddrs = 0
+
+	fqN := ceilPow2(cfg.FetchQueue)
+	if len(c.fq) != fqN {
+		c.fq = make([]fetchItem, fqN)
+	}
+	c.fqMask = fqN - 1
+	c.fqHead, c.fqLen = 0, 0
+
+	for cls, n := range [2]int{cfg.IntRegs, cfg.FPRegs} {
+		if len(c.readyAt[cls]) != n {
+			c.readyAt[cls] = make([]int64, n)
+		} else {
+			for i := range c.readyAt[cls] {
+				c.readyAt[cls][i] = 0
+			}
+		}
+	}
+
 	if cfg.TrackRegStates {
-		c.tracker[0] = regstate.NewTracker(isa.ClassInt, cfg.IntRegs)
-		c.tracker[1] = regstate.NewTracker(isa.ClassFP, cfg.FPRegs)
+		c.tracker[0] = regstate.Recycle(c.tracker[0], isa.ClassInt, cfg.IntRegs)
+		c.tracker[1] = regstate.Recycle(c.tracker[1], isa.ClassFP, cfg.FPRegs)
+	} else {
+		c.tracker[0], c.tracker[1] = nil, nil
 	}
 	if cfg.Check {
 		c.checker = regstate.NewChecker(cfg.IntRegs, cfg.FPRegs)
+	} else {
+		c.checker = nil
 	}
 	if len(cfg.FaultAt) > 0 {
 		c.faults = make(map[int]bool, len(cfg.FaultAt))
 		for _, f := range cfg.FaultAt {
 			c.faults[f] = true
 		}
+	} else {
+		c.faults = nil
 	}
-	return c, nil
+
+	c.cursor = 0
+	c.wrongPath, c.wrongPC = false, 0
+	c.fetchStallTil = 0
+	c.haltFetched = false
+	c.lastFetchLine = 0
+	c.cycle, c.committed = 0, 0
+	c.halted = false
+	c.stalls = Stalls{}
+	c.wrongUops, c.exceptions = 0, 0
+	return nil
 }
 
 func ci(class isa.RegClass) int {
@@ -189,9 +322,19 @@ func ci(class isa.RegClass) int {
 	return 0
 }
 
+// slotIdx returns the ring slot of an in-flight sequence number.
+func (c *Core) slotIdx(seq uint64) int {
+	return (c.head + int(seq-c.headSeq)) & c.rosMask
+}
+
+// inFlight reports whether seq names a uop currently in the window.
+func (c *Core) inFlight(seq uint64) bool {
+	return c.count > 0 && seq-c.headSeq < uint64(c.count)
+}
+
 func (c *Core) lookupSlot(seq uint64) *release.Slot {
-	if u := c.seqMap[seq]; u != nil {
-		return &u.Slot
+	if c.inFlight(seq) {
+		return &c.ros[c.slotIdx(seq)].Slot
 	}
 	return nil
 }
@@ -265,7 +408,7 @@ func (c *Core) result() *Result {
 
 // --- ring helpers -------------------------------------------------------
 
-func (c *Core) at(i int) *uop { return &c.ros[i%len(c.ros)] }
+func (c *Core) at(i int) *uop { return &c.ros[i&c.rosMask] }
 
 // forInFlight iterates the ROS oldest to youngest.
 func (c *Core) forInFlight(fn func(u *uop) bool) {
@@ -275,6 +418,41 @@ func (c *Core) forInFlight(fn func(u *uop) bool) {
 		}
 	}
 }
+
+// --- unissued list ------------------------------------------------------
+
+// pushUnissued appends a freshly renamed uop's ring slot to the tail of
+// the unissued list (rename proceeds in age order, so the list stays
+// age-ordered).
+func (c *Core) pushUnissued(idx int32) {
+	c.unNext[idx] = -1
+	c.unPrev[idx] = c.unTail
+	if c.unTail >= 0 {
+		c.unNext[c.unTail] = idx
+	} else {
+		c.unHead = idx
+	}
+	c.unTail = idx
+}
+
+// unlinkUnissued removes a slot from the unissued list (at issue).
+func (c *Core) unlinkUnissued(idx int32) {
+	prev, next := c.unPrev[idx], c.unNext[idx]
+	if prev >= 0 {
+		c.unNext[prev] = next
+	} else {
+		c.unHead = next
+	}
+	if next >= 0 {
+		c.unPrev[next] = prev
+	} else {
+		c.unTail = prev
+	}
+}
+
+// --- lsq ring -----------------------------------------------------------
+
+func (c *Core) lsqAt(i int) *lsqEntry { return &c.lsq[(c.lsqHead+i)&c.lsqMask] }
 
 // --- commit -------------------------------------------------------------
 
@@ -319,14 +497,15 @@ func (c *Core) commitStage() {
 			c.tracer.event(c.cycle, "commit", u, "")
 		}
 		c.engine.Commit(&u.Slot)
-		if u.inst.IsStore() {
+		if u.isStore {
 			c.mem.StoreLat(u.effAddr) // retire through the store buffer
 		}
-		if len(c.lsq) > 0 && c.lsq[0].seq == u.Seq {
-			c.lsq = c.lsq[1:]
+		if c.lsqLen > 0 && c.lsq[c.lsqHead&c.lsqMask].seq == u.Seq {
+			c.lsqHead++
+			c.lsqLen--
 		}
-		delete(c.seqMap, u.Seq)
 		c.head++
+		c.headSeq++
 		c.count--
 		c.committed++
 		if u.inst.IsHalt() {
@@ -344,20 +523,25 @@ func (c *Core) raiseException(traceIdx int) {
 	c.exceptions++
 	// Flush every in-flight instruction. The free lists are rebuilt
 	// wholesale below, so individual squash releases are not performed.
-	c.forInFlight(func(u *uop) bool {
-		if c.checker != nil && !u.issued {
-			for i := 0; i < 2; i++ {
-				if u.SrcClass[i] != isa.ClassNone {
-					c.checker.OnReadDone(u.SrcClass[i], u.SrcPhys[i])
+	if c.checker != nil {
+		c.forInFlight(func(u *uop) bool {
+			if !u.issued {
+				for i := 0; i < 2; i++ {
+					if u.SrcClass[i] != isa.ClassNone {
+						c.checker.OnReadDone(u.SrcClass[i], u.SrcPhys[i])
+					}
 				}
 			}
-		}
-		delete(c.seqMap, u.Seq)
-		return true
-	})
+			return true
+		})
+	}
 	c.count = 0
-	c.lsq = c.lsq[:0]
-	c.fq = c.fq[:0]
+	c.unHead, c.unTail = -1, -1
+	c.lsqHead, c.lsqLen = 0, 0
+	c.pendingStoreAddrs = 0
+	c.fqHead, c.fqLen = 0, 0
+	// Stale completion-wheel entries are skipped by the in-flight guard
+	// in writebackStage; no need to drain the wheel here.
 
 	taintedInt, taintedFP := c.engine.RecoverException()
 	if c.checker != nil {

@@ -127,6 +127,47 @@ func TestDeterministicFullResult(t *testing.T) {
 	}
 }
 
+// TestResetMatchesFreshCore recycles one Core across several
+// configurations (as the sweep workers do) and requires every run's
+// Result to equal a fresh core's bit for bit.
+func TestResetMatchesFreshCore(t *testing.T) {
+	cases := goldenCases()
+	var core *Core
+	for _, gc := range cases {
+		w, err := workloads.ByName(gc.Work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := w.Trace(goldenScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(gc.Kind, gc.IntRegs, gc.FPRegs)
+		cfg.TrackRegStates = true
+		cfg.Check = gc.Check
+		cfg.Policy.Reuse = !gc.NoReuse
+		cfg.Policy.Eager = gc.Eager
+		cfg.FaultAt = gc.Faults
+		if core == nil {
+			core, err = New(cfg, tr)
+		} else {
+			err = core.Reset(cfg, tr)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused, err := core.Run()
+		if err != nil {
+			t.Fatalf("%s (reused core): %v", gc.Name, err)
+		}
+		fresh := runGoldenCase(t, gc)
+		if !reflect.DeepEqual(reused, fresh) {
+			t.Errorf("%s: recycled core drifted from fresh core\n got: %+v\nwant: %+v",
+				gc.Name, reused, fresh)
+		}
+	}
+}
+
 // TestPolicyOrderingOnWorkloads pins the paper's qualitative result on
 // real workloads: with a tight 48+48 file, extended >= basic >=
 // conventional IPC.

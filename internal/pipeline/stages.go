@@ -14,12 +14,14 @@ import (
 // fetchStage fills the fetch queue along the predicted path: from the
 // trace while predictions agree with the recorded outcomes, from the
 // static program image once a prediction diverges (wrong-path mode).
+// Items are written in place into the fetch-queue ring; nothing is
+// copied or reallocated on the fetch path.
 func (c *Core) fetchStage() {
 	if c.cycle < c.fetchStallTil || c.haltFetched {
 		return
 	}
 	taken := 0
-	for n := 0; n < c.cfg.FetchWidth && len(c.fq) < c.cfg.FetchQueue; n++ {
+	for n := 0; n < c.cfg.FetchWidth && c.fqLen < c.cfg.FetchQueue; n++ {
 		var pc uint64
 		if c.wrongPath {
 			pc = c.wrongPC
@@ -39,20 +41,20 @@ func (c *Core) fetchStage() {
 				return
 			}
 		}
-		var item fetchItem
+		item := &c.fq[(c.fqHead+c.fqLen)&c.fqMask]
 		if c.wrongPath {
-			item = c.fetchWrongPath(pc)
+			c.fetchWrongPath(pc, item)
 			c.wrongUops++
 		} else {
-			item = c.fetchOnTrace()
+			c.fetchOnTrace(item)
 		}
 		item.readyAt = c.cycle + int64(c.cfg.FrontEndDepth)
-		c.fq = append(c.fq, item)
+		c.fqLen++
 		if item.inst.IsHalt() {
 			if item.wrongPath {
 				// Wrong path ran into HALT/end of text: stall until the
 				// mispredicted branch resolves.
-				c.fq = c.fq[:len(c.fq)-1]
+				c.fqLen--
 				c.wrongUops--
 			}
 			c.haltFetched = true
@@ -67,19 +69,22 @@ func (c *Core) fetchStage() {
 	}
 }
 
-// fetchOnTrace fetches the next correct-path instruction, runs the
-// predictors, and switches to wrong-path mode if a prediction diverges
-// from the recorded execution.
-func (c *Core) fetchOnTrace() fetchItem {
+// fetchOnTrace fetches the next correct-path instruction into item, runs
+// the predictors, and switches to wrong-path mode if a prediction
+// diverges from the recorded execution.
+func (c *Core) fetchOnTrace(item *fetchItem) {
 	e := c.tr.At(c.cursor)
 	in := e.Inst
-	item := fetchItem{
-		inst:     in,
-		pc:       e.PC,
-		traceIdx: c.cursor,
-		actTaken: e.Taken,
-		actNext:  e.NextPC,
-	}
+	item.inst = in
+	item.pc = e.PC
+	item.traceIdx = c.cursor
+	item.wrongPath = false
+	item.predTaken = false
+	item.predNext = 0
+	item.actTaken = e.Taken
+	item.actNext = e.NextPC
+	item.snap = bpred.Snapshot{}
+	item.mispredict = false
 	c.cursor++
 	switch {
 	case in.IsBranch():
@@ -123,20 +128,21 @@ func (c *Core) fetchOnTrace() fetchItem {
 	default:
 		item.predNext = e.PC + isa.InstBytes
 	}
-	return item
 }
 
 // fetchWrongPath synthesizes a wrong-path instruction from the static
-// program image. Its "actual" outcome is defined as the predicted one:
-// wrong-path branches confirm rather than recover.
-func (c *Core) fetchWrongPath(pc uint64) fetchItem {
+// program image into item. Its "actual" outcome is defined as the
+// predicted one: wrong-path branches confirm rather than recover.
+func (c *Core) fetchWrongPath(pc uint64, item *fetchItem) {
 	in, _ := c.tr.Prog.FetchAt(pc)
-	item := fetchItem{
-		inst:      in,
-		pc:        pc,
-		traceIdx:  -1,
-		wrongPath: true,
-	}
+	item.inst = in
+	item.pc = pc
+	item.traceIdx = -1
+	item.wrongPath = true
+	item.predTaken = false
+	item.actTaken = false
+	item.snap = bpred.Snapshot{}
+	item.mispredict = false
 	next := pc + isa.InstBytes
 	switch {
 	case in.IsBranch():
@@ -165,7 +171,6 @@ func (c *Core) fetchWrongPath(pc uint64) fetchItem {
 	item.actTaken = item.predTaken
 	item.actNext = next
 	c.wrongPC = next
-	return item
 }
 
 func takenTarget(pc uint64, in isa.Inst) uint64 {
@@ -182,13 +187,13 @@ func jalTarget(pc uint64, in isa.Inst) uint64 {
 // structure, allocating registers, LSQ entries and branch checkpoints.
 func (c *Core) renameStage() {
 	for n := 0; n < c.cfg.DecodeWidth; n++ {
-		if len(c.fq) == 0 {
+		if c.fqLen == 0 {
 			if n == 0 {
 				c.stalls.FetchDry++
 			}
 			return
 		}
-		item := &c.fq[0]
+		item := &c.fq[c.fqHead&c.fqMask]
 		if item.readyAt > c.cycle {
 			if n == 0 {
 				c.stalls.FetchDry++
@@ -202,7 +207,7 @@ func (c *Core) renameStage() {
 			}
 			return
 		}
-		if in.IsMem() && len(c.lsq) >= c.cfg.LSQSize {
+		if in.IsMem() && c.lsqLen >= c.cfg.LSQSize {
 			if n == 0 {
 				c.stalls.LSQFull++
 			}
@@ -230,31 +235,48 @@ func (c *Core) renameStage() {
 			return
 		}
 
-		// Allocate the reorder-structure entry.
+		// Allocate the reorder-structure entry. In-flight sequence
+		// numbers stay consecutive (recovery rewinds nextSeq), which is
+		// what makes seq -> slot arithmetic in lookupSlot valid. The
+		// recycled entry is initialized field by field: a whole-struct
+		// literal would build and copy a ~150-byte temporary per rename.
 		seq := c.nextSeq
 		c.nextSeq++
-		u := c.at(c.head + c.count)
-		c.count++
-		*u = uop{
-			Slot: release.Slot{
-				Seq:       seq,
-				WrongPath: item.wrongPath,
-			},
-			inst:      in,
-			pc:        item.pc,
-			traceIdx:  item.traceIdx,
-			isCtrl:    in.IsCtrl(),
-			predTaken: item.predTaken,
-			actTaken:  item.actTaken,
-			predNext:  item.predNext,
-			actNext:   item.actNext,
-			snap:      item.snap,
+		idx := (c.head + c.count) & c.rosMask
+		u := &c.ros[idx]
+		if c.count == 0 {
+			c.headSeq = seq
 		}
-		if item.traceIdx >= 0 && in.IsMem() {
-			u.effAddr = c.tr.At(item.traceIdx).EffAddr
-		} else if in.IsMem() {
-			// Wrong-path memory op: synthesize a deterministic address.
-			u.effAddr = program.DataBase + (item.pc*2654435761)%(1<<16)
+		c.count++
+		u.Slot = release.Slot{Seq: seq, WrongPath: item.wrongPath}
+		u.inst = in
+		u.pc = item.pc
+		u.traceIdx = item.traceIdx
+		u.isLoad = in.IsLoad()
+		u.isStore = in.IsStore()
+		u.isMem = u.isLoad || u.isStore
+		u.fu = in.FU()
+		u.issued = false
+		u.completed = false
+		u.completeCycle = 0
+		u.isCtrl = in.IsCtrl()
+		u.checkpointed = false
+		u.predTaken = item.predTaken
+		u.actTaken = item.actTaken
+		u.predNext = item.predNext
+		u.actNext = item.actNext
+		u.snap = item.snap
+		u.resolved = false
+		u.mispredicted = false
+		u.effAddr = 0
+		u.srcVer[0], u.srcVer[1] = 0, 0
+		if u.isMem {
+			if item.traceIdx >= 0 {
+				u.effAddr = c.tr.At(item.traceIdx).EffAddr
+			} else {
+				// Wrong-path memory op: synthesize a deterministic address.
+				u.effAddr = program.DataBase + (item.pc*2654435761)%(1<<16)
+			}
 		}
 		// Operand classes for the release engine.
 		u.SrcClass = [2]isa.RegClass{in.Src1Class(), in.Src2Class()}
@@ -266,13 +288,13 @@ func (c *Core) renameStage() {
 			u.DstClass = isa.ClassNone
 		}
 
-		c.seqMap[seq] = u
 		c.engine.Rename(&u.Slot)
+		c.pushUnissued(int32(idx))
 
 		// Scoreboard and instrumentation.
-		for i := 0; i < 2; i++ {
-			if u.SrcClass[i] != isa.ClassNone {
-				if c.checker != nil {
+		if c.checker != nil {
+			for i := 0; i < 2; i++ {
+				if u.SrcClass[i] != isa.ClassNone {
 					c.checker.OnRenameRead(u.SrcClass[i], u.SrcPhys[i])
 					u.srcVer[i] = c.checker.Version(u.SrcClass[i], u.SrcPhys[i])
 				}
@@ -287,13 +309,17 @@ func (c *Core) renameStage() {
 				c.checker.OnAlloc(u.DstClass, u.DstPhys)
 			}
 		}
-		if in.IsMem() {
-			c.lsq = append(c.lsq, lsqEntry{
+		if u.isMem {
+			c.lsq[(c.lsqHead+c.lsqLen)&c.lsqMask] = lsqEntry{
 				seq:       seq,
-				isStore:   in.IsStore(),
+				isStore:   u.isStore,
 				wrongPath: item.wrongPath,
 				addr:      u.effAddr,
-			})
+			}
+			c.lsqLen++
+			if u.isStore && !item.wrongPath {
+				c.pendingStoreAddrs++
+			}
 		}
 		if needsChk {
 			if !c.engine.PushBranch(seq) {
@@ -304,40 +330,46 @@ func (c *Core) renameStage() {
 		if c.tracer != nil {
 			c.tracer.event(c.cycle, "rename", u, "")
 		}
-		c.fq = c.fq[1:]
+		c.fqHead++
+		c.fqLen--
 	}
 }
 
 // --- issue ------------------------------------------------------------------
 
 // issueStage selects ready instructions oldest-first, bounded by issue
-// width and functional-unit availability.
+// width and functional-unit availability. Only the unissued list is
+// scanned — already-issued window entries cost nothing.
 func (c *Core) issueStage() {
 	issued := 0
 	var fuUsed [isa.NumFUKinds]int
-	for i := 0; i < c.count && issued < c.cfg.IssueWidth; i++ {
-		u := c.at(c.head + i)
-		if u.issued {
-			continue
-		}
+	for idx := c.unHead; idx >= 0 && issued < c.cfg.IssueWidth; {
+		u := &c.ros[idx]
+		next := c.unNext[idx]
 		if !c.operandsReady(u) {
+			idx = next
 			continue
 		}
-		fu := u.inst.FU()
+		fu := u.fu
 		if fuUsed[fu] >= c.cfg.FUCount[fu] {
+			idx = next
 			continue
 		}
-		if u.inst.IsLoad() && !u.WrongPath && !c.loadMayIssue(u) {
+		if u.isLoad && !u.WrongPath && !c.loadMayIssue(u) {
+			idx = next
 			continue
 		}
 		fuUsed[fu]++
 		issued++
 		u.issued = true
 		u.completeCycle = c.cycle + int64(c.execLatency(u))
+		c.unlinkUnissued(idx)
+		slot := u.completeCycle & c.wheelMask
+		c.wheel[slot] = append(c.wheel[slot], u.Seq)
 		if c.tracer != nil {
 			c.tracer.event(c.cycle, "issue", u, fmt.Sprintf(" lat=%d", u.completeCycle-c.cycle))
 		}
-		if u.inst.IsMem() {
+		if u.isMem {
 			c.markLSQIssued(u.Seq)
 		}
 		if c.checker != nil {
@@ -348,6 +380,7 @@ func (c *Core) issueStage() {
 				}
 			}
 		}
+		idx = next
 	}
 }
 
@@ -357,7 +390,7 @@ func (c *Core) operandsReady(u *uop) bool {
 	// than the store and therefore complete by the time the store
 	// commits and writes memory.
 	nsrc := 2
-	if u.inst.IsStore() {
+	if u.isStore {
 		nsrc = 1
 	}
 	for i := 0; i < nsrc; i++ {
@@ -373,10 +406,14 @@ func (c *Core) operandsReady(u *uop) bool {
 
 // loadMayIssue enforces Table 2's memory ordering: a load issues only
 // when every older store's address is known. A matching older store
-// forwards (the load then takes a 1-cycle latency).
+// forwards (the load then takes a 1-cycle latency). While no store in
+// the queue has an unknown address the scan is skipped entirely.
 func (c *Core) loadMayIssue(u *uop) bool {
-	for i := range c.lsq {
-		e := &c.lsq[i]
+	if c.pendingStoreAddrs == 0 {
+		return true
+	}
+	for i := 0; i < c.lsqLen; i++ {
+		e := c.lsqAt(i)
 		if e.seq >= u.Seq {
 			break
 		}
@@ -392,8 +429,8 @@ func (c *Core) loadMayIssue(u *uop) bool {
 func (c *Core) forwardedFromStore(u *uop) bool {
 	word := u.effAddr &^ 7
 	hit := false
-	for i := range c.lsq {
-		e := &c.lsq[i]
+	for i := 0; i < c.lsqLen; i++ {
+		e := c.lsqAt(i)
 		if e.seq >= u.Seq {
 			break
 		}
@@ -405,9 +442,13 @@ func (c *Core) forwardedFromStore(u *uop) bool {
 }
 
 func (c *Core) markLSQIssued(seq uint64) {
-	for i := range c.lsq {
-		if c.lsq[i].seq == seq {
-			c.lsq[i].addrReady = true
+	for i := 0; i < c.lsqLen; i++ {
+		e := c.lsqAt(i)
+		if e.seq == seq {
+			if e.isStore && !e.wrongPath && !e.addrReady {
+				c.pendingStoreAddrs--
+			}
+			e.addrReady = true
 			return
 		}
 	}
@@ -416,7 +457,7 @@ func (c *Core) markLSQIssued(seq uint64) {
 // execLatency returns the operation's total execution latency, including
 // cache access for loads.
 func (c *Core) execLatency(u *uop) int {
-	if u.inst.IsLoad() {
+	if u.isLoad {
 		if u.WrongPath {
 			return 1 // wrong-path loads do not probe the cache (documented)
 		}
@@ -425,22 +466,41 @@ func (c *Core) execLatency(u *uop) int {
 		}
 		return c.mem.LoadLat(u.effAddr)
 	}
-	if u.inst.IsStore() {
+	if u.isStore {
 		return 1 // address/data capture; memory written at commit
 	}
-	return c.cfg.FULat[u.inst.FU()]
+	return c.cfg.FULat[u.fu]
 }
 
 // --- writeback / branch resolution -------------------------------------------
 
 // writebackStage completes executed instructions, wakes dependents and
 // resolves control flow. At most one misprediction (the oldest) recovers
-// per cycle.
+// per cycle. Completions come off the wheel bucket for this cycle —
+// O(events), not O(window). Bucket entries are processed oldest-first;
+// stale entries (for uops squashed after issue, possibly with their
+// sequence number since reassigned) are filtered by the in-flight /
+// issued / completeCycle guards.
 func (c *Core) writebackStage() {
-	var recoverIdx = -1
-	for i := 0; i < c.count; i++ {
-		u := c.at(c.head + i)
-		if !u.issued || u.completed || u.completeCycle > c.cycle {
+	slot := c.cycle & c.wheelMask
+	bucket := c.wheel[slot]
+	if len(bucket) == 0 {
+		return
+	}
+	// Insertion sort by sequence number: buckets are tiny and the age
+	// order must match the seed's oldest-first window scan.
+	for i := 1; i < len(bucket); i++ {
+		for j := i; j > 0 && bucket[j-1] > bucket[j]; j-- {
+			bucket[j-1], bucket[j] = bucket[j], bucket[j-1]
+		}
+	}
+	var recoverU *uop
+	for _, seq := range bucket {
+		if !c.inFlight(seq) {
+			continue
+		}
+		u := &c.ros[c.slotIdx(seq)]
+		if !u.issued || u.completed || u.completeCycle != c.cycle {
 			continue
 		}
 		u.completed = true
@@ -455,13 +515,14 @@ func (c *Core) writebackStage() {
 			}
 		}
 		if u.isCtrl && !u.resolved {
-			if c.resolveCtrl(u) && recoverIdx < 0 {
-				recoverIdx = i
+			if c.resolveCtrl(u) && recoverU == nil {
+				recoverU = u
 			}
 		}
 	}
-	if recoverIdx >= 0 {
-		c.recover(c.at(c.head + recoverIdx))
+	c.wheel[slot] = bucket[:0]
+	if recoverU != nil {
+		c.recover(recoverU)
 	}
 }
 
@@ -500,17 +561,11 @@ func (c *Core) resolveCtrl(u *uop) bool {
 // recover squashes everything younger than the mispredicted control
 // instruction, restores the rename/predictor state and redirects fetch.
 func (c *Core) recover(br *uop) {
-	// Locate br's position from the tail.
-	pos := -1
-	for i := 0; i < c.count; i++ {
-		if c.at(c.head+i).Seq == br.Seq {
-			pos = i
-			break
-		}
-	}
-	if pos < 0 {
+	// br's window position follows from sequence arithmetic.
+	if !c.inFlight(br.Seq) {
 		panic("pipeline: recovering branch not in window")
 	}
+	pos := int(br.Seq - c.headSeq)
 	// Squash young -> old.
 	for i := c.count - 1; i > pos; i-- {
 		u := c.at(c.head + i)
@@ -527,19 +582,32 @@ func (c *Core) recover(br *uop) {
 			}
 		}
 		c.engine.SquashSlot(&u.Slot)
-		delete(c.seqMap, u.Seq)
 	}
 	c.count = pos + 1
+	// Squashed uops can no longer issue: drop them off the unissued
+	// list's tail (they are exactly the youngest entries).
+	for c.unTail >= 0 && c.ros[c.unTail].Seq > br.Seq {
+		c.unlinkUnissued(c.unTail)
+	}
+	// Rewind the sequence counter so in-flight numbers stay consecutive;
+	// the squashed numbers are reassigned to the correct-path refill.
+	c.nextSeq = br.Seq + 1
 	// Trim the LSQ to entries at or older than the branch.
-	cut := len(c.lsq)
-	for i, e := range c.lsq {
-		if e.seq > br.Seq {
+	cut := c.lsqLen
+	for i := 0; i < c.lsqLen; i++ {
+		if c.lsqAt(i).seq > br.Seq {
 			cut = i
 			break
 		}
 	}
-	c.lsq = c.lsq[:cut]
-	c.fq = c.fq[:0]
+	for i := cut; i < c.lsqLen; i++ {
+		e := c.lsqAt(i)
+		if e.isStore && !e.wrongPath && !e.addrReady {
+			c.pendingStoreAddrs--
+		}
+	}
+	c.lsqLen = cut
+	c.fqLen = 0
 
 	if br.checkpointed {
 		c.engine.MispredictBranch(br.Seq)

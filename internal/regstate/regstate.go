@@ -53,6 +53,28 @@ func NewTracker(class isa.RegClass, numPhys int) *Tracker {
 	return t
 }
 
+// Recycle returns a tracker for (class, numPhys), reusing t's arrays
+// when the geometry matches. The returned tracker starts a fresh run,
+// exactly as NewTracker would.
+func Recycle(t *Tracker, class isa.RegClass, numPhys int) *Tracker {
+	if t == nil || t.Class != class || len(t.alloc) != numPhys {
+		return NewTracker(class, numPhys)
+	}
+	for p := 0; p < numPhys; p++ {
+		v := int64(-1)
+		if p < isa.NumLogical {
+			v = 0
+		}
+		t.alloc[p] = v
+		t.write[p] = v
+		t.lastUseCmt[p] = v
+	}
+	t.emptyInt, t.readyInt, t.idleInt = 0, 0, 0
+	t.frees = 0
+	t.totalIdle = 0
+	return t
+}
+
 // Alloc records that p was allocated at the given cycle.
 func (t *Tracker) Alloc(p rename.PhysReg, cycle int64) {
 	t.alloc[p] = cycle

@@ -14,6 +14,13 @@ func newBitset(n int) *bitset {
 	return &bitset{words: make([]uint64, (n+63)/64), n: n}
 }
 
+// reset clears every bit.
+func (b *bitset) reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
 func (b *bitset) set(i int)      { b.words[i>>6] |= 1 << (uint(i) & 63) }
 func (b *bitset) clear(i int)    { b.words[i>>6] &^= 1 << (uint(i) & 63) }
 func (b *bitset) get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }

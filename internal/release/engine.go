@@ -38,12 +38,49 @@ type Engine struct {
 	lookup LookupFunc
 	free   FreeHook
 
+	// chkPool recycles resolved checkpoint entries: each chk carries two
+	// full rename checkpoints (and, for the extended policy, two bitsets
+	// and two maps), which would otherwise be reallocated at every
+	// control instruction. Bounded by MaxPendingBranches.
+	chkPool []*chk
+
 	// eager-mode pending-read counters (Moudgill-style), per class.
 	readers     [2][]int32
 	pendingFree [2][]bool
 
 	Stats Stats
 }
+
+// takeChk returns a checkpoint entry for seq, snapshotting the current
+// rename state — from the pool when possible, freshly allocated
+// otherwise.
+func (e *Engine) takeChk(seq uint64) *chk {
+	if n := len(e.chkPool); n > 0 {
+		c := e.chkPool[n-1]
+		e.chkPool = e.chkPool[:n-1]
+		c.seq = seq
+		e.states[0].CheckpointInto(c.cp[0])
+		e.states[1].CheckpointInto(c.cp[1])
+		if e.opt.Kind == Extended {
+			c.rwns[0].reset()
+			c.rwns[1].reset()
+			clear(c.rwc[0])
+			clear(c.rwc[1])
+		}
+		return c
+	}
+	c := &chk{
+		seq: seq,
+		cp:  [2]*rename.Checkpoint{e.states[0].TakeCheckpoint(), e.states[1].TakeCheckpoint()},
+	}
+	if e.opt.Kind == Extended {
+		c.rwns = [2]*bitset{newBitset(e.opt.IntRegs), newBitset(e.opt.FPRegs)}
+		c.rwc = [2]map[uint64]uint8{make(map[uint64]uint8), make(map[uint64]uint8)}
+	}
+	return c
+}
+
+func (e *Engine) recycleChk(c *chk) { e.chkPool = append(e.chkPool, c) }
 
 // NewEngine builds an engine. lookup and freeHook may be nil for tests
 // that do not exercise in-flight scheduling or accounting.
@@ -283,15 +320,7 @@ func (e *Engine) PushBranch(seq uint64) bool {
 	if len(e.chks) >= e.opt.MaxPendingBranches {
 		return false
 	}
-	c := &chk{
-		seq: seq,
-		cp:  [2]*rename.Checkpoint{e.states[0].TakeCheckpoint(), e.states[1].TakeCheckpoint()},
-	}
-	if e.opt.Kind == Extended {
-		c.rwns = [2]*bitset{newBitset(e.opt.IntRegs), newBitset(e.opt.FPRegs)}
-		c.rwc = [2]map[uint64]uint8{make(map[uint64]uint8), make(map[uint64]uint8)}
-	}
-	e.chks = append(e.chks, c)
+	e.chks = append(e.chks, e.takeChk(seq))
 	if len(e.chks) > e.Stats.PeakPending {
 		e.Stats.PeakPending = len(e.chks)
 	}
@@ -348,6 +377,7 @@ func (e *Engine) ConfirmBranch(seq uint64) {
 		}
 	}
 	e.chks = append(e.chks[:i], e.chks[i+1:]...)
+	e.recycleChk(c)
 }
 
 // applyMask sets the slot's early-release bits for every role in mask.
@@ -378,6 +408,9 @@ func (e *Engine) MispredictBranch(seq uint64) {
 				e.Stats.RelQueDrop += uint64(len(e.chks[j].rwc[cls]))
 			}
 		}
+	}
+	for j := i; j < len(e.chks); j++ {
+		e.recycleChk(e.chks[j])
 	}
 	e.chks = e.chks[:i]
 }
@@ -543,6 +576,9 @@ func (e *Engine) tryEagerRelease(s *Slot) {
 // (released early while architecturally mapped); the §4.3 safety
 // property guarantees the program rewrites them before reading.
 func (e *Engine) RecoverException() (taintedInt, taintedFP []isa.Reg) {
+	for _, c := range e.chks {
+		e.recycleChk(c)
+	}
 	e.chks = e.chks[:0]
 	if e.opt.Eager {
 		for c := 0; c < 2; c++ {

@@ -190,6 +190,13 @@ func (s *State) TakeCheckpoint() *Checkpoint {
 	return &Checkpoint{MT: s.MT, LU: s.LU}
 }
 
+// CheckpointInto snapshots MT and the LUs Table into an existing
+// checkpoint, so recycled checkpoints allocate nothing.
+func (s *State) CheckpointInto(c *Checkpoint) {
+	c.MT = s.MT
+	c.LU = s.LU
+}
+
 // Restore rewinds MT and the LUs Table to a checkpoint.
 func (s *State) Restore(c *Checkpoint) {
 	s.MT = c.MT

@@ -113,10 +113,18 @@ func Names() []string {
 }
 
 // traceCache memoizes emulated traces per (name, scale): the experiment
-// sweeps re-run the same trace under many configurations.
+// sweeps re-run the same trace under many configurations. Each entry
+// builds exactly once — concurrent callers of the same (name, scale)
+// wait on the first builder instead of emulating the trace again.
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
 var (
 	cacheMu    sync.Mutex
-	traceCache = map[string]*trace.Trace{}
+	traceCache = map[string]*traceEntry{}
 )
 
 // Trace builds the workload at the given scale, runs it functionally and
@@ -124,26 +132,28 @@ var (
 func (w Workload) Trace(scale int) (*trace.Trace, error) {
 	key := fmt.Sprintf("%s/%d", w.Name, scale)
 	cacheMu.Lock()
-	if tr, ok := traceCache[key]; ok {
-		cacheMu.Unlock()
-		return tr, nil
+	e, ok := traceCache[key]
+	if !ok {
+		e = &traceEntry{}
+		traceCache[key] = e
 	}
 	cacheMu.Unlock()
 
-	p := w.Build(scale)
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	m := emu.New(p)
-	tr, err := m.Run(uint64(scale)*8 + 1_000_000)
-	if err != nil {
-		return nil, fmt.Errorf("workloads: emulating %s: %w", w.Name, err)
-	}
-
-	cacheMu.Lock()
-	traceCache[key] = tr
-	cacheMu.Unlock()
-	return tr, nil
+	e.once.Do(func() {
+		p := w.Build(scale)
+		if err := p.Validate(); err != nil {
+			e.err = err
+			return
+		}
+		m := emu.New(p)
+		tr, err := m.Run(uint64(scale)*8 + 1_000_000)
+		if err != nil {
+			e.err = fmt.Errorf("workloads: emulating %s: %w", w.Name, err)
+			return
+		}
+		e.tr = tr
+	})
+	return e.tr, e.err
 }
 
 // MustTrace is Trace that panics on error (for benchmarks).
@@ -159,7 +169,7 @@ func (w Workload) MustTrace(scale int) *trace.Trace {
 func ClearTraceCache() {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
-	traceCache = map[string]*trace.Trace{}
+	traceCache = map[string]*traceEntry{}
 }
 
 // lcg is the deterministic generator used for synthetic input data.
@@ -177,7 +187,7 @@ func (l *lcg) intn(n int) int { return int(l.next() % uint64(n)) }
 func (l *lcg) float() float64 { return float64(l.next()%1_000_000)/1_000_000 + 0.1 }
 
 // sortedKeys is a test helper exposed for deterministic iteration.
-func sortedKeys(m map[string]*trace.Trace) []string {
+func sortedKeys(m map[string]*traceEntry) []string {
 	var ks []string
 	for k := range m {
 		ks = append(ks, k)
