@@ -11,6 +11,8 @@
 //	-all     everything
 //
 // Use -scale to trade fidelity for time and -quick for a fast smoke run.
+// With -cache FILE, results persist across runs: a repeated invocation
+// only simulates points whose configuration changed.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 
 	"earlyrelease/internal/experiments"
 	"earlyrelease/internal/stats"
+	"earlyrelease/internal/sweep"
 )
 
 func main() {
@@ -38,12 +41,20 @@ func main() {
 		scale  = flag.Int("scale", 300_000, "dynamic instructions per workload")
 		quick  = flag.Bool("quick", false, "smaller scale and size axis")
 		check  = flag.Bool("check", false, "enable invariant checking")
+		cache  = flag.String("cache", "", "persistent sweep-result cache file (repeated runs only simulate new points)")
 	)
 	flag.Parse()
 
 	opt := experiments.DefaultOptions()
 	opt.Scale = *scale
 	opt.Check = *check
+	if *cache != "" {
+		c, err := sweep.OpenCache(*cache)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Cache = c
+	}
 	sizes := experiments.DefaultSizes
 	if *quick {
 		opt.Scale = 60_000
@@ -90,6 +101,12 @@ func main() {
 		}
 		fmt.Println(res)
 		fmt.Println(experiments.Table4String(experiments.Table4(res)))
+	}
+
+	cs := experiments.CacheStats(opt)
+	if cs.Hits+cs.Misses > 0 {
+		log.Printf("sweep cache: %d entries, %d hits / %d lookups (%.1f%% hit rate)",
+			cs.Entries, cs.Hits, cs.Hits+cs.Misses, 100*cs.HitRate)
 	}
 }
 

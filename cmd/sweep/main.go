@@ -1,0 +1,157 @@
+// Command sweep runs one declarative parameter grid from the command
+// line — the one-shot counterpart of the sweepd service. Axes are
+// comma-separated lists; empty axes take the paper's defaults (all ten
+// workloads, all three policies, 48+48 registers).
+//
+//	sweep -workloads tomcatv,swim -policies conv,extended -int-regs 40,48,64
+//	sweep -cache sweep-cache.json -scale 300000        # incremental reruns
+//
+// With -json the full outcomes (every Result field) are printed;
+// otherwise a compact IPC table. -stats-json FILE writes the run and
+// cache statistics (the CI bench smoke uploads these).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"earlyrelease/internal/stats"
+	"earlyrelease/internal/sweep"
+)
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var (
+		workloadsF = flag.String("workloads", "", "comma-separated workloads (empty = all)")
+		policiesF  = flag.String("policies", "", "comma-separated policies: conv,basic,extended (empty = all)")
+		intRegsF   = flag.String("int-regs", "", "comma-separated integer file sizes (empty = 48)")
+		fpRegsF    = flag.String("fp-regs", "", "comma-separated FP file sizes (empty = mirror int)")
+		scale      = flag.Int("scale", sweep.DefaultScale, "dynamic instructions per workload")
+		check      = flag.Bool("check", false, "enable invariant checking")
+		ablate     = flag.Bool("ablate", false, "also sweep the no-reuse and eager ablations")
+		parallel   = flag.Int("parallel", 0, "workers (0 = GOMAXPROCS)")
+		cachePath  = flag.String("cache", "", "persistent result-cache file")
+		jsonOut    = flag.Bool("json", false, "print full outcomes as JSON")
+		statsPath  = flag.String("stats-json", "", "write run + cache statistics to this file")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	intRegs, err := splitInts(*intRegsF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fpRegs, err := splitInts(*fpRegsF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := sweep.Grid{
+		Workloads: splitList(*workloadsF),
+		Policies:  splitList(*policiesF),
+		IntRegs:   intRegs,
+		FPRegs:    fpRegs,
+		Scale:     *scale,
+		Check:     *check,
+	}
+	if *ablate {
+		g.NoReuse = []bool{false, true}
+		g.Eager = []bool{false, true}
+	}
+
+	eng := &sweep.Engine{Parallel: *parallel}
+	if *cachePath != "" {
+		if eng.Cache, err = sweep.OpenCache(*cachePath); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	progress := func(p sweep.Progress) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\r%d/%d done (%d cached, %d errors)   ",
+				p.Done, p.Total, p.CacheHits, p.Errors)
+		}
+	}
+	res, err := eng.Run(g, progress)
+	if !*quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.SaveErr != "" {
+		log.Printf("warning: results below are complete but were not persisted: %s", res.SaveErr)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(res)
+	} else {
+		t := stats.NewTable("workload", "policy", "int+fp", "IPC", "cycles", "source")
+		for _, o := range res.Outcomes {
+			src := "run"
+			if o.Cached {
+				src = "cache"
+			}
+			if o.Err != "" {
+				t.AddRow(o.Point.Workload, o.Point.Policy,
+					fmt.Sprintf("%d+%d", o.Point.IntRegs, o.Point.FPRegs),
+					"-", "-", "error: "+o.Err)
+				continue
+			}
+			t.AddRow(o.Point.Workload, o.Point.Policy,
+				fmt.Sprintf("%d+%d", o.Point.IntRegs, o.Point.FPRegs),
+				fmt.Sprintf("%.3f", o.Result.IPC),
+				fmt.Sprint(o.Result.Cycles), src)
+		}
+		fmt.Print(t.String())
+	}
+
+	cs := sweep.CacheStats{}
+	if eng.Cache != nil {
+		cs = eng.Cache.Stats()
+	}
+	log.Printf("%d points: %d simulated, %d cached, %d errors",
+		res.Stats.Points, res.Stats.Simulated, res.Stats.CacheHits, res.Stats.Errors)
+	if *statsPath != "" {
+		blob, _ := json.MarshalIndent(struct {
+			Run   sweep.RunStats   `json:"run"`
+			Cache sweep.CacheStats `json:"cache"`
+		}{res.Stats, cs}, "", "  ")
+		if err := os.WriteFile(*statsPath, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if res.Stats.Errors > 0 {
+		os.Exit(1)
+	}
+}

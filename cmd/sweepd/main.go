@@ -1,0 +1,47 @@
+// Command sweepd serves the sweep engine over HTTP: clients POST
+// declarative parameter grids (see internal/sweep) and poll or stream
+// the simulations' progress and results. All clients share one
+// content-addressed result cache — concurrent or repeated sweeps only
+// simulate points never seen before — and -cache persists it across
+// restarts.
+//
+//	sweepd -addr :8080 -cache sweep-cache.json
+//
+//	curl -d '{"workloads":["tomcatv"],"int_regs":[40,48,64]}' localhost:8080/sweep
+//	curl localhost:8080/sweep/sw-1
+//	curl localhost:8080/sweep/sw-1/stream
+//	curl localhost:8080/cache
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"earlyrelease/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweepd: ")
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		cachePath = flag.String("cache", "", "persistent result-cache file (empty = in-memory)")
+		parallel  = flag.Int("parallel", 0, "workers per sweep (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	cache := sweep.NewCache()
+	if *cachePath != "" {
+		var err error
+		cache, err = sweep.OpenCache(*cachePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("cache %s: %d results", *cachePath, cache.Len())
+	}
+
+	srv := NewServer(cache, *parallel)
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"earlyrelease/internal/sweep"
+)
+
+// Server is the sweepd HTTP API: clients submit grids, poll or stream
+// their progress, and read results. All sweeps share one engine cache,
+// so concurrent clients asking for overlapping grids each pay only for
+// the points nobody has simulated yet.
+//
+//	POST /sweep               submit a sweep.Grid, returns {"id": ...}
+//	GET  /sweep/{id}          status, progress and (when done) results
+//	GET  /sweep/{id}/stream   NDJSON progress snapshots until completion
+//	GET  /sweeps              list all submitted sweeps
+//	GET  /cache               shared cache statistics
+//	GET  /healthz             liveness
+type Server struct {
+	engine *sweep.Engine
+
+	mu     sync.Mutex
+	sweeps map[string]*sweepJob
+	nextID int
+	minID  int // oldest id that may still be retained
+}
+
+// maxRetainedSweeps bounds sweepd's job history: finished sweeps beyond
+// this count are evicted oldest-first (their results stay in the shared
+// cache — only the per-job record goes away). Running sweeps are never
+// evicted.
+const maxRetainedSweeps = 128
+
+// sweepJob tracks one submitted grid through its lifecycle.
+type sweepJob struct {
+	ID       string         `json:"id"`
+	State    string         `json:"state"` // "running" or "done"
+	Grid     sweep.Grid     `json:"grid"`
+	Progress sweep.Progress `json:"progress"`
+	Results  *sweep.Results `json:"results,omitempty"`
+	Err      string         `json:"err,omitempty"`
+}
+
+// NewServer builds a server around a shared cache. parallel bounds each
+// sweep's worker pool (0 = GOMAXPROCS).
+func NewServer(cache *sweep.Cache, parallel int) *Server {
+	if cache == nil {
+		cache = sweep.NewCache()
+	}
+	return &Server{
+		engine: &sweep.Engine{Parallel: parallel, Cache: cache},
+		sweeps: make(map[string]*sweepJob),
+	}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sweep", s.handleSubmit)
+	mux.HandleFunc("GET /sweep/{id}", s.handleGet)
+	mux.HandleFunc("GET /sweep/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /sweeps", s.handleList)
+	mux.HandleFunc("GET /cache", s.handleCache)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var g sweep.Grid
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&g); err != nil {
+		writeError(w, http.StatusBadRequest, "bad grid: %v", err)
+		return
+	}
+	if n := len(g.Expand()); n == 0 {
+		writeError(w, http.StatusBadRequest, "grid expands to no points")
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	job := &sweepJob{ID: fmt.Sprintf("sw-%d", s.nextID), State: "running", Grid: g}
+	s.sweeps[job.ID] = job
+	for i := s.minID; i <= s.nextID && len(s.sweeps) > maxRetainedSweeps; i++ {
+		id := fmt.Sprintf("sw-%d", i)
+		if old, ok := s.sweeps[id]; ok {
+			if old.State != "done" {
+				break // never evict past a still-running sweep
+			}
+			delete(s.sweeps, id)
+		}
+		s.minID = i + 1
+	}
+	s.mu.Unlock()
+
+	go s.runJob(job, g)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": job.ID})
+}
+
+// runJob executes the sweep and publishes progress under the lock. A
+// grid whose points all fail still completes as "done": per-point
+// errors live in the outcomes, matching the engine's contract.
+func (s *Server) runJob(job *sweepJob, g sweep.Grid) {
+	res, err := s.engine.Run(g, func(p sweep.Progress) {
+		s.mu.Lock()
+		job.Progress = p
+		s.mu.Unlock()
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.State = "done"
+	job.Results = res
+	if err != nil {
+		job.Err = err.Error()
+	}
+}
+
+// snapshot copies a job's current public state under the lock.
+func (s *Server) snapshot(id string) (sweepJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.sweeps[id]
+	if !ok {
+		return sweepJob{}, false
+	}
+	return *job, true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.snapshot(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleStream writes NDJSON progress snapshots (one per change, at
+// most ~20/s) until the sweep completes, then a final line with state
+// "done". Clients get live progress with plain line-buffered readers —
+// no SSE machinery needed.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.snapshot(id); !ok {
+		writeError(w, http.StatusNotFound, "no sweep %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	lastProg := sweep.Progress{Done: -1}
+	lastState := ""
+	for {
+		job, ok := s.snapshot(id)
+		if !ok {
+			return
+		}
+		// Emit on any visible change — including the state flip to
+		// "done" after the final progress update, so the stream always
+		// ends with a state:"done" line.
+		if job.Progress != lastProg || job.State != lastState {
+			lastProg, lastState = job.Progress, job.State
+			enc.Encode(map[string]any{"state": job.State, "progress": job.Progress})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if job.State == "done" {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	type item struct {
+		ID       string         `json:"id"`
+		State    string         `json:"state"`
+		Progress sweep.Progress `json:"progress"`
+	}
+	items := make([]item, 0, len(s.sweeps))
+	for i := 1; i <= s.nextID; i++ {
+		if job, ok := s.sweeps[fmt.Sprintf("sw-%d", i)]; ok {
+			items = append(items, item{job.ID, job.State, job.Progress})
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, items)
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Cache.Stats())
+}

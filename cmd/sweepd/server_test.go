@@ -1,0 +1,337 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"earlyrelease/internal/experiments"
+	"earlyrelease/internal/release"
+	"earlyrelease/internal/sweep"
+	"earlyrelease/internal/workloads"
+)
+
+const testScale = 20_000
+
+func newTestServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	srv := NewServer(sweep.NewCache(), 0)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func postGrid(t *testing.T, ts *httptest.Server, g sweep.Grid) string {
+	t.Helper()
+	body, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /sweep: status %d", resp.StatusCode)
+	}
+	var out struct{ ID string }
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID == "" {
+		t.Fatal("empty sweep id")
+	}
+	return out.ID
+}
+
+func pollDone(t *testing.T, ts *httptest.Server, id string) *sweepJob {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/sweep/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job sweepJob
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.State == "done" {
+			return &job
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("sweep did not finish in time")
+	return nil
+}
+
+// TestSubmitPollResults is the end-to-end acceptance path: a grid
+// submitted over HTTP, polled to completion, must yield results
+// byte-identical to direct experiments calls.
+func TestSubmitPollResults(t *testing.T) {
+	ts, _ := newTestServer(t)
+	g := sweep.Grid{
+		Workloads: []string{"tomcatv"},
+		Policies:  []string{"conv", "extended"},
+		IntRegs:   []int{48},
+		Scale:     testScale,
+	}
+	job := pollDone(t, ts, postGrid(t, ts, g))
+	if job.Err != "" {
+		t.Fatalf("sweep failed: %s", job.Err)
+	}
+	if job.Results == nil || len(job.Results.Outcomes) != 2 {
+		t.Fatalf("results: %+v", job.Results)
+	}
+	if job.Progress.Done != 2 || job.Progress.Total != 2 {
+		t.Errorf("final progress: %+v", job.Progress)
+	}
+
+	w, err := workloads.ByName("tomcatv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := experiments.Options{Scale: testScale}
+	for _, o := range job.Results.Outcomes {
+		kind, err := release.ParseKind(o.Point.Policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := experiments.Run(w, kind, 48, 48, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(o.Result, direct) {
+			t.Errorf("%s: HTTP result differs from direct run\n http: %+v\ndirect: %+v",
+				o.Point, o.Result, direct)
+		}
+		// Byte-identical through the wire format too.
+		httpJSON, err := json.Marshal(o.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		directJSON, err := json.Marshal(direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(httpJSON, directJSON) {
+			t.Errorf("%s: serialized results differ\n http: %s\ndirect: %s",
+				o.Point, httpJSON, directJSON)
+		}
+	}
+}
+
+// TestConcurrentClientsShareCache submits the same grid from two
+// clients; the second sweep must be served from the shared cache with
+// identical results.
+func TestConcurrentClientsShareCache(t *testing.T) {
+	ts, _ := newTestServer(t)
+	g := sweep.Grid{Workloads: []string{"go"}, Policies: []string{"basic"},
+		IntRegs: []int{40, 48}, Scale: testScale}
+	first := pollDone(t, ts, postGrid(t, ts, g))
+	second := pollDone(t, ts, postGrid(t, ts, g))
+	if second.Results.Stats.CacheHits != second.Results.Stats.Points {
+		t.Errorf("second client not fully cached: %+v", second.Results.Stats)
+	}
+	for i, o := range second.Results.Outcomes {
+		if !reflect.DeepEqual(o.Result, first.Results.Outcomes[i].Result) {
+			t.Errorf("%s: cached result drifted between clients", o.Point)
+		}
+	}
+
+	var cs sweep.CacheStats
+	resp, err := http.Get(ts.URL + "/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Entries != 2 || cs.Hits < 2 {
+		t.Errorf("cache stats: %+v", cs)
+	}
+}
+
+// TestStreamProgress reads the NDJSON stream to completion.
+func TestStreamProgress(t *testing.T) {
+	ts, _ := newTestServer(t)
+	g := sweep.Grid{Workloads: []string{"go"}, Policies: []string{"conv", "basic", "extended"},
+		IntRegs: []int{48}, Scale: testScale}
+	id := postGrid(t, ts, g)
+	resp, err := http.Get(ts.URL + "/sweep/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	var lines []struct {
+		State    string         `json:"state"`
+		Progress sweep.Progress `json:"progress"`
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var l struct {
+			State    string         `json:"state"`
+			Progress sweep.Progress `json:"progress"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("empty stream")
+	}
+	last := lines[len(lines)-1]
+	if last.State != "done" || last.Progress.Done != 3 {
+		t.Errorf("final stream line: %+v", last)
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i].Progress.Done < lines[i-1].Progress.Done {
+			t.Errorf("progress went backwards: %+v -> %+v", lines[i-1], lines[i])
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed grid: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/sweep", "application/json",
+		strings.NewReader(`{"wrklds":["tomcatv"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", resp.StatusCode)
+	}
+
+	for _, path := range []string{"/sweep/sw-999", "/sweep/sw-999/stream"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestJobRetention submits more sweeps than the server retains and
+// checks that finished jobs are evicted oldest-first while the newest
+// remain addressable.
+func TestJobRetention(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Error-only grids finish in microseconds: ideal filler jobs.
+	g := sweep.Grid{Workloads: []string{"nope"}, Policies: []string{"conv"},
+		IntRegs: []int{48}, Scale: testScale}
+	total := maxRetainedSweeps + 12
+	var lastID string
+	for i := 0; i < total; i++ {
+		lastID = postGrid(t, ts, g)
+	}
+	pollDone(t, ts, lastID)
+
+	// Wait for every submitted sweep to finish, then submit one more to
+	// trigger a final eviction pass.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		var items []struct {
+			State string `json:"state"`
+		}
+		resp, err := http.Get(ts.URL + "/sweeps")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&items)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		running := 0
+		for _, it := range items {
+			if it.State != "done" {
+				running++
+			}
+		}
+		if running == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d sweeps still running", running)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	pollDone(t, ts, postGrid(t, ts, g))
+
+	resp, err := http.Get(ts.URL + "/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var items []struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&items); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) > maxRetainedSweeps {
+		t.Errorf("%d jobs retained, cap is %d", len(items), maxRetainedSweeps)
+	}
+	// The newest job survives; the oldest was evicted (404).
+	if items[len(items)-1].ID != fmt.Sprintf("sw-%d", total+1) {
+		t.Errorf("newest job missing from list: %+v", items[len(items)-1])
+	}
+	resp2, err := http.Get(ts.URL + "/sweep/sw-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("oldest job not evicted: status %d", resp2.StatusCode)
+	}
+}
+
+// TestUnknownWorkloadSurfacesInOutcome mirrors the engine's error-path
+// contract at the HTTP layer.
+func TestUnknownWorkloadSurfacesInOutcome(t *testing.T) {
+	ts, _ := newTestServer(t)
+	g := sweep.Grid{Workloads: []string{"nope"}, Policies: []string{"conv"},
+		IntRegs: []int{48}, Scale: testScale}
+	job := pollDone(t, ts, postGrid(t, ts, g))
+	if len(job.Results.Outcomes) != 1 {
+		t.Fatalf("outcomes: %+v", job.Results.Outcomes)
+	}
+	if o := job.Results.Outcomes[0]; o.Err == "" || o.Result != nil {
+		t.Errorf("bad workload outcome over HTTP: %+v", o)
+	}
+	if job.Results.Stats.Errors != 1 {
+		t.Errorf("stats: %+v", job.Results.Stats)
+	}
+}

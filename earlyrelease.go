@@ -34,6 +34,7 @@ import (
 	"earlyrelease/internal/emu"
 	"earlyrelease/internal/pipeline"
 	"earlyrelease/internal/release"
+	"earlyrelease/internal/trace"
 	"earlyrelease/internal/workloads"
 )
 
@@ -158,6 +159,29 @@ func buildConfig(c Config) (pipeline.Config, error) {
 	return cfg, nil
 }
 
+// simulate runs one already-built trace on a core configured from c,
+// recycling core via Reset when one is passed in. It is the shared
+// back half of Run, RunSource and Compare.
+func simulate(core *pipeline.Core, tr *trace.Trace, c Config) (*Report, *pipeline.Core, error) {
+	cfg, err := buildConfig(c)
+	if err != nil {
+		return nil, core, err
+	}
+	if core == nil {
+		core, err = pipeline.New(cfg, tr)
+	} else {
+		err = core.Reset(cfg, tr)
+	}
+	if err != nil {
+		return nil, core, err
+	}
+	res, err := core.Run()
+	if err != nil {
+		return nil, core, err
+	}
+	return toReport(res), core, nil
+}
+
 // Run simulates one built-in workload under the given configuration.
 func Run(workload string, c Config) (*Report, error) {
 	c = c.fill()
@@ -169,19 +193,8 @@ func Run(workload string, c Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := buildConfig(c)
-	if err != nil {
-		return nil, err
-	}
-	core, err := pipeline.New(cfg, tr)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.Run()
-	if err != nil {
-		return nil, err
-	}
-	return toReport(res), nil
+	rep, _, err := simulate(nil, tr, c)
+	return rep, err
 }
 
 // RunSource assembles a program written in the suite's assembly dialect
@@ -198,28 +211,32 @@ func RunSource(name, source string, c Config) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("earlyrelease: functional run: %w", err)
 	}
-	cfg, err := buildConfig(c)
-	if err != nil {
-		return nil, err
-	}
-	core, err := pipeline.New(cfg, tr)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.Run()
-	if err != nil {
-		return nil, err
-	}
-	return toReport(res), nil
+	rep, _, err := simulate(nil, tr, c)
+	return rep, err
 }
 
 // Compare runs a workload under all three policies with the same
-// register file size and returns the reports keyed by policy name.
+// register file size and returns the reports keyed by policy name. The
+// workload trace is built once and one core is recycled across the
+// three simulations (Reset guarantees results identical to fresh
+// cores), so a comparison costs three timed runs, not three full
+// trace + construction cycles.
 func Compare(workload string, c Config) (map[string]*Report, error) {
+	c = c.fill()
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := w.Trace(c.Scale)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[string]*Report, 3)
+	var core *pipeline.Core
 	for _, p := range []string{PolicyConventional, PolicyBasic, PolicyExtended} {
 		c.Policy = p
-		rep, err := Run(workload, c)
+		var rep *Report
+		rep, core, err = simulate(core, tr, c)
 		if err != nil {
 			return nil, err
 		}

@@ -1,3 +1,3 @@
 module earlyrelease
 
-go 1.21
+go 1.22

@@ -1,0 +1,52 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble feeds arbitrary source text to the assembler. The
+// contract under fuzzing: never panic, never loop — malformed input
+// must come back as a diagnostic error, and accepted input must yield
+// a valid program whose listing reassembles.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"halt\n",
+		"; comment only\n",
+		"li r1, 1000\nloop:\n addi r1, r1, -1\n bnez r1, loop\n halt\n",
+		".data\nx: .word 1, 2, 3\nv: .double 0.5, 1.5\nbuf: .space 64\n.text\nmain:\n la r2, x\n ld r3, 0(r2)\n halt\n",
+		"start: beq r1, r2, start\n jal r31, start\n halt\n",
+		"fadd f1, f2, f3\nfsqrt f4, f1\ncvtif f5, r1\nhalt\n",
+		"li r9, 123456789012345\nsd r9, 8(r29)\nld r10, 8(r29)\nhalt\n",
+		"bad opcode r1\n",
+		".data\nx: .word\n.text\nhalt\n",
+		"label-without-colon halt",
+		"addi r1, r99, 5\n",    // bad register
+		"addi r1, r2, 99999\n", // immediate out of range
+		"la r1, missing\nhalt\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			// Errors are diagnostics: they must name the input and
+			// carry a message, and never coexist with a program.
+			if p != nil {
+				t.Fatalf("error %v alongside non-nil program", err)
+			}
+			if !strings.Contains(err.Error(), "fuzz") && !strings.Contains(err.Error(), "program") {
+				t.Errorf("diagnostic lacks context: %v", err)
+			}
+			return
+		}
+		// Accepted input must produce a structurally valid program.
+		if p == nil {
+			t.Fatal("nil program without error")
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("assembler accepted invalid program: %v", err)
+		}
+	})
+}

@@ -1,17 +1,18 @@
 // Package experiments contains one driver per table and figure of the
-// paper's evaluation (see DESIGN.md §4 for the index). Each driver runs
-// the cycle-level simulator over the workload suite and returns the
-// series the paper plots, formatted through package stats.
+// paper's evaluation (see DESIGN.md §4 for the index). Each driver
+// declares its parameter grid and runs it on the sweep engine
+// (internal/sweep), then formats the series the paper plots through
+// package stats. Drivers share one process-wide result cache, so
+// overlapping grids (e.g. Fig 10's 48-register points inside Fig 11's
+// size axis) are simulated once per process — or once ever, when a
+// persistent cache is configured.
 package experiments
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-
 	"earlyrelease/internal/pipeline"
 	"earlyrelease/internal/release"
 	"earlyrelease/internal/stats"
+	"earlyrelease/internal/sweep"
 	"earlyrelease/internal/workloads"
 )
 
@@ -20,113 +21,106 @@ type Options struct {
 	Scale    int  // dynamic instructions per workload
 	Check    bool // run with the invariant checker (slower)
 	Parallel int  // concurrent simulations (0 = GOMAXPROCS)
+
+	// Cache overrides the process-wide shared result cache — e.g. a
+	// persistent sweep.OpenCache file so repeated figure runs are
+	// incremental across processes. Nil uses the shared in-memory cache.
+	Cache *sweep.Cache
 }
 
 // DefaultOptions is a good compromise for regenerating all figures in a
 // few minutes.
 func DefaultOptions() Options {
-	return Options{Scale: 300_000, Parallel: runtime.GOMAXPROCS(0)}
+	return Options{Scale: 300_000}
 }
 
 // QuickOptions is used by tests.
 func QuickOptions() Options {
-	return Options{Scale: 40_000, Parallel: runtime.GOMAXPROCS(0)}
+	return Options{Scale: 40_000}
 }
 
 // Policies under study, in the paper's plotting order.
 var Policies = []release.Kind{release.Conventional, release.Basic, release.Extended}
 
-// Run simulates one workload under one configuration.
+// sharedCache keeps every driver's results for the life of the process.
+var sharedCache = sweep.NewCache()
+
+// CacheStats reports the effectiveness of the cache the options select,
+// for operational logging (cmd/figures -cache, the CI bench smoke).
+func CacheStats(opt Options) sweep.CacheStats {
+	if opt.Cache != nil {
+		return opt.Cache.Stats()
+	}
+	return sharedCache.Stats()
+}
+
+func (o Options) scale() int {
+	if o.Scale <= 0 {
+		return sweep.DefaultScale
+	}
+	return o.Scale
+}
+
+// grid assembles a driver's sweep: the named policies crossed with the
+// p+p register sizes over the whole workload suite, at the option's
+// scale and checking level.
+func (o Options) grid(policies []release.Kind, sizes []int) sweep.Grid {
+	g := sweep.Grid{IntRegs: sizes, Scale: o.scale(), Check: o.Check}
+	for _, k := range policies {
+		g.Policies = append(g.Policies, k.String())
+	}
+	return g
+}
+
+// point names one simulation of a driver grid for result lookup.
+func (o Options) point(w string, k release.Kind, p int) sweep.Point {
+	return sweep.Point{Workload: w, Policy: k.String(), IntRegs: p, FPRegs: p,
+		Scale: o.scale(), Check: o.Check}
+}
+
+// runGrid executes a driver's grid on the shared (or overridden) cache.
+func runGrid(g sweep.Grid, opt Options) (*sweep.Results, error) {
+	cache := opt.Cache
+	if cache == nil {
+		cache = sharedCache
+	}
+	eng := &sweep.Engine{Parallel: opt.Parallel, Cache: cache}
+	res, err := eng.Run(g, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Run simulates one workload under one configuration, uncached: the
+// throughput benchmarks call this in a loop and must measure the
+// simulator, not the cache.
 func Run(w workloads.Workload, kind release.Kind, intRegs, fpRegs int, opt Options) (*pipeline.Result, error) {
-	res, _, err := runOn(nil, w, kind, intRegs, fpRegs, opt)
-	return res, err
-}
-
-// runOn simulates one workload, recycling core when one is passed in:
-// the sweep workers run hundreds of points and reuse one Core's reorder
-// structure, queues, predictor and cache arrays across all of them.
-func runOn(core *pipeline.Core, w workloads.Workload, kind release.Kind, intRegs, fpRegs int, opt Options) (*pipeline.Result, *pipeline.Core, error) {
-	tr, err := w.Trace(opt.Scale)
+	tr, err := w.Trace(opt.scale())
 	if err != nil {
-		return nil, core, err
+		return nil, err
 	}
-	cfg := pipeline.DefaultConfig(kind, intRegs, fpRegs)
-	cfg.Check = opt.Check
-	cfg.TrackRegStates = true
-	if core == nil {
-		core, err = pipeline.New(cfg, tr)
-	} else {
-		err = core.Reset(cfg, tr)
-	}
+	pt := sweep.Point{Workload: w.Name, Policy: kind.String(),
+		IntRegs: intRegs, FPRegs: fpRegs, Scale: opt.scale(), Check: opt.Check}
+	cfg, err := pt.Config()
 	if err != nil {
-		return nil, core, err
+		return nil, err
 	}
-	res, err := core.Run()
-	return res, core, err
+	core, err := pipeline.New(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run()
 }
-
-// job is one (workload, policy, size) point of a sweep.
-type job struct {
-	w       workloads.Workload
-	kind    release.Kind
-	intRegs int
-	fpRegs  int
-	key     string
-}
-
-// runAll executes jobs concurrently and collects results by key.
-func runAll(jobs []job, opt Options) (map[string]*pipeline.Result, error) {
-	nw := opt.Parallel
-	if nw <= 0 {
-		nw = runtime.GOMAXPROCS(0)
-	}
-	if nw > len(jobs) {
-		nw = len(jobs)
-	}
-	// Pre-build all traces serially (memoized) to avoid duplicate work.
-	for _, j := range jobs {
-		if _, err := j.w.Trace(opt.Scale); err != nil {
-			return nil, err
-		}
-	}
-	results := make(map[string]*pipeline.Result, len(jobs))
-	var mu sync.Mutex
-	var firstErr error
-	ch := make(chan job)
-	var wg sync.WaitGroup
-	for i := 0; i < nw; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var core *pipeline.Core
-			for j := range ch {
-				var res *pipeline.Result
-				var err error
-				res, core, err = runOn(core, j.w, j.kind, j.intRegs, j.fpRegs, opt)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("%s/%v/%d: %w", j.w.Name, j.kind, j.intRegs, err)
-				}
-				results[j.key] = res
-				mu.Unlock()
-			}
-		}()
-	}
-	for _, j := range jobs {
-		ch <- j
-	}
-	close(ch)
-	wg.Wait()
-	return results, firstErr
-}
-
-func key(w string, k release.Kind, p int) string { return fmt.Sprintf("%s/%v/%d", w, k, p) }
 
 // hmeanIPC computes the harmonic-mean IPC over a workload class.
-func hmeanIPC(results map[string]*pipeline.Result, ws []workloads.Workload, k release.Kind, p int) float64 {
+func hmeanIPC(res *sweep.Results, opt Options, ws []workloads.Workload, k release.Kind, p int) float64 {
 	var ipcs []float64
 	for _, w := range ws {
-		r := results[key(w.Name, k, p)]
+		r := res.Result(opt.point(w.Name, k, p))
 		if r == nil {
 			return 0
 		}

@@ -29,18 +29,13 @@ type Fig3Row struct {
 
 // Fig3 reproduces Figure 3 (and the 45.8%/16.8% idle-overhead claims).
 func Fig3(opt Options) (*Fig3Result, error) {
-	var jobs []job
-	for _, w := range workloads.All() {
-		jobs = append(jobs, job{w: w, kind: release.Conventional, intRegs: 96, fpRegs: 96,
-			key: key(w.Name, release.Conventional, 96)})
-	}
-	results, err := runAll(jobs, opt)
+	results, err := runGrid(opt.grid([]release.Kind{release.Conventional}, []int{96}), opt)
 	if err != nil {
 		return nil, err
 	}
 	out := &Fig3Result{}
 	for _, w := range workloads.All() {
-		r := results[key(w.Name, release.Conventional, 96)]
+		r := results.Result(opt.point(w.Name, release.Conventional, 96))
 		bd := r.IntBreakdown
 		if w.Class == workloads.FP {
 			bd = r.FPBreakdown
@@ -114,13 +109,7 @@ type Fig10Result struct {
 // Fig10 runs the 48+48 comparison.
 func Fig10(opt Options) (*Fig10Result, error) {
 	const p = 48
-	var jobs []job
-	for _, w := range workloads.All() {
-		for _, k := range Policies {
-			jobs = append(jobs, job{w: w, kind: k, intRegs: p, fpRegs: p, key: key(w.Name, k, p)})
-		}
-	}
-	results, err := runAll(jobs, opt)
+	results, err := runGrid(opt.grid(Policies, []int{p}), opt)
 	if err != nil {
 		return nil, err
 	}
@@ -132,10 +121,10 @@ func Fig10(opt Options) (*Fig10Result, error) {
 	}
 	for _, k := range Policies {
 		for _, w := range workloads.All() {
-			out.IPC[k] = append(out.IPC[k], results[key(w.Name, k, p)].IPC)
+			out.IPC[k] = append(out.IPC[k], results.Result(opt.point(w.Name, k, p)).IPC)
 		}
-		out.HmInt[k] = hmeanIPC(results, workloads.ByClass(workloads.Int), k, p)
-		out.HmFP[k] = hmeanIPC(results, workloads.ByClass(workloads.FP), k, p)
+		out.HmInt[k] = hmeanIPC(results, opt, workloads.ByClass(workloads.Int), k, p)
+		out.HmFP[k] = hmeanIPC(results, opt, workloads.ByClass(workloads.FP), k, p)
 	}
 	return out, nil
 }
@@ -186,15 +175,7 @@ func Fig11(opt Options, sizes []int) (*Fig11Result, error) {
 	if len(sizes) == 0 {
 		sizes = DefaultSizes
 	}
-	var jobs []job
-	for _, w := range workloads.All() {
-		for _, k := range Policies {
-			for _, p := range sizes {
-				jobs = append(jobs, job{w: w, kind: k, intRegs: p, fpRegs: p, key: key(w.Name, k, p)})
-			}
-		}
-	}
-	results, err := runAll(jobs, opt)
+	results, err := runGrid(opt.grid(Policies, sizes), opt)
 	if err != nil {
 		return nil, err
 	}
@@ -202,8 +183,8 @@ func Fig11(opt Options, sizes []int) (*Fig11Result, error) {
 		Int: map[release.Kind][]float64{}, FP: map[release.Kind][]float64{}}
 	for _, k := range Policies {
 		for _, p := range sizes {
-			out.Int[k] = append(out.Int[k], hmeanIPC(results, workloads.ByClass(workloads.Int), k, p))
-			out.FP[k] = append(out.FP[k], hmeanIPC(results, workloads.ByClass(workloads.FP), k, p))
+			out.Int[k] = append(out.Int[k], hmeanIPC(results, opt, workloads.ByClass(workloads.Int), k, p))
+			out.FP[k] = append(out.FP[k], hmeanIPC(results, opt, workloads.ByClass(workloads.FP), k, p))
 		}
 	}
 	return out, nil
@@ -292,26 +273,18 @@ type Sec33Result struct {
 // Sec33 measures the basic mechanism at 64/48/40 registers.
 func Sec33(opt Options) (*Sec33Result, error) {
 	sizes := []int{64, 48, 40}
-	var jobs []job
-	for _, w := range workloads.All() {
-		for _, k := range []release.Kind{release.Conventional, release.Basic} {
-			for _, p := range sizes {
-				jobs = append(jobs, job{w: w, kind: k, intRegs: p, fpRegs: p, key: key(w.Name, k, p)})
-			}
-		}
-	}
-	results, err := runAll(jobs, opt)
+	results, err := runGrid(opt.grid([]release.Kind{release.Conventional, release.Basic}, sizes), opt)
 	if err != nil {
 		return nil, err
 	}
 	out := &Sec33Result{Sizes: sizes}
 	for _, p := range sizes {
 		ci := stats.Speedup(
-			hmeanIPC(results, workloads.ByClass(workloads.Int), release.Conventional, p),
-			hmeanIPC(results, workloads.ByClass(workloads.Int), release.Basic, p))
+			hmeanIPC(results, opt, workloads.ByClass(workloads.Int), release.Conventional, p),
+			hmeanIPC(results, opt, workloads.ByClass(workloads.Int), release.Basic, p))
 		cf := stats.Speedup(
-			hmeanIPC(results, workloads.ByClass(workloads.FP), release.Conventional, p),
-			hmeanIPC(results, workloads.ByClass(workloads.FP), release.Basic, p))
+			hmeanIPC(results, opt, workloads.ByClass(workloads.FP), release.Conventional, p),
+			hmeanIPC(results, opt, workloads.ByClass(workloads.FP), release.Basic, p))
 		out.IntSp = append(out.IntSp, ci)
 		out.FPSp = append(out.FPSp, cf)
 	}

@@ -22,6 +22,48 @@ func TestHarmonicMean(t *testing.T) {
 	}
 }
 
+func TestHarmonicMeanEdgeCases(t *testing.T) {
+	// Empty (but non-nil) input: 0, like nil — drivers rely on this when
+	// a workload class has no members.
+	if got := HarmonicMean([]float64{}); got != 0 {
+		t.Errorf("Hm(empty) = %f, want 0", got)
+	}
+	// A single element is its own harmonic mean.
+	if got := HarmonicMean([]float64{2.5}); got != 2.5 {
+		t.Errorf("Hm(2.5) = %f", got)
+	}
+	// A zero anywhere in the input poisons the mean, regardless of
+	// position.
+	for _, xs := range [][]float64{{0}, {0, 1, 2}, {1, 2, 0}} {
+		if !math.IsNaN(HarmonicMean(xs)) {
+			t.Errorf("Hm(%v) should be NaN", xs)
+		}
+	}
+	// Negative inputs have no harmonic mean either.
+	if !math.IsNaN(HarmonicMean([]float64{1, -2})) {
+		t.Error("Hm with negative should be NaN")
+	}
+	// Very small IPCs must not overflow to +Inf.
+	if got := HarmonicMean([]float64{1e-300, 1e-300}); math.IsInf(got, 0) || got <= 0 {
+		t.Errorf("Hm(tiny) = %g", got)
+	}
+}
+
+func TestOtherMeansEdgeCases(t *testing.T) {
+	if got := ArithmeticMean(nil); got != 0 {
+		t.Errorf("Am(nil) = %f", got)
+	}
+	if got := GeometricMean(nil); got != 0 {
+		t.Errorf("Gm(nil) = %f", got)
+	}
+	if !math.IsNaN(GeometricMean([]float64{4, 0})) {
+		t.Error("Gm with zero should be NaN")
+	}
+	if got := GeometricMean([]float64{4, 9}); math.Abs(got-6) > 1e-12 {
+		t.Errorf("Gm(4,9) = %f, want 6", got)
+	}
+}
+
 func TestMeanInequalities(t *testing.T) {
 	// Property: Hm <= Gm <= Am for positive inputs.
 	f := func(a, b, c uint16) bool {

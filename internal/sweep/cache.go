@@ -1,0 +1,161 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"earlyrelease/internal/pipeline"
+)
+
+// Cache is the content-addressed result store shared by every sweep
+// running in a process (and, through sweepd, by every client of the
+// service). Keys are Point.Key hashes; values are complete simulation
+// Results. A cache opened from a file persists across processes, making
+// repeated and overlapping sweeps incremental: only points whose
+// (workload, config, scale) content hash is new are simulated.
+//
+// Cached *pipeline.Result values are shared — callers must treat them
+// as immutable.
+type Cache struct {
+	mu    sync.Mutex
+	mem   map[string]*pipeline.Result
+	path  string // "" = in-memory only
+	dirty bool
+
+	hits, misses uint64
+
+	// saveMu serializes Save calls so concurrent sweeps finishing
+	// together cannot interleave their file writes (a later snapshot
+	// could otherwise be overwritten by an earlier one).
+	saveMu sync.Mutex
+}
+
+// NewCache returns an empty in-memory cache.
+func NewCache() *Cache {
+	return &Cache{mem: make(map[string]*pipeline.Result)}
+}
+
+// OpenCache loads a persistent cache from path, which may not exist yet
+// (Save creates it). The on-disk format is a JSON object mapping content
+// keys to Results.
+func OpenCache(path string) (*Cache, error) {
+	c := NewCache()
+	c.path = path
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open cache: %w", err)
+	}
+	if err := json.Unmarshal(data, &c.mem); err != nil {
+		return nil, fmt.Errorf("sweep: cache %s is corrupt: %w", path, err)
+	}
+	return c, nil
+}
+
+// Get returns the cached result for key, if any.
+func (c *Cache) Get(key string) (*pipeline.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.mem[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return r, ok
+}
+
+// Put stores a result. Only successful simulations are ever stored, so
+// a failed job never poisons the cache.
+func (c *Cache) Put(key string, r *pipeline.Result) {
+	if r == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.mem[key]; !exists {
+		c.mem[key] = r
+		c.dirty = true
+	}
+}
+
+// Len reports the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// Save writes the cache to its backing file if it has one and new
+// entries were added since the last save. The write is atomic (temp
+// file + rename) so concurrent readers never see a torn file, and the
+// encode happens on a snapshot outside the lookup lock so concurrent
+// sweeps' Get/Put never stall behind file I/O.
+func (c *Cache) Save() error {
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+
+	c.mu.Lock()
+	if c.path == "" || !c.dirty {
+		c.mu.Unlock()
+		return nil
+	}
+	snap := make(map[string]*pipeline.Result, len(c.mem))
+	for k, v := range c.mem {
+		snap[k] = v
+	}
+	c.dirty = false // entries added from here on belong to the next save
+	c.mu.Unlock()
+
+	fail := func(err error, context string) error {
+		c.mu.Lock()
+		c.dirty = true
+		c.mu.Unlock()
+		return fmt.Errorf("sweep: %s: %w", context, err)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fail(err, "encode cache")
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), ".sweep-cache-*")
+	if err != nil {
+		return fail(err, "save cache")
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), c.path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fail(werr, "save cache")
+	}
+	return nil
+}
+
+// CacheStats is a point-in-time view of cache effectiveness.
+type CacheStats struct {
+	Entries int     `json:"entries"`
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"` // hits / (hits+misses), 0 if no lookups
+}
+
+// Stats returns lifetime lookup counters for this cache instance.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{Entries: len(c.mem), Hits: c.hits, Misses: c.misses}
+	if n := c.hits + c.misses; n > 0 {
+		s.HitRate = float64(c.hits) / float64(n)
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"earlyrelease/internal/pipeline"
+	"earlyrelease/internal/workloads"
+)
+
+// The differential suite extends the golden/Reset equality pattern of
+// internal/pipeline/golden_test.go to the two properties the sweep
+// engine leans on:
+//
+//   - the invariant checker is an observer: Check=true runs produce
+//     bit-identical Results to unchecked runs across the whole
+//     (policy × reuse/eager × size) matrix;
+//   - a result served from the engine's cache equals a result computed
+//     by a fresh core outside the engine, field for field.
+
+// diffMatrix is the (policy × ablation × size) cross the suite covers,
+// on one high-pressure FP workload and one branchy int workload.
+func diffMatrix() []Point {
+	var pts []Point
+	for _, w := range []string{"tomcatv", "go"} {
+		for _, pol := range []string{"conv", "basic", "extended"} {
+			for _, ab := range []struct{ noReuse, eager bool }{
+				{false, false}, {true, false}, {false, true},
+			} {
+				for _, size := range []int{40, 48} {
+					pts = append(pts, Point{
+						Workload: w, Policy: pol, IntRegs: size, FPRegs: size,
+						Scale: 15_000, NoReuse: ab.noReuse, Eager: ab.eager,
+					})
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// runFresh simulates a point on a brand-new core, outside the engine.
+func runFresh(t *testing.T, pt Point) *pipeline.Result {
+	t.Helper()
+	w, err := workloads.ByName(pt.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Trace(pt.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := pt.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := pipeline.New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", pt, err)
+	}
+	return res
+}
+
+func TestCheckedRunsMatchUnchecked(t *testing.T) {
+	t.Parallel()
+	for _, pt := range diffMatrix() {
+		pt := pt
+		t.Run(pt.String(), func(t *testing.T) {
+			t.Parallel()
+			unchecked := runFresh(t, pt)
+			checked := pt
+			checked.Check = true
+			got := runFresh(t, checked)
+			if !reflect.DeepEqual(got, unchecked) {
+				t.Errorf("checker changed the result\n checked: %+v\nunchecked: %+v", got, unchecked)
+			}
+		})
+	}
+}
+
+func TestCachedResultsMatchFreshCores(t *testing.T) {
+	t.Parallel()
+	eng := &Engine{Cache: NewCache()}
+	g := Grid{
+		Workloads: []string{"tomcatv", "go"},
+		Policies:  []string{"conv", "basic", "extended"},
+		IntRegs:   []int{40, 48},
+		NoReuse:   []bool{false, true},
+		Eager:     []bool{false, true},
+		Scale:     15_000,
+	}
+	// First run fills the cache from recycled worker cores.
+	if _, err := eng.Run(g, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Second run must be served entirely from the cache.
+	res, err := eng.Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CacheHits != res.Stats.Points {
+		t.Fatalf("second run not fully cached: %+v", res.Stats)
+	}
+	for _, o := range res.Outcomes {
+		fresh := runFresh(t, o.Point)
+		if !reflect.DeepEqual(o.Result, fresh) {
+			t.Errorf("%s: cached result differs from fresh core\ncached: %+v\n fresh: %+v",
+				o.Point, o.Result, fresh)
+		}
+	}
+}

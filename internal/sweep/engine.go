@@ -1,0 +1,224 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"earlyrelease/internal/pipeline"
+	"earlyrelease/internal/workloads"
+)
+
+// Engine runs grids. The zero Engine is usable: GOMAXPROCS workers and
+// a private in-memory cache. Give several sweeps (or several concurrent
+// clients, as sweepd does) the same Cache to share results.
+type Engine struct {
+	// Parallel is the worker count (0 = GOMAXPROCS). Each worker
+	// recycles one pipeline.Core across all its points.
+	Parallel int
+	// Cache holds results across Run calls. Nil means each Run gets a
+	// fresh in-memory cache.
+	Cache *Cache
+}
+
+// Outcome is one point's final state after a sweep.
+type Outcome struct {
+	Point  Point            `json:"point"`
+	Key    string           `json:"key"`
+	Cached bool             `json:"cached,omitempty"` // served from the cache
+	Err    string           `json:"err,omitempty"`
+	Result *pipeline.Result `json:"result,omitempty"`
+}
+
+// RunStats summarizes one sweep.
+type RunStats struct {
+	Points    int `json:"points"`     // deduplicated grid size
+	Simulated int `json:"simulated"`  // points actually run
+	CacheHits int `json:"cache_hits"` // points served from the cache
+	Errors    int `json:"errors"`
+}
+
+// Progress is a snapshot of a running sweep, delivered to the progress
+// callback after every finished point.
+type Progress struct {
+	Total     int    `json:"total"`
+	Done      int    `json:"done"`
+	CacheHits int    `json:"cache_hits"`
+	Errors    int    `json:"errors"`
+	Last      string `json:"last,omitempty"` // the point that just finished
+}
+
+// Results collects a sweep's outcomes in grid-expansion order.
+type Results struct {
+	Outcomes []*Outcome `json:"outcomes"`
+	Stats    RunStats   `json:"stats"`
+	// SaveErr records a cache-persistence failure. The outcomes are
+	// still complete and valid — a sweep's work is never discarded
+	// because its cache file could not be written.
+	SaveErr string `json:"save_err,omitempty"`
+
+	byPoint map[Point]*Outcome
+}
+
+// Find returns the outcome for a point, or nil.
+func (r *Results) Find(p Point) *Outcome {
+	if r.byPoint == nil {
+		r.byPoint = make(map[Point]*Outcome, len(r.Outcomes))
+		for _, o := range r.Outcomes {
+			r.byPoint[o.Point] = o
+		}
+	}
+	return r.byPoint[p]
+}
+
+// Result returns the point's simulation result, or nil if the point was
+// not in the sweep or failed.
+func (r *Results) Result(p Point) *pipeline.Result {
+	if o := r.Find(p); o != nil {
+		return o.Result
+	}
+	return nil
+}
+
+// Err returns the first per-point error, if any point failed.
+func (r *Results) Err() error {
+	for _, o := range r.Outcomes {
+		if o.Err != "" {
+			return fmt.Errorf("sweep: %s: %s", o.Point, o.Err)
+		}
+	}
+	return nil
+}
+
+// Run expands the grid and simulates every point not already in the
+// cache, sharding the misses across the worker pool. Per-point failures
+// (unknown workload, config errors, simulation faults) are recorded on
+// the outcome and never stored in the cache; a cache-persistence
+// failure is recorded in Results.SaveErr, not returned — finished
+// simulations are never discarded. onProgress, if non-nil, is
+// called after every finished point, serialized under the engine's
+// lock with strictly increasing Done counts; it must not call back
+// into the engine.
+func (e *Engine) Run(g Grid, onProgress func(Progress)) (*Results, error) {
+	points := g.Expand()
+	cache := e.Cache
+	if cache == nil {
+		cache = NewCache()
+	}
+
+	res := &Results{Outcomes: make([]*Outcome, len(points))}
+	res.Stats.Points = len(points)
+
+	var mu sync.Mutex
+	done := 0
+	finish := func(i int, o *Outcome) {
+		mu.Lock()
+		res.Outcomes[i] = o
+		done++
+		if o.Cached {
+			res.Stats.CacheHits++
+		}
+		if o.Err != "" {
+			res.Stats.Errors++
+		} else if !o.Cached {
+			res.Stats.Simulated++
+		}
+		if onProgress != nil {
+			onProgress(Progress{Total: len(points), Done: done,
+				CacheHits: res.Stats.CacheHits, Errors: res.Stats.Errors,
+				Last: o.Point.String()})
+		}
+		mu.Unlock()
+	}
+
+	// Resolve keys and serve cache hits synchronously; queue the rest.
+	type miss struct {
+		i   int
+		pt  Point
+		key string
+	}
+	var misses []miss
+	for i, pt := range points {
+		key, err := pt.Key()
+		if err != nil {
+			finish(i, &Outcome{Point: pt, Err: err.Error()})
+			continue
+		}
+		if r, ok := cache.Get(key); ok {
+			finish(i, &Outcome{Point: pt, Key: key, Cached: true, Result: r})
+			continue
+		}
+		misses = append(misses, miss{i, pt, key})
+	}
+
+	nw := e.Parallel
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > len(misses) {
+		nw = len(misses)
+	}
+	ch := make(chan miss)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var core *pipeline.Core
+			for m := range ch {
+				var r *pipeline.Result
+				var err error
+				r, core, err = runPoint(core, m.pt)
+				o := &Outcome{Point: m.pt, Key: m.key, Result: r}
+				if err != nil {
+					o.Err = err.Error()
+				} else {
+					cache.Put(m.key, r)
+				}
+				finish(m.i, o)
+			}
+		}()
+	}
+	for _, m := range misses {
+		ch <- m
+	}
+	close(ch)
+	wg.Wait()
+
+	if err := cache.Save(); err != nil {
+		res.SaveErr = err.Error()
+	}
+	return res, nil
+}
+
+// runPoint performs the full job: trace (memoized per workload/scale),
+// config, core construction or reset, and the timed run. The core is
+// recycled when one is passed in; a point that fails leaves the core
+// reusable (Reset fully reinitializes it).
+func runPoint(core *pipeline.Core, pt Point) (*pipeline.Result, *pipeline.Core, error) {
+	w, err := workloads.ByName(pt.Workload)
+	if err != nil {
+		return nil, core, err
+	}
+	tr, err := w.Trace(pt.Scale)
+	if err != nil {
+		return nil, core, err
+	}
+	cfg, err := pt.Config()
+	if err != nil {
+		return nil, core, err
+	}
+	if core == nil {
+		core, err = pipeline.New(cfg, tr)
+	} else {
+		err = core.Reset(cfg, tr)
+	}
+	if err != nil {
+		return nil, core, err
+	}
+	res, err := core.Run()
+	if err != nil {
+		return nil, core, fmt.Errorf("%s: %w", pt, err)
+	}
+	return res, core, nil
+}

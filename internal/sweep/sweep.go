@@ -1,0 +1,183 @@
+// Package sweep is the grid-sweep orchestration engine behind the
+// experiment drivers and the sweepd service. A declarative Grid names
+// the axes of a parameter sweep (workloads × policies × register file
+// sizes × ablation flags at one scale); the engine expands it into
+// deduplicated simulation points, shards them across a Core-recycling
+// worker pool, and fills a content-addressed result cache so repeated
+// and overlapping sweeps are incremental and resumable (see DESIGN.md
+// §4).
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"earlyrelease/internal/pipeline"
+	"earlyrelease/internal/release"
+	"earlyrelease/internal/workloads"
+)
+
+// Point is one fully specified simulation: the engine's unit of work
+// and the logical key results are looked up by. All fields are scalars
+// so a Point is comparable.
+type Point struct {
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"` // "conv", "basic" or "extended"
+	IntRegs  int    `json:"int_regs"`
+	FPRegs   int    `json:"fp_regs"`
+	Scale    int    `json:"scale"`
+	Check    bool   `json:"check,omitempty"`
+	NoReuse  bool   `json:"no_reuse,omitempty"`
+	Eager    bool   `json:"eager,omitempty"`
+}
+
+// String names the point in error messages and progress lines.
+func (p Point) String() string {
+	s := fmt.Sprintf("%s/%s/%d+%d@%d", p.Workload, p.Policy, p.IntRegs, p.FPRegs, p.Scale)
+	if p.NoReuse {
+		s += "/noreuse"
+	}
+	if p.Eager {
+		s += "/eager"
+	}
+	if p.Check {
+		s += "/check"
+	}
+	return s
+}
+
+// Config builds the full machine configuration the point simulates.
+func (p Point) Config() (pipeline.Config, error) {
+	kind, err := release.ParseKind(p.Policy)
+	if err != nil {
+		return pipeline.Config{}, err
+	}
+	cfg := pipeline.DefaultConfig(kind, p.IntRegs, p.FPRegs)
+	cfg.Check = p.Check
+	cfg.TrackRegStates = true
+	cfg.Policy.Reuse = !p.NoReuse
+	cfg.Policy.Eager = p.Eager
+	return cfg, nil
+}
+
+// Key returns the content-addressed cache key: a hash of the workload
+// name, the scale and the *entire* pipeline.Config the point expands
+// to. Any machine parameter that can change a Result is part of the
+// hashed struct, so two points collide only when their simulations are
+// identical, and a config change (even a default) invalidates exactly
+// the affected entries.
+func (p Point) Key() (string, error) {
+	cfg, err := p.Config()
+	if err != nil {
+		return "", err
+	}
+	blob, err := json.Marshal(struct {
+		Workload string
+		Scale    int
+		Config   pipeline.Config
+	}{p.Workload, p.Scale, cfg})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Grid declares a sweep as axes to be crossed. Empty axes take the
+// paper's defaults, so the zero Grid is the full Figure 10 run.
+type Grid struct {
+	// Workloads to simulate; empty means the whole built-in suite.
+	// Names are validated per job, not up front: an unknown workload
+	// surfaces as that point's error without failing the sweep.
+	Workloads []string `json:"workloads,omitempty"`
+	// Policies to compare; empty means conv, basic and extended.
+	Policies []string `json:"policies,omitempty"`
+	// IntRegs is the integer register file size axis; empty means {48}.
+	IntRegs []int `json:"int_regs,omitempty"`
+	// FPRegs is the FP size axis. Empty mirrors IntRegs pairwise (the
+	// paper's p+p sweeps); otherwise the two axes are crossed.
+	FPRegs []int `json:"fp_regs,omitempty"`
+	// Scale is the dynamic instruction budget per trace (0 = 300000).
+	Scale int `json:"scale,omitempty"`
+	// Check enables the release-safety invariant checker on every point.
+	Check bool `json:"check,omitempty"`
+	// NoReuse and Eager extend the grid with ablation variants: each
+	// listed value becomes one more axis entry. Empty means {false}.
+	NoReuse []bool `json:"no_reuse,omitempty"`
+	Eager   []bool `json:"eager,omitempty"`
+}
+
+// DefaultScale matches the paper's 300k-instruction traces.
+const DefaultScale = 300_000
+
+func orStrings(xs []string, def []string) []string {
+	if len(xs) == 0 {
+		return def
+	}
+	return xs
+}
+
+// Expand crosses the grid's axes into the deduplicated, ordered list of
+// points to simulate. Later duplicates (overlapping axes, repeated
+// entries) are dropped, keeping first-occurrence order so progress and
+// result listings are deterministic.
+func (g Grid) Expand() []Point {
+	ws := orStrings(g.Workloads, workloads.Names())
+	pols := orStrings(g.Policies, []string{
+		release.Conventional.String(), release.Basic.String(), release.Extended.String()})
+	ints := g.IntRegs
+	if len(ints) == 0 {
+		ints = []int{48}
+	}
+	scale := g.Scale
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	noReuse := g.NoReuse
+	if len(noReuse) == 0 {
+		noReuse = []bool{false}
+	}
+	eager := g.Eager
+	if len(eager) == 0 {
+		eager = []bool{false}
+	}
+
+	var sizes [][2]int
+	if len(g.FPRegs) == 0 {
+		for _, p := range ints {
+			sizes = append(sizes, [2]int{p, p})
+		}
+	} else {
+		for _, ip := range ints {
+			for _, fp := range g.FPRegs {
+				sizes = append(sizes, [2]int{ip, fp})
+			}
+		}
+	}
+
+	seen := make(map[Point]bool)
+	var out []Point
+	for _, w := range ws {
+		for _, pol := range pols {
+			for _, sz := range sizes {
+				for _, nr := range noReuse {
+					for _, eg := range eager {
+						pt := Point{
+							Workload: w, Policy: pol,
+							IntRegs: sz[0], FPRegs: sz[1],
+							Scale: scale, Check: g.Check,
+							NoReuse: nr, Eager: eg,
+						}
+						if !seen[pt] {
+							seen[pt] = true
+							out = append(out, pt)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

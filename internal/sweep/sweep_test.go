@@ -1,0 +1,227 @@
+package sweep
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const testScale = 20_000
+
+func testGrid() Grid {
+	return Grid{
+		Workloads: []string{"tomcatv", "go"},
+		Policies:  []string{"conv", "extended"},
+		IntRegs:   []int{40, 48},
+		Scale:     testScale,
+	}
+}
+
+func TestExpandDefaultsAndDedup(t *testing.T) {
+	t.Parallel()
+	// The zero grid is the full suite × three policies × 48+48.
+	pts := Grid{}.Expand()
+	if len(pts) != 10*3 {
+		t.Fatalf("zero grid expands to %d points, want 30", len(pts))
+	}
+	if pts[0].Scale != DefaultScale || pts[0].IntRegs != 48 || pts[0].FPRegs != 48 {
+		t.Errorf("bad defaults: %+v", pts[0])
+	}
+
+	// Overlapping axes deduplicate, keeping first-occurrence order.
+	g := Grid{Workloads: []string{"tomcatv", "tomcatv"}, Policies: []string{"conv"},
+		IntRegs: []int{48, 40, 48}, Scale: testScale}
+	pts = g.Expand()
+	if len(pts) != 2 {
+		t.Fatalf("deduplicated grid has %d points, want 2", len(pts))
+	}
+	if pts[0].IntRegs != 48 || pts[1].IntRegs != 40 {
+		t.Errorf("expansion order not preserved: %v", pts)
+	}
+}
+
+func TestExpandAxes(t *testing.T) {
+	t.Parallel()
+	// Explicit FP axis crosses; empty FP axis mirrors pairwise.
+	crossed := Grid{Workloads: []string{"swim"}, Policies: []string{"basic"},
+		IntRegs: []int{40, 48}, FPRegs: []int{64, 80}}.Expand()
+	if len(crossed) != 4 {
+		t.Errorf("crossed axes: %d points, want 4", len(crossed))
+	}
+	mirrored := Grid{Workloads: []string{"swim"}, Policies: []string{"basic"},
+		IntRegs: []int{40, 48}}.Expand()
+	if len(mirrored) != 2 || mirrored[0].FPRegs != 40 || mirrored[1].FPRegs != 48 {
+		t.Errorf("mirrored axes wrong: %v", mirrored)
+	}
+	// Ablation axes multiply the grid.
+	ablated := Grid{Workloads: []string{"swim"}, Policies: []string{"basic"},
+		NoReuse: []bool{false, true}, Eager: []bool{false, true}}.Expand()
+	if len(ablated) != 4 {
+		t.Errorf("ablation axes: %d points, want 4", len(ablated))
+	}
+}
+
+func TestKeyIsContentAddressed(t *testing.T) {
+	t.Parallel()
+	base := Point{Workload: "tomcatv", Policy: "extended", IntRegs: 48, FPRegs: 48, Scale: testScale}
+	k1, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("key not deterministic")
+	}
+	variants := []Point{
+		{Workload: "swim", Policy: "extended", IntRegs: 48, FPRegs: 48, Scale: testScale},
+		{Workload: "tomcatv", Policy: "basic", IntRegs: 48, FPRegs: 48, Scale: testScale},
+		{Workload: "tomcatv", Policy: "extended", IntRegs: 56, FPRegs: 48, Scale: testScale},
+		{Workload: "tomcatv", Policy: "extended", IntRegs: 48, FPRegs: 48, Scale: testScale + 1},
+		{Workload: "tomcatv", Policy: "extended", IntRegs: 48, FPRegs: 48, Scale: testScale, NoReuse: true},
+		{Workload: "tomcatv", Policy: "extended", IntRegs: 48, FPRegs: 48, Scale: testScale, Eager: true},
+	}
+	seen := map[string]string{k1: base.String()}
+	for _, v := range variants {
+		k, err := v.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision between %s and %s", prev, v)
+		}
+		seen[k] = v.String()
+	}
+	if _, err := (Point{Workload: "tomcatv", Policy: "bogus", IntRegs: 48, FPRegs: 48}).Key(); err == nil {
+		t.Error("bogus policy produced a key")
+	}
+}
+
+func TestEngineCachesWithinAndAcrossRuns(t *testing.T) {
+	t.Parallel()
+	path := filepath.Join(t.TempDir(), "cache.json")
+	cache, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{Cache: cache}
+	g := testGrid()
+	first, err := eng.Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.Simulated != first.Stats.Points || first.Stats.CacheHits != 0 {
+		t.Errorf("cold run stats wrong: %+v", first.Stats)
+	}
+
+	// Same engine, same grid: 100% hits, identical results.
+	again, err := eng.Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats.CacheHits != again.Stats.Points || again.Stats.Simulated != 0 {
+		t.Errorf("warm run stats wrong: %+v", again.Stats)
+	}
+
+	// Fresh process (new cache loaded from the file): still 100% hits,
+	// results bit-identical to the cold run.
+	reloaded, err := OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := &Engine{Cache: reloaded}
+	res, err := cold.Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CacheHits != res.Stats.Points {
+		t.Errorf("persisted cache stats wrong: %+v", res.Stats)
+	}
+	for _, o := range first.Outcomes {
+		got := res.Result(o.Point)
+		if !reflect.DeepEqual(got, o.Result) {
+			t.Errorf("%s: persisted result drifted\n got: %+v\nwant: %+v", o.Point, got, o.Result)
+		}
+	}
+
+	// An overlapping, larger grid only simulates the new points.
+	g2 := g
+	g2.IntRegs = []int{40, 48, 56}
+	res2, err := cold.Run(g2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.CacheHits != len(first.Outcomes) {
+		t.Errorf("overlap: %d hits, want %d", res2.Stats.CacheHits, len(first.Outcomes))
+	}
+	if res2.Stats.Simulated != res2.Stats.Points-len(first.Outcomes) {
+		t.Errorf("overlap: %d simulated, want %d", res2.Stats.Simulated, res2.Stats.Points-len(first.Outcomes))
+	}
+}
+
+func TestBadWorkloadIsPerJobError(t *testing.T) {
+	t.Parallel()
+	cache := NewCache()
+	eng := &Engine{Cache: cache}
+	g := Grid{Workloads: []string{"nope", "tomcatv"}, Policies: []string{"conv"},
+		IntRegs: []int{48}, Scale: testScale}
+	res, err := eng.Run(g, nil)
+	if err != nil {
+		t.Fatalf("engine-level error for a per-job failure: %v", err)
+	}
+	bad := res.Find(Point{Workload: "nope", Policy: "conv", IntRegs: 48, FPRegs: 48, Scale: testScale})
+	if bad == nil || bad.Err == "" || bad.Result != nil {
+		t.Fatalf("bad workload outcome: %+v", bad)
+	}
+	if !strings.Contains(bad.Err, "nope") {
+		t.Errorf("error does not name the workload: %q", bad.Err)
+	}
+	good := res.Find(Point{Workload: "tomcatv", Policy: "conv", IntRegs: 48, FPRegs: 48, Scale: testScale})
+	if good == nil || good.Err != "" || good.Result == nil {
+		t.Fatalf("good workload poisoned by failing sibling: %+v", good)
+	}
+	if res.Stats.Errors != 1 || res.Stats.Simulated != 1 {
+		t.Errorf("stats: %+v", res.Stats)
+	}
+	if res.Err() == nil {
+		t.Error("Results.Err() did not surface the failure")
+	}
+	// The failure is not cached: a rerun retries it (and misses), while
+	// the good point hits.
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want only the successful point", cache.Len())
+	}
+	res2, err := eng.Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.CacheHits != 1 || res2.Stats.Errors != 1 {
+		t.Errorf("rerun stats: %+v", res2.Stats)
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	t.Parallel()
+	var snaps []Progress
+	eng := &Engine{Parallel: 2}
+	g := Grid{Workloads: []string{"go"}, Policies: []string{"conv", "basic", "extended"},
+		IntRegs: []int{48}, Scale: testScale}
+	res, err := eng.Run(g, func(p Progress) { snaps = append(snaps, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != res.Stats.Points {
+		t.Fatalf("%d progress snapshots for %d points", len(snaps), res.Stats.Points)
+	}
+	for i, p := range snaps {
+		if p.Total != res.Stats.Points || p.Done != i+1 || p.Last == "" {
+			t.Errorf("snapshot %d: %+v", i, p)
+		}
+	}
+}
