@@ -8,17 +8,28 @@
 //	-fig10   per-benchmark IPC at 48+48 registers, three policies
 //	-fig11   harmonic-mean IPC vs register file size (+ -table4)
 //	-table1  the commercial register-file survey (static data)
-//	-all     everything
+//	-all     everything above
+//
+// Beyond the paper, -sensitivity AXES sweeps machine-model axes (ROS
+// size, widths, LSQ, predictor and cache geometry — "all" or a comma
+// list, see `sweep -axes`) one at a time around the Table 2 baseline
+// and plots per-axis IPC and early-release-rate curves. It is not part
+// of -all: its grid is several times the size of the whole paper.
 //
 // Use -scale to trade fidelity for time and -quick for a fast smoke run.
 // With -cache FILE, results persist across runs: a repeated invocation
-// only simulates points whose configuration changed.
+// only simulates points whose configuration changed. -stats-json FILE
+// records the run's cache statistics (the CI tier-2 smoke asserts a
+// warm rerun is 100% hits).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strings"
 
 	"earlyrelease/internal/experiments"
 	"earlyrelease/internal/stats"
@@ -38,10 +49,13 @@ func main() {
 		fig11  = flag.Bool("fig11", false, "Figure 11")
 		table1 = flag.Bool("table1", false, "Table 1")
 		table4 = flag.Bool("table4", false, "Table 4 (implies -fig11)")
+		sens   = flag.String("sensitivity", "", "machine-model sensitivity axes: \"all\" or comma list (ros,issue,lsq,...)")
+		sensWs = flag.String("sens-workloads", "", "workloads for -sensitivity (empty = paper suite)")
 		scale  = flag.Int("scale", 300_000, "dynamic instructions per workload")
 		quick  = flag.Bool("quick", false, "smaller scale and size axis")
 		check  = flag.Bool("check", false, "enable invariant checking")
 		cache  = flag.String("cache", "", "persistent sweep-result cache file (repeated runs only simulate new points)")
+		statsJ = flag.String("stats-json", "", "write cache statistics to this file")
 	)
 	flag.Parse()
 
@@ -60,7 +74,7 @@ func main() {
 		opt.Scale = 60_000
 		sizes = []int{40, 48, 64, 80, 96, 128, 160}
 	}
-	if !(*all || *fig3 || *sec33 || *fig9 || *sec44 || *fig10 || *fig11 || *table1 || *table4) {
+	if !(*all || *fig3 || *sec33 || *fig9 || *sec44 || *fig10 || *fig11 || *table1 || *table4 || *sens != "") {
 		*all = true
 	}
 
@@ -103,10 +117,30 @@ func main() {
 		fmt.Println(experiments.Table4String(experiments.Table4(res)))
 	}
 
+	if *sens != "" {
+		var ws []string
+		if *sensWs != "" {
+			for _, w := range strings.Split(*sensWs, ",") {
+				ws = append(ws, strings.TrimSpace(w))
+			}
+		}
+		res, err := experiments.Sensitivity(opt, strings.Split(*sens, ","), ws)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+	}
+
 	cs := experiments.CacheStats(opt)
 	if cs.Hits+cs.Misses > 0 {
 		log.Printf("sweep cache: %d entries, %d hits / %d lookups (%.1f%% hit rate)",
 			cs.Entries, cs.Hits, cs.Hits+cs.Misses, 100*cs.HitRate)
+	}
+	if *statsJ != "" {
+		blob, _ := json.MarshalIndent(cs, "", "  ")
+		if err := os.WriteFile(*statsJ, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -1,14 +1,22 @@
 // Command sweep runs one declarative parameter grid from the command
 // line — the one-shot counterpart of the sweepd service. Axes are
-// comma-separated lists; empty axes take the paper's defaults (all ten
-// workloads, all three policies, 48+48 registers).
+// comma-separated lists; empty axes take the paper's defaults (the
+// whole workload corpus, all three policies, 48+48 registers on the
+// Table 2 machine).
 //
 //	sweep -workloads tomcatv,swim -policies conv,extended -int-regs 40,48,64
 //	sweep -cache sweep-cache.json -scale 300000        # incremental reruns
 //
+// Machine-model axes are swept with repeatable -axis flags (0 names
+// the Table 2 baseline, so "variants plus default" grids are easy);
+// -axes lists the available axes:
+//
+//	sweep -axis ros=32,64,0,256 -axis issue=2,4,0 -workloads tomcatv
+//	sweep -axis lsq=16,0 -axis bpred=10,0 -cache sweep-cache.json
+//
 // With -json the full outcomes (every Result field) are printed;
 // otherwise a compact IPC table. -stats-json FILE writes the run and
-// cache statistics (the CI bench smoke uploads these).
+// cache statistics (the CI smokes upload these).
 package main
 
 import (
@@ -47,6 +55,21 @@ func splitInts(s string) ([]int, error) {
 	return out, nil
 }
 
+// machineCol summarizes a point's machine-model overrides for the
+// result table ("table2" when every axis sits at the baseline).
+func machineCol(p sweep.Point) string {
+	var parts []string
+	for _, ax := range sweep.MachineAxes() {
+		if v := ax.Get(p); v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", ax.Name, v))
+		}
+	}
+	if len(parts) == 0 {
+		return "table2"
+	}
+	return strings.Join(parts, ",")
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
@@ -63,8 +86,34 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "print full outcomes as JSON")
 		statsPath  = flag.String("stats-json", "", "write run + cache statistics to this file")
 		quiet      = flag.Bool("q", false, "suppress progress output")
+		listAxes   = flag.Bool("axes", false, "list the machine-model axes and exit")
 	)
+	axisVals := map[string][]int{}
+	flag.Func("axis", "machine-model axis as name=v1,v2,... (repeatable; 0 = Table 2 baseline)",
+		func(s string) error {
+			name, list, ok := strings.Cut(s, "=")
+			if !ok {
+				return fmt.Errorf("want name=v1,v2,..., got %q", s)
+			}
+			name = strings.TrimSpace(name)
+			if _, err := sweep.AxisByName(name); err != nil {
+				return err
+			}
+			vals, err := splitInts(list)
+			if err != nil || len(vals) == 0 {
+				return fmt.Errorf("bad values for axis %q: %q", name, list)
+			}
+			axisVals[name] = append(axisVals[name], vals...)
+			return nil
+		})
 	flag.Parse()
+
+	if *listAxes {
+		for _, ax := range sweep.MachineAxes() {
+			fmt.Printf("%-10s %s (Table 2: %d)\n", ax.Name, ax.Doc, ax.Baseline)
+		}
+		return
+	}
 
 	intRegs, err := splitInts(*intRegsF)
 	if err != nil {
@@ -85,6 +134,11 @@ func main() {
 	if *ablate {
 		g.NoReuse = []bool{false, true}
 		g.Eager = []bool{false, true}
+	}
+	for name, vals := range axisVals {
+		if err := g.SetAxis(name, vals); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	eng := &sweep.Engine{Parallel: *parallel}
@@ -116,7 +170,7 @@ func main() {
 		enc.SetIndent("", "  ")
 		enc.Encode(res)
 	} else {
-		t := stats.NewTable("workload", "policy", "int+fp", "IPC", "cycles", "source")
+		t := stats.NewTable("workload", "policy", "int+fp", "machine", "IPC", "cycles", "source")
 		for _, o := range res.Outcomes {
 			src := "run"
 			if o.Cached {
@@ -125,11 +179,12 @@ func main() {
 			if o.Err != "" {
 				t.AddRow(o.Point.Workload, o.Point.Policy,
 					fmt.Sprintf("%d+%d", o.Point.IntRegs, o.Point.FPRegs),
-					"-", "-", "error: "+o.Err)
+					machineCol(o.Point), "-", "-", "error: "+o.Err)
 				continue
 			}
 			t.AddRow(o.Point.Workload, o.Point.Policy,
 				fmt.Sprintf("%d+%d", o.Point.IntRegs, o.Point.FPRegs),
+				machineCol(o.Point),
 				fmt.Sprintf("%.3f", o.Result.IPC),
 				fmt.Sprint(o.Result.Cycles), src)
 		}

@@ -19,8 +19,13 @@ import (
 //	GET  /sweep/{id}          status, progress and (when done) results
 //	GET  /sweep/{id}/stream   NDJSON progress snapshots until completion
 //	GET  /sweeps              list all submitted sweeps
+//	GET  /axes                machine-model axis schema (names, baselines)
 //	GET  /cache               shared cache statistics
 //	GET  /healthz             liveness
+//
+// Grids may sweep any machine-model axis (ros_sizes, lsq_sizes,
+// issue_widths, bpred_bits, ... — see GET /axes) exactly like the
+// register-file and policy axes; a 0 entry names the Table 2 baseline.
 type Server struct {
 	engine *sweep.Engine
 
@@ -65,6 +70,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /sweep/{id}", s.handleGet)
 	mux.HandleFunc("GET /sweep/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /sweeps", s.handleList)
+	mux.HandleFunc("GET /axes", handleAxes)
 	mux.HandleFunc("GET /cache", s.handleCache)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -215,4 +221,21 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Cache.Stats())
+}
+
+// handleAxes publishes the machine-model axis schema so clients can
+// discover the sweepable dimensions and their Table 2 baselines
+// without hardcoding the grid's field names.
+func handleAxes(w http.ResponseWriter, r *http.Request) {
+	type axis struct {
+		Name     string `json:"name"`
+		Doc      string `json:"doc"`
+		Baseline int    `json:"baseline"`
+		Field    string `json:"field"` // grid JSON field the axis maps to
+	}
+	var axes []axis
+	for _, ax := range sweep.MachineAxes() {
+		axes = append(axes, axis{Name: ax.Name, Doc: ax.Doc, Baseline: ax.Baseline, Field: ax.Field})
+	}
+	writeJSON(w, http.StatusOK, axes)
 }

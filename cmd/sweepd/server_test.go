@@ -131,6 +131,91 @@ func TestSubmitPollResults(t *testing.T) {
 	}
 }
 
+// TestMachineAxisGridOverHTTP submits a machine-model axis sweep and
+// checks the results equal a direct engine run point for point — the
+// service serves the generalized experiment space identically.
+func TestMachineAxisGridOverHTTP(t *testing.T) {
+	ts, _ := newTestServer(t)
+	g := sweep.Grid{
+		Workloads:   []string{"go"},
+		Policies:    []string{"extended"},
+		ROSSizes:    []int{32, 0},
+		LSQSizes:    []int{16, 0},
+		BPredBits:   []int{10, 0},
+		IssueWidths: []int{4, 0},
+		Scale:       testScale,
+	}
+	job := pollDone(t, ts, postGrid(t, ts, g))
+	if job.Err != "" {
+		t.Fatalf("sweep failed: %s", job.Err)
+	}
+	if len(job.Results.Outcomes) != 16 {
+		t.Fatalf("%d outcomes, want 16", len(job.Results.Outcomes))
+	}
+	direct, err := (&sweep.Engine{Cache: sweep.NewCache()}).Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range job.Results.Outcomes {
+		want := direct.Result(o.Point)
+		if o.Err != "" || want == nil || !reflect.DeepEqual(o.Result, want) {
+			t.Errorf("%s: HTTP result differs from direct engine run", o.Point)
+		}
+	}
+	// The axes must have produced distinct machines, not aliases.
+	base := sweep.Point{Workload: "go", Policy: "extended", IntRegs: 48, FPRegs: 48, Scale: testScale}
+	small := base
+	small.ROSSize, small.LSQSize, small.BPredBits, small.IssueWidth = 32, 16, 10, 4
+	if a, b := job.Results.Result(base), job.Results.Result(small); a == nil || b == nil || a.IPC <= b.IPC {
+		t.Errorf("shrunken machine not slower: table2 %+v vs %+v", a, b)
+	}
+}
+
+// TestAxesEndpoint checks the machine-axis schema discovery route.
+func TestAxesEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/axes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var axes []struct {
+		Name     string `json:"name"`
+		Doc      string `json:"doc"`
+		Baseline int    `json:"baseline"`
+		Field    string `json:"field"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&axes); err != nil {
+		t.Fatal(err)
+	}
+	if len(axes) != len(sweep.MachineAxes()) {
+		t.Fatalf("%d axes served, want %d", len(axes), len(sweep.MachineAxes()))
+	}
+	fields := map[string]bool{}
+	for _, ax := range axes {
+		if ax.Name == "" || ax.Doc == "" || ax.Baseline <= 0 || ax.Field == "" {
+			t.Errorf("incomplete axis schema: %+v", ax)
+		}
+		if fields[ax.Field] {
+			t.Errorf("duplicate grid field %q", ax.Field)
+		}
+		fields[ax.Field] = true
+	}
+	// The advertised fields round-trip: a grid JSON using each field
+	// name is accepted by POST /sweep.
+	for _, ax := range axes {
+		body := fmt.Sprintf(`{"workloads":["nope"],"policies":["conv"],%q:[1]}`, ax.Field)
+		resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Errorf("axis field %q rejected by POST /sweep: %d", ax.Field, resp.StatusCode)
+		}
+	}
+}
+
 // TestConcurrentClientsShareCache submits the same grid from two
 // clients; the second sweep must be served from the shared cache with
 // identical results.

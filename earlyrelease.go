@@ -133,11 +133,12 @@ func toReport(res *pipeline.Result) *Report {
 // WorkloadInfo describes one built-in benchmark.
 type WorkloadInfo struct {
 	Name        string
-	Class       string // "int" or "fp"
+	Class       string // "int", "fp" or "mixed"
 	Description string
 }
 
-// Workloads lists the built-in SPEC95-like benchmark suite.
+// Workloads lists the built-in benchmark corpus: the ten SPEC95-like
+// paper kernels plus the corpus v2 stress kernels.
 func Workloads() []WorkloadInfo {
 	var out []WorkloadInfo
 	for _, w := range workloads.All() {

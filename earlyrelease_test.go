@@ -60,23 +60,25 @@ func TestCompareOrdersPolicies(t *testing.T) {
 
 func TestWorkloadsList(t *testing.T) {
 	ws := Workloads()
-	if len(ws) != 10 {
-		t.Fatalf("want 10 workloads, got %d", len(ws))
+	if len(ws) != 16 {
+		t.Fatalf("want 16 workloads (10 paper + 6 corpus v2), got %d", len(ws))
 	}
-	var ints, fps int
+	var ints, fps, mixed int
 	for _, w := range ws {
 		switch w.Class {
 		case "int":
 			ints++
 		case "fp":
 			fps++
+		case "mixed":
+			mixed++
 		}
 		if w.Description == "" {
 			t.Errorf("%s: empty description", w.Name)
 		}
 	}
-	if ints != 5 || fps != 5 {
-		t.Errorf("class split %d/%d, want 5/5", ints, fps)
+	if ints != 9 || fps != 6 || mixed != 1 {
+		t.Errorf("class split %d/%d/%d, want 9/6/1", ints, fps, mixed)
 	}
 }
 

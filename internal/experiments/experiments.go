@@ -62,10 +62,15 @@ func (o Options) scale() int {
 }
 
 // grid assembles a driver's sweep: the named policies crossed with the
-// p+p register sizes over the whole workload suite, at the option's
-// scale and checking level.
+// p+p register sizes over the paper's workload suite, at the option's
+// scale and checking level. The suite is pinned explicitly — the grid
+// default is the whole corpus, which the paper's figures must not
+// absorb as it grows.
 func (o Options) grid(policies []release.Kind, sizes []int) sweep.Grid {
 	g := sweep.Grid{IntRegs: sizes, Scale: o.scale(), Check: o.Check}
+	for _, w := range workloads.Paper() {
+		g.Workloads = append(g.Workloads, w.Name)
+	}
 	for _, k := range policies {
 		g.Policies = append(g.Policies, k.String())
 	}

@@ -34,7 +34,7 @@ func Fig3(opt Options) (*Fig3Result, error) {
 		return nil, err
 	}
 	out := &Fig3Result{}
-	for _, w := range workloads.All() {
+	for _, w := range workloads.Paper() {
 		r := results.Result(opt.point(w.Name, release.Conventional, 96))
 		bd := r.IntBreakdown
 		if w.Class == workloads.FP {
@@ -115,16 +115,16 @@ func Fig10(opt Options) (*Fig10Result, error) {
 	}
 	out := &Fig10Result{IPC: map[release.Kind][]float64{},
 		HmInt: map[release.Kind]float64{}, HmFP: map[release.Kind]float64{}}
-	for _, w := range workloads.All() {
+	for _, w := range workloads.Paper() {
 		out.Workloads = append(out.Workloads, w.Name)
 		out.Class = append(out.Class, w.Class)
 	}
 	for _, k := range Policies {
-		for _, w := range workloads.All() {
+		for _, w := range workloads.Paper() {
 			out.IPC[k] = append(out.IPC[k], results.Result(opt.point(w.Name, k, p)).IPC)
 		}
-		out.HmInt[k] = hmeanIPC(results, opt, workloads.ByClass(workloads.Int), k, p)
-		out.HmFP[k] = hmeanIPC(results, opt, workloads.ByClass(workloads.FP), k, p)
+		out.HmInt[k] = hmeanIPC(results, opt, workloads.PaperByClass(workloads.Int), k, p)
+		out.HmFP[k] = hmeanIPC(results, opt, workloads.PaperByClass(workloads.FP), k, p)
 	}
 	return out, nil
 }
@@ -183,8 +183,8 @@ func Fig11(opt Options, sizes []int) (*Fig11Result, error) {
 		Int: map[release.Kind][]float64{}, FP: map[release.Kind][]float64{}}
 	for _, k := range Policies {
 		for _, p := range sizes {
-			out.Int[k] = append(out.Int[k], hmeanIPC(results, opt, workloads.ByClass(workloads.Int), k, p))
-			out.FP[k] = append(out.FP[k], hmeanIPC(results, opt, workloads.ByClass(workloads.FP), k, p))
+			out.Int[k] = append(out.Int[k], hmeanIPC(results, opt, workloads.PaperByClass(workloads.Int), k, p))
+			out.FP[k] = append(out.FP[k], hmeanIPC(results, opt, workloads.PaperByClass(workloads.FP), k, p))
 		}
 	}
 	return out, nil
@@ -280,11 +280,11 @@ func Sec33(opt Options) (*Sec33Result, error) {
 	out := &Sec33Result{Sizes: sizes}
 	for _, p := range sizes {
 		ci := stats.Speedup(
-			hmeanIPC(results, opt, workloads.ByClass(workloads.Int), release.Conventional, p),
-			hmeanIPC(results, opt, workloads.ByClass(workloads.Int), release.Basic, p))
+			hmeanIPC(results, opt, workloads.PaperByClass(workloads.Int), release.Conventional, p),
+			hmeanIPC(results, opt, workloads.PaperByClass(workloads.Int), release.Basic, p))
 		cf := stats.Speedup(
-			hmeanIPC(results, opt, workloads.ByClass(workloads.FP), release.Conventional, p),
-			hmeanIPC(results, opt, workloads.ByClass(workloads.FP), release.Basic, p))
+			hmeanIPC(results, opt, workloads.PaperByClass(workloads.FP), release.Conventional, p),
+			hmeanIPC(results, opt, workloads.PaperByClass(workloads.FP), release.Basic, p))
 		out.IntSp = append(out.IntSp, ci)
 		out.FPSp = append(out.FPSp, cf)
 	}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"earlyrelease/internal/release"
+	"earlyrelease/internal/stats"
+	"earlyrelease/internal/sweep"
+	"earlyrelease/internal/workloads"
+)
+
+// The sensitivity driver generalizes the paper's single-machine
+// evaluation: every conclusion about how much register pressure early
+// release relieves is a function of window size, machine width and
+// workload mix, so each machine-model axis is swept one at a time
+// around the Table 2 baseline while everything else stays pinned. The
+// per-axis IPC and early-release-rate curves show where the policies'
+// advantage grows, saturates or inverts.
+
+// SensitivityAxis is one axis's curves: IPC (harmonic mean over the
+// swept workloads) and early-release rate (mean early releases per
+// 1000 committed instructions) per policy, at each axis value.
+type SensitivityAxis struct {
+	Axis     string // wire name (see sweep.MachineAxes)
+	Doc      string
+	Baseline int   // Table 2 value
+	Values   []int // ascending, baseline included
+	IPC      map[release.Kind][]float64
+	RelRate  map[release.Kind][]float64
+}
+
+// SensitivityResult aggregates every swept axis.
+type SensitivityResult struct {
+	Workloads []string
+	Scale     int
+	Axes      []SensitivityAxis
+}
+
+// earlyPerKilo is the early-release rate: releases that happened before
+// the conventional NV-commit point, per 1000 committed instructions.
+func earlyPerKilo(s release.Stats, committed uint64) float64 {
+	if committed == 0 {
+		return 0
+	}
+	early := s.Frees[release.FreeEarlyCommit] +
+		s.Frees[release.FreeEarlyConfirm] +
+		s.Frees[release.FreeImmediate] +
+		s.Frees[release.FreeEager] +
+		s.Frees[release.FreeReuse]
+	return 1000 * float64(early) / float64(committed)
+}
+
+// SensitivityAxes resolves the requested axis names ("" or "all" means
+// every machine axis) in the sweep package's presentation order.
+func SensitivityAxes(names []string) ([]sweep.IntAxis, error) {
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		return sweep.MachineAxes(), nil
+	}
+	var axes []sweep.IntAxis
+	for _, n := range names {
+		ax, err := sweep.AxisByName(strings.TrimSpace(n))
+		if err != nil {
+			return nil, err
+		}
+		axes = append(axes, ax)
+	}
+	return axes, nil
+}
+
+// Sensitivity sweeps each requested machine-model axis around the
+// Table 2 baseline at 48+48 registers (the paper's pressure point) and
+// returns per-axis IPC / release-rate curves. Empty ws selects the
+// paper suite; every point lands in the options' shared result cache,
+// so repeated runs (and overlapping axes — each axis shares its
+// baseline point with every other) are incremental.
+func Sensitivity(opt Options, axisNames, ws []string) (*SensitivityResult, error) {
+	axes, err := SensitivityAxes(axisNames)
+	if err != nil {
+		return nil, err
+	}
+	if len(ws) == 0 {
+		for _, w := range workloads.Paper() {
+			ws = append(ws, w.Name)
+		}
+	}
+	out := &SensitivityResult{Workloads: ws, Scale: opt.scale()}
+
+	for _, ax := range axes {
+		g := opt.grid(Policies, []int{48})
+		g.Workloads = ws
+		if err := g.SetAxis(ax.Name, ax.Sensitivity); err != nil {
+			return nil, err
+		}
+		results, err := runGrid(g, opt)
+		if err != nil {
+			return nil, fmt.Errorf("axis %s: %w", ax.Name, err)
+		}
+
+		curve := SensitivityAxis{Axis: ax.Name, Doc: ax.Doc, Baseline: ax.Baseline,
+			IPC:     map[release.Kind][]float64{},
+			RelRate: map[release.Kind][]float64{}}
+		vals := append([]int(nil), ax.Sensitivity...)
+		sort.Slice(vals, func(i, j int) bool { return display(ax, vals[i]) < display(ax, vals[j]) })
+		for _, v := range vals {
+			curve.Values = append(curve.Values, display(ax, v))
+		}
+		for _, k := range Policies {
+			for _, v := range vals {
+				var ipcs []float64
+				var rel, n float64
+				for _, w := range ws {
+					pt := opt.point(w, k, 48)
+					ax.Set(&pt, ax.Canon(v)) // match the grid's normalized expansion
+					r := results.Result(pt)
+					if r == nil {
+						return nil, fmt.Errorf("axis %s: missing result for %s", ax.Name, pt)
+					}
+					ipcs = append(ipcs, r.IPC)
+					rel += earlyPerKilo(r.Release, r.Committed)
+					n++
+				}
+				curve.IPC[k] = append(curve.IPC[k], stats.HarmonicMean(ipcs))
+				curve.RelRate[k] = append(curve.RelRate[k], rel/n)
+			}
+		}
+		out.Axes = append(out.Axes, curve)
+	}
+	return out, nil
+}
+
+// display maps a raw axis entry (0 = baseline) to its machine value.
+func display(ax sweep.IntAxis, v int) int {
+	if v == 0 {
+		return ax.Baseline
+	}
+	return v
+}
+
+// BaselineIPC returns the Table 2 IPC of a policy from the axis curve
+// (the value at Baseline), for speedup summaries.
+func (a *SensitivityAxis) BaselineIPC(k release.Kind) float64 {
+	for i, v := range a.Values {
+		if v == a.Baseline {
+			return a.IPC[k][i]
+		}
+	}
+	return 0
+}
+
+// String renders one figure per axis plus a release-rate table.
+func (s *SensitivityResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sensitivity: machine-model axes around Table 2 (48+48 regs, %d workloads, scale %d)\n\n",
+		len(s.Workloads), s.Scale)
+	for _, ax := range s.Axes {
+		fig := stats.Figure{
+			Title:  fmt.Sprintf("Hm IPC vs %s (%s; Table 2: %d)", ax.Axis, ax.Doc, ax.Baseline),
+			XLabel: ax.Axis,
+		}
+		for _, v := range ax.Values {
+			fig.X = append(fig.X, float64(v))
+		}
+		for _, k := range Policies {
+			fig.Add(k.String(), ax.IPC[k])
+		}
+		b.WriteString(fig.String())
+
+		t := stats.NewTable(append([]string{"early rel/1k inst"},
+			intsToStrings(ax.Values)...)...)
+		for _, k := range Policies {
+			row := []string{k.String()}
+			for _, r := range ax.RelRate[k] {
+				row = append(row, fmt.Sprintf("%.1f", r))
+			}
+			t.AddRow(row...)
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func intsToStrings(xs []int) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, fmt.Sprint(x))
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"earlyrelease/internal/release"
+	"earlyrelease/internal/sweep"
+)
+
+func TestSensitivityCurves(t *testing.T) {
+	t.Parallel()
+	opt := testOpts()
+	res, err := Sensitivity(opt, []string{"ros", "memlat"}, []string{"tomcatv", "go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Axes) != 2 || res.Axes[0].Axis != "ros" || res.Axes[1].Axis != "memlat" {
+		t.Fatalf("axes: %+v", res.Axes)
+	}
+	for _, ax := range res.Axes {
+		// Values are ascending and include the Table 2 baseline.
+		hasBase := false
+		for i, v := range ax.Values {
+			if v == ax.Baseline {
+				hasBase = true
+			}
+			if i > 0 && v <= ax.Values[i-1] {
+				t.Errorf("%s: values not ascending: %v", ax.Axis, ax.Values)
+			}
+		}
+		if !hasBase {
+			t.Errorf("%s: baseline %d missing from %v", ax.Axis, ax.Baseline, ax.Values)
+		}
+		for _, k := range Policies {
+			if len(ax.IPC[k]) != len(ax.Values) || len(ax.RelRate[k]) != len(ax.Values) {
+				t.Fatalf("%s/%v: curve lengths %d/%d for %d values",
+					ax.Axis, k, len(ax.IPC[k]), len(ax.RelRate[k]), len(ax.Values))
+			}
+		}
+		if ax.BaselineIPC(release.Extended) <= 0 {
+			t.Errorf("%s: zero baseline IPC", ax.Axis)
+		}
+		// The early-release mechanisms fire under basic and extended but
+		// can only be reuse releases under conventional renaming.
+		for i := range ax.Values {
+			if ax.RelRate[release.Extended][i] <= ax.RelRate[release.Conventional][i] {
+				t.Errorf("%s[%d]: extended release rate %.2f not above conventional %.2f",
+					ax.Axis, ax.Values[i], ax.RelRate[release.Extended][i],
+					ax.RelRate[release.Conventional][i])
+			}
+		}
+	}
+
+	// A bigger window must not hurt: IPC at ros=256 >= IPC at ros=32.
+	ros := res.Axes[0]
+	if first, last := ros.IPC[release.Extended][0], ros.IPC[release.Extended][len(ros.Values)-1]; last < first {
+		t.Errorf("window growth lowered IPC: %v -> %v", first, last)
+	}
+	// Longer memory latency must not help.
+	mem := res.Axes[1]
+	n := len(mem.Values) - 1
+	if mem.IPC[release.Extended][n] > mem.IPC[release.Extended][0] {
+		t.Errorf("memlat growth raised IPC: %v", mem.IPC[release.Extended])
+	}
+
+	out := res.String()
+	for _, want := range []string{"Sensitivity", "Hm IPC vs ros", "Hm IPC vs memlat", "early rel/1k inst"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+// TestSensitivitySharesBaselinePoints verifies the incremental-cache
+// property the driver leans on: each axis's baseline point is the same
+// content address, so N axes cost N*(len-1)+1 baseline simulations,
+// not N*len.
+func TestSensitivitySharesBaselinePoints(t *testing.T) {
+	t.Parallel()
+	cache := sweep.NewCache()
+	opt := testOpts()
+	opt.Cache = cache
+	if _, err := Sensitivity(opt, []string{"lsq", "frontend"}, []string{"go"}); err != nil {
+		t.Fatal(err)
+	}
+	lsq, _ := sweep.AxisByName("lsq")
+	fe, _ := sweep.AxisByName("frontend")
+	// Unique values per axis (0 aliases the baseline member).
+	uniq := func(ax sweep.IntAxis) int {
+		seen := map[int]bool{}
+		for _, v := range ax.Sensitivity {
+			if v == ax.Baseline {
+				v = 0
+			}
+			seen[v] = true
+		}
+		return len(seen)
+	}
+	want := 3 * (uniq(lsq) + uniq(fe) - 1) // 3 policies; baseline shared across axes
+	if got := cache.Len(); got != want {
+		t.Errorf("cache holds %d entries, want %d (baseline not shared?)", got, want)
+	}
+
+	// A repeat run is served entirely from the cache.
+	before := cache.Stats()
+	if _, err := Sensitivity(opt, []string{"lsq", "frontend"}, []string{"go"}); err != nil {
+		t.Fatal(err)
+	}
+	after := cache.Stats()
+	if after.Misses != before.Misses {
+		t.Errorf("warm sensitivity rerun missed the cache: %+v -> %+v", before, after)
+	}
+}
+
+func TestSensitivityBadAxis(t *testing.T) {
+	t.Parallel()
+	if _, err := Sensitivity(testOpts(), []string{"warp-core"}, nil); err == nil {
+		t.Error("unknown axis accepted")
+	}
+}

@@ -345,7 +345,8 @@ func (c *Core) onFree(class isa.RegClass, p rename.PhysReg, reason release.FreeR
 		c.tracker[ci(class)].Free(p, c.cycle)
 	}
 	if c.checker != nil {
-		c.checker.OnFree(class, p, reason == release.FreeEager)
+		c.checker.OnFree(class, p,
+			reason == release.FreeEager, reason == release.FreeReuse)
 	}
 }
 
@@ -584,8 +585,25 @@ func (c *Core) resyncAfterException() {
 	}
 }
 
-// resyncChecker rebuilds reader counts after a full flush (versions are
-// preserved inside the checker; only in-flight reader counts reset).
+// resyncChecker rebuilds reader counts and the held bitmap after a full
+// flush (versions are preserved inside the checker; reader counts reset
+// and the allocation view reseeds from the rebuilt rename state, since
+// RecoverFromIOMT reconstructs the free lists without routing each
+// release through the free hook).
 func (c *Core) resyncChecker() {
 	c.checker.ResetReaders()
+	c.checker.SyncHeld(isa.ClassInt, c.engine.State(isa.ClassInt))
+	c.checker.SyncHeld(isa.ClassFP, c.engine.State(isa.ClassFP))
 }
+
+// AllocatedRegs reports the number of currently-allocated physical
+// registers per class; the invariant regression suite asserts register
+// conservation at end of run.
+func (c *Core) AllocatedRegs() (intRegs, fpRegs int) {
+	return c.engine.State(isa.ClassInt).AllocatedCount(),
+		c.engine.State(isa.ClassFP).AllocatedCount()
+}
+
+// InFlight reports the number of uops still in the window (uncommitted
+// younger instructions left behind when HALT commits).
+func (c *Core) InFlight() int { return c.count }

@@ -1,0 +1,85 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"earlyrelease/internal/release"
+)
+
+// Golden fixtures for the corpus v2 workloads, mirroring golden.json:
+// every Result field of each case is pinned bit-for-bit at a fixed
+// scale and seed, so future performance work on the simulator (or the
+// kernels' code generators) cannot silently change machine behavior.
+// Regenerate with: go test ./internal/pipeline -run TestGoldenV2 -update
+
+func goldenV2Cases() []goldenCase {
+	return []goldenCase{
+		{Name: "listwalk-ext-48", Work: "listwalk", Kind: release.Extended, IntRegs: 48, FPRegs: 48},
+		{Name: "listwalk-conv-48", Work: "listwalk", Kind: release.Conventional, IntRegs: 48, FPRegs: 48},
+		{Name: "hashjoin-ext-48", Work: "hashjoin", Kind: release.Extended, IntRegs: 48, FPRegs: 48},
+		{Name: "qsort-ext-48", Work: "qsort", Kind: release.Extended, IntRegs: 48, FPRegs: 48},
+		{Name: "qsort-basic-40", Work: "qsort", Kind: release.Basic, IntRegs: 40, FPRegs: 40},
+		{Name: "rdescent-ext-48", Work: "rdescent", Kind: release.Extended, IntRegs: 48, FPRegs: 48},
+		{Name: "rdescent-ext-48-check", Work: "rdescent", Kind: release.Extended, IntRegs: 48, FPRegs: 48, Check: true},
+		{Name: "triad-ext-48", Work: "triad", Kind: release.Extended, IntRegs: 48, FPRegs: 48},
+		{Name: "triad-conv-48", Work: "triad", Kind: release.Conventional, IntRegs: 48, FPRegs: 48},
+		{Name: "mixmode-ext-48", Work: "mixmode", Kind: release.Extended, IntRegs: 48, FPRegs: 48},
+		{Name: "mixmode-basic-48-eager", Work: "mixmode", Kind: release.Basic, IntRegs: 48, FPRegs: 48, Eager: true},
+	}
+}
+
+func TestGoldenV2Results(t *testing.T) {
+	path := filepath.Join("testdata", "golden_v2.json")
+	got := make(map[string]*Result)
+	for _, gc := range goldenV2Cases() {
+		got[gc.Name] = runGoldenCase(t, gc)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	want := make(map[string]*Result)
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, gc := range goldenV2Cases() {
+		w, ok := want[gc.Name]
+		if !ok {
+			t.Errorf("%s: no golden entry (run with -update)", gc.Name)
+			continue
+		}
+		if !reflect.DeepEqual(got[gc.Name], w) {
+			t.Errorf("%s: result drifted from golden\n got: %+v\nwant: %+v", gc.Name, got[gc.Name], w)
+		}
+	}
+}
+
+// TestGoldenV2Determinism holds the v2 kernels to the same determinism
+// standard as the originals: identical Results across repeated builds.
+func TestGoldenV2Determinism(t *testing.T) {
+	for _, gc := range goldenV2Cases()[:3] {
+		a := runGoldenCase(t, gc)
+		b := runGoldenCase(t, gc)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: nondeterministic results", gc.Name)
+		}
+	}
+}

@@ -306,7 +306,7 @@ func (c *Core) renameStage() {
 				c.tracker[ci(u.DstClass)].Alloc(u.DstPhys, c.cycle)
 			}
 			if c.checker != nil {
-				c.checker.OnAlloc(u.DstClass, u.DstPhys)
+				c.checker.OnAlloc(u.DstClass, u.DstPhys, u.AllocatedNew)
 			}
 		}
 		if u.isMem {

@@ -15,25 +15,40 @@ import (
 //  2. a released register has no in-flight readers;
 //  3. after an exception recovery, a logical register whose value was
 //     lost to early release (§4.3) is written before it is read on the
-//     correct path.
+//     correct path;
+//  4. physical registers are conserved: a fresh allocation never lands
+//     on a register the checker still considers held (the previous
+//     version leaked without a release), in-place reuse only targets a
+//     held register, and every release frees a held register (no
+//     double-free).
 //
 // The checker is independent of the release engine so that it catches
-// engine bugs rather than reproducing them.
+// engine bugs rather than reproducing them: it keeps its own held
+// bitmap instead of consulting the rename state's.
 type Checker struct {
 	version  [2][]uint64 // bumped on every allocation
 	readers  [2][]int    // in-flight renamed readers per physical register
+	held     [2][]bool   // allocation bitmap, invariant 4
 	tainted  [2][isa.NumLogical]bool
 	Enabled  bool
 	Failures []string
 }
 
-// NewChecker builds a checker for the two register files.
+// NewChecker builds a checker for the two register files. The first
+// NumLogical registers of each class start held, mirroring the rename
+// state's initial identity mapping.
 func NewChecker(intRegs, fpRegs int) *Checker {
 	c := &Checker{Enabled: true}
 	c.version[0] = make([]uint64, intRegs)
 	c.version[1] = make([]uint64, fpRegs)
 	c.readers[0] = make([]int, intRegs)
 	c.readers[1] = make([]int, fpRegs)
+	c.held[0] = make([]bool, intRegs)
+	c.held[1] = make([]bool, fpRegs)
+	for i := 0; i < isa.NumLogical; i++ {
+		c.held[0][i] = true
+		c.held[1][i] = true
+	}
 	return c
 }
 
@@ -54,10 +69,24 @@ func (c *Checker) Version(class isa.RegClass, p rename.PhysReg) uint64 {
 	return c.version[cidx(class)][p]
 }
 
-// OnAlloc notes an allocation (or in-place reuse, which also starts a
-// new version).
-func (c *Checker) OnAlloc(class isa.RegClass, p rename.PhysReg) {
+// OnAlloc notes an allocation (fresh = true) or in-place reuse of the
+// committed previous version (fresh = false); both start a new version.
+// Invariant 4: a fresh allocation must land on a free register — if the
+// free list handed out a register the checker still considers held, the
+// previous version leaked (was never released) — and reuse must target
+// a register that is still held.
+func (c *Checker) OnAlloc(class isa.RegClass, p rename.PhysReg, fresh bool) {
 	i := cidx(class)
+	if c.Enabled {
+		if fresh && c.held[i][p] {
+			c.fail("register %v p%d freshly allocated while still held (previous version leaked)",
+				class, p)
+		}
+		if !fresh && !c.held[i][p] {
+			c.fail("register %v p%d reused in place but not held", class, p)
+		}
+	}
+	c.held[i][p] = true
 	c.version[i][p]++
 	c.readers[i][p] = 0
 }
@@ -88,15 +117,36 @@ func (c *Checker) OnOperandRead(class isa.RegClass, p rename.PhysReg, renamedVer
 	}
 }
 
-// OnFree verifies invariant 2 at release time. Wrong-path readers that
-// were squashed must already have been removed via OnReadDone.
-func (c *Checker) OnFree(class isa.RegClass, p rename.PhysReg, eager bool) {
-	if !c.Enabled {
-		return
+// OnFree verifies invariants 2 and 4 at release time. Wrong-path
+// readers that were squashed must already have been removed via
+// OnReadDone, and the register must be held (a free of an unheld
+// register is a double-free). A virtual release (§3.2 reuse) ends the
+// old version's lifetime without free-list traffic: the register must
+// be held and stays held for the reusing version.
+func (c *Checker) OnFree(class isa.RegClass, p rename.PhysReg, eager, virtual bool) {
+	i := cidx(class)
+	if c.Enabled {
+		if !eager && c.readers[i][p] > 0 {
+			c.fail("register %v p%d released with %d in-flight readers",
+				class, p, c.readers[i][p])
+		}
+		if !c.held[i][p] {
+			c.fail("register %v p%d double-freed", class, p)
+		}
 	}
-	if !eager && c.readers[cidx(class)][p] > 0 {
-		c.fail("register %v p%d released with %d in-flight readers",
-			class, p, c.readers[cidx(class)][p])
+	if !virtual {
+		c.held[i][p] = false
+	}
+}
+
+// SyncHeld reseeds one class's held bitmap from the authoritative
+// rename state. Exception recovery rebuilds the free lists wholesale
+// (RecoverFromIOMT) without routing each release through OnFree, so
+// the pipeline resynchronizes the checker afterwards.
+func (c *Checker) SyncHeld(class isa.RegClass, st *rename.State) {
+	i := cidx(class)
+	for p := range c.held[i] {
+		c.held[i][p] = st.IsAllocated(rename.PhysReg(p))
 	}
 }
 

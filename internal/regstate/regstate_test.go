@@ -113,14 +113,15 @@ func TestResync(t *testing.T) {
 
 func TestCheckerVersioning(t *testing.T) {
 	c := NewChecker(40, 40)
-	p := rename.PhysReg(5)
-	c.OnAlloc(isa.ClassInt, p)
+	p := rename.PhysReg(35) // outside the initial architectural mapping
+	c.OnAlloc(isa.ClassInt, p, true)
 	v := c.Version(isa.ClassInt, p)
 	c.OnOperandRead(isa.ClassInt, p, v)
 	if len(c.Failures) != 0 {
 		t.Fatalf("valid read flagged: %v", c.Failures)
 	}
-	c.OnAlloc(isa.ClassInt, p) // re-allocation bumps the version
+	c.OnFree(isa.ClassInt, p, false, false)
+	c.OnAlloc(isa.ClassInt, p, true) // re-allocation bumps the version
 	c.OnOperandRead(isa.ClassInt, p, v)
 	if len(c.Failures) == 0 {
 		t.Fatal("stale read not flagged")
@@ -131,16 +132,70 @@ func TestCheckerReaderCounts(t *testing.T) {
 	c := NewChecker(40, 40)
 	p := rename.PhysReg(7)
 	c.OnRenameRead(isa.ClassInt, p)
-	c.OnFree(isa.ClassInt, p, false)
+	c.OnFree(isa.ClassInt, p, false, false)
 	if len(c.Failures) == 0 {
 		t.Fatal("free with in-flight reader not flagged")
 	}
 	c2 := NewChecker(40, 40)
 	c2.OnRenameRead(isa.ClassInt, p)
 	c2.OnReadDone(isa.ClassInt, p)
-	c2.OnFree(isa.ClassInt, p, false)
+	c2.OnFree(isa.ClassInt, p, false, false)
 	if len(c2.Failures) != 0 {
 		t.Fatalf("clean free flagged: %v", c2.Failures)
+	}
+}
+
+func TestCheckerConservation(t *testing.T) {
+	// Double-free: the second release of p is flagged.
+	c := NewChecker(40, 40)
+	p := rename.PhysReg(3) // initially held (architectural mapping)
+	c.OnFree(isa.ClassInt, p, false, false)
+	if len(c.Failures) != 0 {
+		t.Fatalf("first free flagged: %v", c.Failures)
+	}
+	c.OnFree(isa.ClassInt, p, false, false)
+	if len(c.Failures) == 0 {
+		t.Fatal("double-free not flagged")
+	}
+
+	// Leak: a fresh allocation landing on a held register means the
+	// previous version was never released.
+	c = NewChecker(40, 40)
+	c.OnAlloc(isa.ClassInt, rename.PhysReg(36), true)
+	c.OnAlloc(isa.ClassInt, rename.PhysReg(36), true)
+	if len(c.Failures) == 0 {
+		t.Fatal("fresh allocation of a held register not flagged")
+	}
+
+	// Reuse must target a held register.
+	c = NewChecker(40, 40)
+	c.OnAlloc(isa.ClassFP, rename.PhysReg(38), false)
+	if len(c.Failures) == 0 {
+		t.Fatal("reuse of an unheld register not flagged")
+	}
+
+	// A virtual release (reuse) keeps the register held: reuse after it
+	// is clean, a real free after it is clean exactly once.
+	c = NewChecker(40, 40)
+	q := rename.PhysReg(5)
+	c.OnFree(isa.ClassInt, q, false, true) // virtual: lifetime ends, storage stays
+	c.OnAlloc(isa.ClassInt, q, false)      // reusing version
+	c.OnFree(isa.ClassInt, q, false, false)
+	if len(c.Failures) != 0 {
+		t.Fatalf("reuse lifecycle flagged: %v", c.Failures)
+	}
+
+	// SyncHeld reseeds the bitmap from the authoritative rename state.
+	st, err := rename.NewState(isa.ClassInt, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = NewChecker(40, 40)
+	c.OnFree(isa.ClassInt, rename.PhysReg(9), false, false)
+	c.SyncHeld(isa.ClassInt, st) // state still holds p9
+	c.OnFree(isa.ClassInt, rename.PhysReg(9), false, false)
+	if len(c.Failures) != 0 {
+		t.Fatalf("free after SyncHeld flagged: %v", c.Failures)
 	}
 }
 

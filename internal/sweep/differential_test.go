@@ -82,6 +82,39 @@ func TestCheckedRunsMatchUnchecked(t *testing.T) {
 	}
 }
 
+// TestMachineAxisResultsMatchFreshCores extends the recycled-core
+// equality standard to the machine-model axes: a worker whose Core is
+// Reset across different window, predictor and cache geometries must
+// produce results bit-identical to fresh cores, and the axes must
+// actually bite (a 32-entry window cannot match a 256-entry one).
+func TestMachineAxisResultsMatchFreshCores(t *testing.T) {
+	t.Parallel()
+	g := Grid{Workloads: []string{"tomcatv", "go"}, Policies: []string{"extended"},
+		ROSSizes: []int{32, 0, 256}, BPredBits: []int{10, 0}, L1DKBs: []int{8, 0},
+		Scale: 15_000}
+	eng := &Engine{Parallel: 2, Cache: NewCache()}
+	res, err := eng.Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range res.Outcomes {
+		fresh := runFresh(t, o.Point)
+		if !reflect.DeepEqual(o.Result, fresh) {
+			t.Errorf("%s: recycled-core result differs from fresh core\ncached: %+v\n fresh: %+v",
+				o.Point, o.Result, fresh)
+		}
+	}
+	pt := Point{Workload: "tomcatv", Policy: "extended", IntRegs: 48, FPRegs: 48, Scale: 15_000}
+	small, big := pt, pt
+	small.ROSSize, big.ROSSize = 32, 256
+	if s, b := res.Result(small), res.Result(big); s.IPC >= b.IPC {
+		t.Errorf("window axis had no effect: ros32 IPC %.3f >= ros256 IPC %.3f", s.IPC, b.IPC)
+	}
+}
+
 func TestCachedResultsMatchFreshCores(t *testing.T) {
 	t.Parallel()
 	eng := &Engine{Cache: NewCache()}

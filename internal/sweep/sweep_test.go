@@ -1,10 +1,13 @@
 package sweep
 
 import (
+	"encoding/json"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+
+	"earlyrelease/internal/workloads"
 )
 
 const testScale = 20_000
@@ -20,10 +23,10 @@ func testGrid() Grid {
 
 func TestExpandDefaultsAndDedup(t *testing.T) {
 	t.Parallel()
-	// The zero grid is the full suite × three policies × 48+48.
+	// The zero grid is the full corpus × three policies × 48+48.
 	pts := Grid{}.Expand()
-	if len(pts) != 10*3 {
-		t.Fatalf("zero grid expands to %d points, want 30", len(pts))
+	if want := len(workloads.All()) * 3; len(pts) != want {
+		t.Fatalf("zero grid expands to %d points, want %d", len(pts), want)
 	}
 	if pts[0].Scale != DefaultScale || pts[0].IntRegs != 48 || pts[0].FPRegs != 48 {
 		t.Errorf("bad defaults: %+v", pts[0])
@@ -59,6 +62,192 @@ func TestExpandAxes(t *testing.T) {
 		NoReuse: []bool{false, true}, Eager: []bool{false, true}}.Expand()
 	if len(ablated) != 4 {
 		t.Errorf("ablation axes: %d points, want 4", len(ablated))
+	}
+}
+
+func TestExpandMachineAxes(t *testing.T) {
+	t.Parallel()
+	// Machine axes cross like every other axis; 0 entries pin the
+	// baseline, so "default plus variants" sweeps dedup against it.
+	g := Grid{Workloads: []string{"go"}, Policies: []string{"conv"},
+		ROSSizes: []int{64, 0, 256}, IssueWidths: []int{4, 0}, Scale: testScale}
+	pts := g.Expand()
+	if len(pts) != 6 {
+		t.Fatalf("machine axes: %d points, want 6", len(pts))
+	}
+	if pts[0].ROSSize != 64 || pts[0].IssueWidth != 4 {
+		t.Errorf("machine axis ordering wrong: %+v", pts[0])
+	}
+	// The baseline point (all overrides zero) is a member, identical to
+	// the point an axis-free grid produces — shared cache entries.
+	base := Grid{Workloads: []string{"go"}, Policies: []string{"conv"}, Scale: testScale}.Expand()[0]
+	found := false
+	for _, pt := range pts {
+		if pt == base {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("baseline point missing from machine-axis expansion")
+	}
+
+	// Every named axis round-trips through SetAxis and lands on the
+	// matching Point field (a literal baseline would canonicalize to 0,
+	// so probe with a neighboring value).
+	for _, ax := range MachineAxes() {
+		v := ax.Baseline + 1
+		var g Grid
+		if err := g.SetAxis(ax.Name, []int{v}); err != nil {
+			t.Fatalf("SetAxis(%s): %v", ax.Name, err)
+		}
+		pts := Grid{Workloads: []string{"go"}, Policies: []string{"conv"},
+			Scale: testScale, ROSSizes: g.ROSSizes, LSQSizes: g.LSQSizes,
+			FetchWidths: g.FetchWidths, IssueWidths: g.IssueWidths,
+			CommitWidths: g.CommitWidths, FrontEnds: g.FrontEnds,
+			BPredBits: g.BPredBits, L1DKBs: g.L1DKBs, L2KBs: g.L2KBs,
+			MemLats: g.MemLats}.Expand()
+		if len(pts) != 1 || ax.Get(pts[0]) != v {
+			t.Errorf("axis %s did not reach the expanded point: %+v", ax.Name, pts)
+		}
+	}
+	if err := new(Grid).SetAxis("warp-core", []int{9}); err == nil {
+		t.Error("unknown axis accepted")
+	}
+}
+
+// TestAxisFieldsMatchGridJSON pins each axis's advertised Field (the
+// sweepd schema) to the Grid's actual JSON tag: a grid with only that
+// axis set must marshal to exactly {Field: [...]}.
+func TestAxisFieldsMatchGridJSON(t *testing.T) {
+	t.Parallel()
+	for _, ax := range MachineAxes() {
+		var g Grid
+		ax.GridSet(&g, []int{1})
+		blob, err := json.Marshal(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(blob, &m); err != nil {
+			t.Fatal(err)
+		}
+		if len(m) != 1 {
+			t.Fatalf("%s: one-axis grid marshals %d fields (%s) — omitempty lost?",
+				ax.Name, len(m), blob)
+		}
+		if _, ok := m[ax.Field]; !ok {
+			t.Errorf("%s: advertised field %q does not match grid JSON %s", ax.Name, ax.Field, blob)
+		}
+	}
+}
+
+// TestLiteralBaselineDedups: an axis entry naming the Table 2 value
+// (ros=128) canonicalizes to the zero override, so "ros=128,0" is one
+// point, not two simulations of the same machine.
+func TestLiteralBaselineDedups(t *testing.T) {
+	t.Parallel()
+	pts := Grid{Workloads: []string{"go"}, Policies: []string{"conv"},
+		ROSSizes: []int{128, 0}, Scale: testScale}.Expand()
+	if len(pts) != 1 {
+		t.Fatalf("ros=128,0 expands to %d points, want 1: %v", len(pts), pts)
+	}
+	if pts[0].ROSSize != 0 {
+		t.Errorf("literal baseline not canonicalized: %+v", pts[0])
+	}
+	// Same through SetAxis and a full sweep list.
+	var g Grid
+	if err := g.SetAxis("lsq", []int{16, 64, 0, 128}); err != nil {
+		t.Fatal(err)
+	}
+	g.Workloads, g.Policies, g.Scale = []string{"go"}, []string{"conv"}, testScale
+	if pts := g.Expand(); len(pts) != 3 {
+		t.Errorf("lsq=16,64,0,128 expands to %d points, want 3 (64 is the baseline)", len(pts))
+	}
+}
+
+// TestNegativeAxisValueIsPointError: a negative override would fall
+// through every `> 0` guard and silently simulate the baseline under
+// a false label.
+func TestNegativeAxisValueIsPointError(t *testing.T) {
+	t.Parallel()
+	for _, ax := range MachineAxes() {
+		pt := Point{Workload: "go", Policy: "conv", IntRegs: 48, FPRegs: 48, Scale: testScale}
+		ax.Set(&pt, -1)
+		if _, err := pt.Config(); err == nil {
+			t.Errorf("axis %s: negative value accepted", ax.Name)
+		}
+	}
+}
+
+// TestBPredAxisRejectsOutOfRange: bpred.Config silently clamps bad
+// history lengths to the default, which would let a bpred=31 point
+// simulate the baseline while being cached as a distinct machine.
+func TestBPredAxisRejectsOutOfRange(t *testing.T) {
+	t.Parallel()
+	bad := Point{Workload: "go", Policy: "conv", IntRegs: 48, FPRegs: 48,
+		Scale: testScale, BPredBits: 31}
+	if _, err := bad.Config(); err == nil {
+		t.Fatal("bpred history bits 31 accepted (silently canonicalized to 18)")
+	}
+	ok := bad
+	ok.BPredBits = 30
+	if _, err := ok.Config(); err != nil {
+		t.Fatalf("bpred=30 rejected: %v", err)
+	}
+}
+
+// TestMachineAxisConfigEffect pins each axis to the pipeline.Config
+// field it overrides, and each axis's zero to the Table 2 baseline.
+func TestMachineAxisConfigEffect(t *testing.T) {
+	t.Parallel()
+	base := Point{Workload: "go", Policy: "conv", IntRegs: 48, FPRegs: 48, Scale: testScale}
+	baseCfg, err := base.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ax := range MachineAxes() {
+		pt := base
+		ax.Set(&pt, ax.Baseline)
+		cfg, err := pt.Config()
+		if err != nil {
+			t.Fatalf("%s at baseline: %v", ax.Name, err)
+		}
+		if !reflect.DeepEqual(cfg, baseCfg) {
+			t.Errorf("%s: explicit baseline %d differs from default config", ax.Name, ax.Baseline)
+		}
+		// A non-baseline value must change the config (and so the key).
+		for _, v := range ax.Sensitivity {
+			if v == 0 || v == ax.Baseline {
+				continue
+			}
+			ax.Set(&pt, v)
+			cfg, err := pt.Config()
+			if err != nil {
+				t.Fatalf("%s=%d: %v", ax.Name, v, err)
+			}
+			if reflect.DeepEqual(cfg, baseCfg) {
+				t.Errorf("%s=%d did not change the config", ax.Name, v)
+			}
+		}
+	}
+}
+
+// TestBadGeometrySurfacesAsPointError: an axis value that produces an
+// unbuildable machine must fail the point, not panic the worker.
+func TestBadGeometrySurfacesAsPointError(t *testing.T) {
+	t.Parallel()
+	bad := Point{Workload: "go", Policy: "conv", IntRegs: 48, FPRegs: 48,
+		Scale: testScale, L1DKB: 3}
+	if _, err := bad.Config(); err == nil {
+		t.Fatal("3 KB L1D (non-power-of-two sets) accepted")
+	}
+	res, err := (&Engine{}).Run(Grid{Workloads: []string{"go"}, Policies: []string{"conv"},
+		L1DKBs: []int{3}, Scale: testScale}, nil)
+	if err != nil {
+		t.Fatalf("engine-level error for a per-point failure: %v", err)
+	}
+	if res.Stats.Errors != 1 {
+		t.Errorf("stats: %+v", res.Stats)
 	}
 }
 

@@ -1,0 +1,105 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"earlyrelease/internal/asm"
+	"earlyrelease/internal/isa"
+)
+
+// The corpus v2 builders feed the fuzz corpora: FuzzEmuTrace is seeded
+// with the kernels' encoded text segments (byte streams that drive the
+// emu fuzz generator through real-kernel instruction patterns), and
+// FuzzAssemble with their disassembled listings (isa.Inst.String round-
+// trips through the assembler). Regenerate after changing a builder:
+//
+//	go test ./internal/workloads -run TestFuzzCorpusSeeds -update-fuzz-corpus
+//
+// Stale seeds stay valid fuzz inputs — both targets accept arbitrary
+// bytes/text — so drift is harmless, but the non-update run asserts the
+// committed files exist and carry the corpus header.
+
+var updateFuzzCorpus = flag.Bool("update-fuzz-corpus", false,
+	"rewrite the v2 fuzz-corpus seeds under internal/{emu,asm}/testdata/fuzz")
+
+var v2Names = []string{"listwalk", "hashjoin", "qsort", "rdescent", "triad", "mixmode"}
+
+func corpusPaths(name string) (emuSeed, asmSeed string) {
+	return filepath.Join("..", "emu", "testdata", "fuzz", "FuzzEmuTrace", "seed-v2-"+name),
+		filepath.Join("..", "asm", "testdata", "fuzz", "FuzzAssemble", "seed-v2-"+name)
+}
+
+func TestFuzzCorpusSeeds(t *testing.T) {
+	for _, name := range v2Names {
+		emuSeed, asmSeed := corpusPaths(name)
+		if !*updateFuzzCorpus {
+			for _, path := range []string{emuSeed, asmSeed} {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Errorf("missing corpus seed (run with -update-fuzz-corpus): %v", err)
+					continue
+				}
+				if !strings.HasPrefix(string(data), "go test fuzz v1\n") {
+					t.Errorf("%s: not a go fuzz corpus file", path)
+				}
+			}
+			continue
+		}
+
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := w.Build(2500)
+
+		// FuzzEmuTrace seed: the encoded text segment (the fuzz target's
+		// generator interprets bytes, so kernel encodings steer it
+		// through real instruction-mix territory). Capped like the
+		// target caps its input.
+		var buf []byte
+		for _, in := range p.Insts {
+			word, err := isa.Encode(in)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, word)
+			if len(buf) >= 3072 {
+				break
+			}
+		}
+		writeCorpusFile(t, emuSeed, fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", buf))
+
+		// FuzzAssemble seed: the kernel's own listing, verified to
+		// reassemble before committing.
+		var b strings.Builder
+		for i, in := range p.Insts {
+			if i >= 160 {
+				break
+			}
+			b.WriteString(in.String())
+			b.WriteByte('\n')
+		}
+		src := b.String()
+		if _, err := asm.Assemble(name, src); err != nil {
+			t.Fatalf("%s: listing does not reassemble: %v", name, err)
+		}
+		writeCorpusFile(t, asmSeed, fmt.Sprintf("go test fuzz v1\nstring(%q)\n", src))
+	}
+}
+
+func writeCorpusFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", path)
+}

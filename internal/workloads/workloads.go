@@ -1,6 +1,7 @@
-// Package workloads provides the benchmark suite driving the
-// reproduction: ten kernels written in the simulator's own ISA that
-// stand in for the SPEC95 subset of the paper (Table 3).
+// Package workloads provides the benchmark corpus driving the
+// reproduction and its extensions. The paper suite is ten kernels
+// written in the simulator's own ISA that stand in for the SPEC95
+// subset of the paper (Table 3).
 //
 // SPEC95 binaries (and the Compaq Alpha compilers the paper used) are
 // not available, so each kernel is designed to mimic the dominant
@@ -23,6 +24,13 @@
 // operations, giving high register pressure — the two workload
 // properties the paper's conclusions rest on. The tests in this package
 // verify those properties on the generated traces.
+//
+// Corpus v2 (kernels_v2.go) extends the space into regions the paper
+// suite never reaches — MLP-starved pointer chasing, cache-hostile
+// probing, predictor-hostile sorting, bandwidth-bound streaming, deep
+// call recursion, and phase-alternating int/FP pressure. The paper's
+// figure drivers stay on the Table 3 stand-ins (Paper); sweeps default
+// to the whole corpus (All).
 package workloads
 
 import (
@@ -35,18 +43,23 @@ import (
 	"earlyrelease/internal/trace"
 )
 
-// Class labels workload type, matching the paper's int/FP split.
+// Class labels workload type, extending the paper's int/FP split with
+// the phase-alternating mixed kernels of corpus v2.
 type Class int
 
 // Workload classes.
 const (
 	Int Class = iota
 	FP
+	Mixed
 )
 
 func (c Class) String() string {
-	if c == FP {
+	switch c {
+	case FP:
 		return "fp"
+	case Mixed:
+		return "mixed"
 	}
 	return "int"
 }
@@ -56,6 +69,7 @@ func (c Class) String() string {
 type Workload struct {
 	Name        string
 	Class       Class
+	Paper       bool // member of the paper's Table 3 stand-in suite
 	Description string
 	// Build generates the program sized so that its dynamic trace is
 	// roughly `scale` instructions (within a factor of ~2).
@@ -63,30 +77,61 @@ type Workload struct {
 }
 
 var registry = []Workload{
-	{"compress", Int, "LZW-style hash compressor loop", buildCompress},
-	{"gcc", Int, "IR traversal with opcode dispatch tree", buildGCC},
-	{"go", Int, "recursive game-tree evaluation", buildGo},
-	{"li", Int, "cons-cell list interpreter", buildLi},
-	{"perl", Int, "string hashing with probe loops", buildPerl},
-	{"mgrid", FP, "3D 7-point stencil relaxation", buildMgrid},
-	{"tomcatv", FP, "2D mesh generation, long FP expressions", buildTomcatv},
-	{"applu", FP, "blocked triangular solves with divides", buildApplu},
-	{"swim", FP, "shallow-water grid updates", buildSwim},
-	{"hydro2d", FP, "gas dynamics with div/sqrt chains", buildHydro2d},
+	{"compress", Int, true, "LZW-style hash compressor loop", buildCompress},
+	{"gcc", Int, true, "IR traversal with opcode dispatch tree", buildGCC},
+	{"go", Int, true, "recursive game-tree evaluation", buildGo},
+	{"li", Int, true, "cons-cell list interpreter", buildLi},
+	{"perl", Int, true, "string hashing with probe loops", buildPerl},
+	{"mgrid", FP, true, "3D 7-point stencil relaxation", buildMgrid},
+	{"tomcatv", FP, true, "2D mesh generation, long FP expressions", buildTomcatv},
+	{"applu", FP, true, "blocked triangular solves with divides", buildApplu},
+	{"swim", FP, true, "shallow-water grid updates", buildSwim},
+	{"hydro2d", FP, true, "gas dynamics with div/sqrt chains", buildHydro2d},
+	// Corpus v2: regions the paper suite misses (see kernels_v2.go).
+	{"listwalk", Int, false, "pointer-chasing linked-list walk, MLP-starved", buildListwalk},
+	{"hashjoin", Int, false, "hash-join probe over an L1-hostile table", buildHashjoin},
+	{"qsort", Int, false, "branchy recursive quicksort, predictor-hostile", buildQsort},
+	{"rdescent", Int, false, "call-heavy recursive-descent expression parser", buildRdescent},
+	{"triad", FP, false, "streaming triad over L2-sized arrays, bandwidth-bound", buildTriad},
+	{"mixmode", Mixed, false, "phase-alternating int/FP pressure kernel", buildMixmode},
 }
 
-// All returns the full suite in the paper's order (int then FP).
+// All returns the full corpus: the paper suite followed by corpus v2.
 func All() []Workload {
 	out := make([]Workload, len(registry))
 	copy(out, registry)
 	return out
 }
 
-// ByClass returns the five workloads of one class.
+// Paper returns the ten Table 3 stand-ins in the paper's order (int
+// then FP). The figure drivers use this suite so the reproduction stays
+// faithful as the corpus grows.
+func Paper() []Workload {
+	var out []Workload
+	for _, w := range registry {
+		if w.Paper {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ByClass returns every workload of one class, across both suites.
 func ByClass(c Class) []Workload {
 	var out []Workload
 	for _, w := range registry {
 		if w.Class == c {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// PaperByClass returns the five paper-suite workloads of one class.
+func PaperByClass(c Class) []Workload {
+	var out []Workload
+	for _, w := range registry {
+		if w.Paper && w.Class == c {
 			out = append(out, w)
 		}
 	}
@@ -103,7 +148,8 @@ func ByName(name string) (Workload, error) {
 	return Workload{}, fmt.Errorf("workloads: unknown workload %q", name)
 }
 
-// Names returns all workload names, int kernels first.
+// Names returns all workload names in registry order (paper suite
+// first, then corpus v2).
 func Names() []string {
 	var names []string
 	for _, w := range registry {

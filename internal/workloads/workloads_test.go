@@ -91,8 +91,17 @@ func TestByNameAndNames(t *testing.T) {
 	if _, err := ByName("nope"); err == nil {
 		t.Error("ByName accepted junk")
 	}
-	if len(All()) != 10 || len(ByClass(Int)) != 5 || len(ByClass(FP)) != 5 {
-		t.Error("registry does not contain 5+5 workloads")
+	if len(All()) != 16 || len(ByClass(Int)) != 9 || len(ByClass(FP)) != 6 || len(ByClass(Mixed)) != 1 {
+		t.Errorf("registry shape wrong: %d total, %d int, %d fp, %d mixed",
+			len(All()), len(ByClass(Int)), len(ByClass(FP)), len(ByClass(Mixed)))
+	}
+	if len(Paper()) != 10 || len(PaperByClass(Int)) != 5 || len(PaperByClass(FP)) != 5 {
+		t.Error("paper suite is not the original 5+5 workloads")
+	}
+	for _, w := range Paper() {
+		if !w.Paper || w.Class == Mixed {
+			t.Errorf("%s: bad paper-suite entry", w.Name)
+		}
 	}
 }
 
@@ -145,6 +154,70 @@ func TestLiIsPointerChasing(t *testing.T) {
 	loadFrac := float64(mix.Loads) / float64(mix.Total)
 	if loadFrac < 0.2 {
 		t.Errorf("li: load fraction %.2f too low for a pointer chaser", loadFrac)
+	}
+}
+
+// TestListwalkIsSerialChain verifies the MLP-starved profile: listwalk
+// is dominated by loads whose addresses come from the previous load.
+func TestListwalkIsSerialChain(t *testing.T) {
+	w, _ := ByName("listwalk")
+	tr := w.MustTrace(testScale)
+	mix := tr.DynamicMix()
+	loadFrac := float64(mix.Loads) / float64(mix.Total)
+	if loadFrac < 0.18 {
+		t.Errorf("listwalk: load fraction %.2f too low for a pointer chase", loadFrac)
+	}
+	if mix.FPArith > 0 {
+		t.Errorf("listwalk: unexpected FP content (%d ops)", mix.FPArith)
+	}
+}
+
+// TestQsortIsPredictorHostile checks that the quicksort's comparison
+// branches are data-dependent: taken rate near 50% with no short-period
+// pattern a counter predictor could learn perfectly.
+func TestQsortIsPredictorHostile(t *testing.T) {
+	w, _ := ByName("qsort")
+	tr := w.MustTrace(testScale)
+	mix := tr.DynamicMix()
+	frac := float64(mix.TakenBr) / float64(mix.Branches)
+	if frac < 0.25 || frac > 0.9 {
+		t.Errorf("qsort: taken fraction %.2f outside the mixed-outcome band", frac)
+	}
+}
+
+// TestRdescentIsCallHeavy verifies the checkpoint-pressure profile:
+// real call/return pairs every few tokens.
+func TestRdescentIsCallHeavy(t *testing.T) {
+	w, _ := ByName("rdescent")
+	tr := w.MustTrace(testScale)
+	var calls, rets int
+	for i := 0; i < tr.Len(); i++ {
+		in := tr.At(i).Inst
+		if in.Op == isa.JAL && in.Rd == isa.RA {
+			calls++
+		}
+		if in.Op == isa.JALR && in.Rd == isa.Zero {
+			rets++
+		}
+	}
+	if calls != rets {
+		t.Errorf("rdescent: %d calls vs %d returns", calls, rets)
+	}
+	if calls < tr.Len()/40 {
+		t.Errorf("rdescent: only %d calls in %d instructions", calls, tr.Len())
+	}
+}
+
+// TestMixmodeAlternatesClasses verifies the phase-alternating profile:
+// substantial int and FP content in the same trace.
+func TestMixmodeAlternatesClasses(t *testing.T) {
+	w, _ := ByName("mixmode")
+	tr := w.MustTrace(testScale)
+	mix := tr.DynamicMix()
+	intFrac := float64(mix.IntWriters) / float64(mix.Total)
+	fpFrac := float64(mix.FPWriters) / float64(mix.Total)
+	if intFrac < 0.15 || fpFrac < 0.15 {
+		t.Errorf("mixmode: writer mix int %.2f / fp %.2f not phase-balanced", intFrac, fpFrac)
 	}
 }
 
