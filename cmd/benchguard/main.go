@@ -1,0 +1,251 @@
+// Command benchguard is the CI benchmark-regression gate: it parses
+// `go test -bench BenchmarkPolicy` output, compares each benchmark's
+// MB/s (simulated instructions per second) against the committed
+// BENCH_core.json reference, and exits nonzero when any benchmark
+// regresses past the tolerance band (default 15%).
+//
+//	go test -run xxx -bench BenchmarkPolicy -benchtime 3x . | \
+//	    go run ./cmd/benchguard -baseline BENCH_core.json -out BENCH_guard.ci.json
+//
+// The reference was captured on one specific machine, so raw MB/s on a
+// different (or noisy, or faster) runner would gate on hardware, not
+// code. With -normalize (the default) the guard first estimates the
+// machine-speed ratio as the median of new/baseline across all
+// benchmarks, divides it out, and applies the tolerance band to the
+// residual — a uniform slowdown (different CPU) passes, while one
+// benchmark regressing relative to its peers fails. -normalize=false
+// compares raw MB/s for same-machine A/B runs.
+//
+// sim-IPC is compared too, with a much tighter band (0.1%): throughput
+// may wobble with the hardware, but the reproduced microarchitectural
+// IPC is deterministic and must not move at all.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// baselineEntry mirrors one benchmark in BENCH_core.json, whose
+// committed form records a before/after pair per optimization PR; the
+// "after" numbers are the current reference.
+type baselineEntry struct {
+	After struct {
+		NsOp   float64 `json:"ns_op"`
+		MBs    float64 `json:"mb_s"`
+		SimIPC float64 `json:"sim_ipc"`
+	} `json:"after"`
+}
+
+type baselineFile struct {
+	CPU        string                   `json:"cpu"`
+	Benchmarks map[string]baselineEntry `json:"benchmarks"`
+}
+
+// benchResult is one parsed `go test -bench` line.
+type benchResult struct {
+	NsOp   float64 `json:"ns_op"`
+	MBs    float64 `json:"mb_s"`
+	SimIPC float64 `json:"sim_ipc"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.e+]+) ns/op\s+([\d.e+]+) MB/s\s+([\d.e+]+) sim-IPC`)
+
+// parseBench extracts BenchmarkPolicy* results from `go test -bench`
+// output. Repeated runs of one benchmark keep the best MB/s (the
+// standard way to shed scheduler noise).
+func parseBench(out []byte) (map[string]benchResult, error) {
+	results := make(map[string]benchResult)
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(out), -1) {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var r benchResult
+		var err error
+		if r.NsOp, err = strconv.ParseFloat(m[2], 64); err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
+		}
+		if r.MBs, err = strconv.ParseFloat(m[3], 64); err != nil {
+			return nil, fmt.Errorf("bad MB/s in %q: %v", line, err)
+		}
+		if r.SimIPC, err = strconv.ParseFloat(m[4], 64); err != nil {
+			return nil, fmt.Errorf("bad sim-IPC in %q: %v", line, err)
+		}
+		if prev, ok := results[m[1]]; !ok || r.MBs > prev.MBs {
+			results[m[1]] = r
+		}
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines with MB/s and sim-IPC found")
+	}
+	return results, nil
+}
+
+// verdict is one benchmark's comparison outcome.
+type verdict struct {
+	benchResult
+	BaselineMBs    float64  `json:"baseline_mb_s"`
+	BaselineIPC    float64  `json:"baseline_sim_ipc"`
+	NormalizedMBs  float64  `json:"normalized_mb_s"`
+	Ratio          float64  `json:"ratio"` // new/baseline before normalization
+	Pass           bool     `json:"pass"`
+	FailureReasons []string `json:"failure_reasons,omitempty"`
+}
+
+type report struct {
+	Tolerance    float64            `json:"tolerance"`
+	IPCTolerance float64            `json:"ipc_tolerance"`
+	Normalize    bool               `json:"normalize"`
+	SpeedRatio   float64            `json:"machine_speed_ratio"` // median new/baseline
+	Pass         bool               `json:"pass"`
+	Benchmarks   map[string]verdict `json:"benchmarks"`
+	Missing      []string           `json:"missing,omitempty"` // in baseline, absent from the run
+}
+
+// compare applies the tolerance bands. Baseline entries missing from
+// the run fail the gate outright — a silently shrinking benchmark
+// suite would otherwise hollow the guard out one deletion at a time.
+// (Renaming a benchmark legitimately means updating BENCH_core.json in
+// the same change.)
+func compare(base map[string]baselineEntry, run map[string]benchResult,
+	tolerance, ipcTolerance float64, normalize bool) report {
+	rep := report{Tolerance: tolerance, IPCTolerance: ipcTolerance,
+		Normalize: normalize, SpeedRatio: 1, Pass: true,
+		Benchmarks: make(map[string]verdict)}
+
+	var ratios []float64
+	for name, b := range base {
+		if r, ok := run[name]; ok && b.After.MBs > 0 {
+			ratios = append(ratios, r.MBs/b.After.MBs)
+		} else if !ok {
+			rep.Missing = append(rep.Missing, name)
+		}
+	}
+	sort.Strings(rep.Missing)
+	if len(rep.Missing) > 0 {
+		rep.Pass = false
+	}
+	if len(ratios) == 0 {
+		rep.Pass = false
+		return rep
+	}
+	if normalize {
+		sort.Float64s(ratios)
+		mid := len(ratios) / 2
+		if len(ratios)%2 == 1 {
+			rep.SpeedRatio = ratios[mid]
+		} else {
+			rep.SpeedRatio = (ratios[mid-1] + ratios[mid]) / 2
+		}
+	}
+
+	for name, b := range base {
+		r, ok := run[name]
+		if !ok || b.After.MBs <= 0 {
+			continue
+		}
+		v := verdict{benchResult: r, BaselineMBs: b.After.MBs, BaselineIPC: b.After.SimIPC,
+			Ratio: r.MBs / b.After.MBs, NormalizedMBs: r.MBs / rep.SpeedRatio, Pass: true}
+		if v.NormalizedMBs < b.After.MBs*(1-tolerance) {
+			v.Pass = false
+			v.FailureReasons = append(v.FailureReasons, fmt.Sprintf(
+				"throughput regression: %.2f MB/s (%.2f machine-normalized) vs baseline %.2f, below the %.0f%% band",
+				r.MBs, v.NormalizedMBs, b.After.MBs, 100*tolerance))
+		}
+		if b.After.SimIPC > 0 && math.Abs(r.SimIPC-b.After.SimIPC)/b.After.SimIPC > ipcTolerance {
+			v.Pass = false
+			v.FailureReasons = append(v.FailureReasons, fmt.Sprintf(
+				"sim-IPC drift: %.4f vs pinned %.4f — the simulator's results moved, not just its speed",
+				r.SimIPC, b.After.SimIPC))
+		}
+		if !v.Pass {
+			rep.Pass = false
+		}
+		rep.Benchmarks[name] = v
+	}
+	return rep
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+	var (
+		baselinePath = flag.String("baseline", "BENCH_core.json", "committed reference numbers")
+		benchPath    = flag.String("bench", "-", "go test -bench output file (- = stdin)")
+		tolerance    = flag.Float64("tolerance", 0.15, "allowed relative MB/s regression")
+		ipcTol       = flag.Float64("ipc-tolerance", 0.001, "allowed relative sim-IPC drift")
+		normalize    = flag.Bool("normalize", true, "divide out the median machine-speed ratio before gating")
+		outPath      = flag.String("out", "", "write the comparison report JSON here")
+	)
+	flag.Parse()
+
+	blob, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(blob, &base); err != nil {
+		log.Fatalf("parse %s: %v", *baselinePath, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		log.Fatalf("%s holds no benchmarks", *baselinePath)
+	}
+
+	var out []byte
+	if *benchPath == "-" {
+		out, err = io.ReadAll(os.Stdin)
+	} else {
+		out, err = os.ReadFile(*benchPath)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := parseBench(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := compare(base.Benchmarks, run, *tolerance, *ipcTol, *normalize)
+	if *outPath != "" {
+		blob, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	names := make([]string, 0, len(rep.Benchmarks))
+	for name := range rep.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := rep.Benchmarks[name]
+		status := "ok"
+		if !v.Pass {
+			status = "FAIL"
+		}
+		log.Printf("%-32s %7.2f MB/s (norm %6.2f, base %6.2f, ratio %.2f) sim-IPC %.4f  %s",
+			name, v.MBs, v.NormalizedMBs, v.BaselineMBs, v.Ratio, v.SimIPC, status)
+		for _, r := range v.FailureReasons {
+			log.Printf("  ↳ %s", r)
+		}
+	}
+	for _, name := range rep.Missing {
+		log.Printf("%-32s missing from this run (baseline has it)", name)
+	}
+	log.Printf("machine speed ratio %.3f, tolerance %.0f%%", rep.SpeedRatio, 100**tolerance)
+	if !rep.Pass {
+		log.Fatal("benchmark regression detected")
+	}
+	log.Printf("all benchmarks within the band")
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: earlyrelease
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPolicyConvTomcatv 	       3	  31497396 ns/op	   5.29 MB/s	         0.9433 sim-IPC
+BenchmarkPolicyBasicTomcatv-8 	       3	  30220810 ns/op	   5.51 MB/s	         1.404 sim-IPC
+BenchmarkPolicyConvGo 	       3	   6105766 ns/op	   4.08 MB/s	         1.678 sim-IPC
+BenchmarkFig9 	   12345	    97531 ns/op	        12.00 LUsTable-ns
+PASS
+`
+
+func baseEntries(vals map[string][3]float64) map[string]baselineEntry {
+	out := make(map[string]baselineEntry)
+	for name, v := range vals {
+		var e baselineEntry
+		e.After.NsOp, e.After.MBs, e.After.SimIPC = v[0], v[1], v[2]
+		out[name] = e
+	}
+	return out
+}
+
+func TestParseBench(t *testing.T) {
+	run, err := parseBench([]byte(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run) != 3 {
+		t.Fatalf("parsed %d results, want 3 (Fig9 has no MB/s+sim-IPC): %+v", len(run), run)
+	}
+	// With and without the -procs suffix.
+	if r := run["BenchmarkPolicyBasicTomcatv"]; r.MBs != 5.51 || r.SimIPC != 1.404 {
+		t.Fatalf("suffix-stripped result: %+v", r)
+	}
+	if r := run["BenchmarkPolicyConvTomcatv"]; r.NsOp != 31497396 || r.MBs != 5.29 {
+		t.Fatalf("plain result: %+v", r)
+	}
+	if _, err := parseBench([]byte("PASS\nok\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}
+
+func TestParseBenchKeepsBestOfRepeats(t *testing.T) {
+	out := "BenchmarkPolicyConvGo \t 1 \t 700 ns/op\t 3.00 MB/s\t 1.678 sim-IPC\n" +
+		"BenchmarkPolicyConvGo \t 1 \t 500 ns/op\t 4.20 MB/s\t 1.678 sim-IPC\n"
+	run, err := parseBench([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run["BenchmarkPolicyConvGo"].MBs != 4.20 {
+		t.Fatalf("did not keep best repeat: %+v", run)
+	}
+}
+
+func TestCompareWithinBandPasses(t *testing.T) {
+	base := baseEntries(map[string][3]float64{
+		"A": {100, 5.00, 1.5},
+		"B": {100, 4.00, 1.2},
+	})
+	run := map[string]benchResult{
+		"A": {MBs: 4.60, SimIPC: 1.5}, // −8%, inside 15%
+		"B": {MBs: 4.10, SimIPC: 1.2},
+	}
+	rep := compare(base, run, 0.15, 0.001, false)
+	if !rep.Pass {
+		t.Fatalf("within-band run failed: %+v", rep)
+	}
+}
+
+func TestCompareCatchesRegression(t *testing.T) {
+	base := baseEntries(map[string][3]float64{
+		"A": {100, 5.00, 1.5},
+		"B": {100, 4.00, 1.2},
+		"C": {100, 3.00, 1.1},
+	})
+	run := map[string]benchResult{
+		"A": {MBs: 5.00, SimIPC: 1.5},
+		"B": {MBs: 4.00, SimIPC: 1.2},
+		"C": {MBs: 2.00, SimIPC: 1.1}, // −33%
+	}
+	rep := compare(base, run, 0.15, 0.001, true)
+	if rep.Pass {
+		t.Fatal("regression passed the gate")
+	}
+	if v := rep.Benchmarks["C"]; v.Pass || len(v.FailureReasons) == 0 ||
+		!strings.Contains(v.FailureReasons[0], "throughput regression") {
+		t.Fatalf("verdict for C: %+v", v)
+	}
+	if !rep.Benchmarks["A"].Pass || !rep.Benchmarks["B"].Pass {
+		t.Fatalf("healthy benchmarks dragged down: %+v", rep.Benchmarks)
+	}
+}
+
+// TestCompareNormalizesMachineSpeed: a uniformly slower machine (every
+// benchmark −40%) passes with -normalize because the median ratio is
+// divided out; the same numbers fail a raw comparison.
+func TestCompareNormalizesMachineSpeed(t *testing.T) {
+	base := baseEntries(map[string][3]float64{
+		"A": {100, 5.00, 1.5},
+		"B": {100, 4.00, 1.2},
+		"C": {100, 3.00, 1.1},
+	})
+	run := map[string]benchResult{
+		"A": {MBs: 3.00, SimIPC: 1.5},
+		"B": {MBs: 2.40, SimIPC: 1.2},
+		"C": {MBs: 1.80, SimIPC: 1.1},
+	}
+	if rep := compare(base, run, 0.15, 0.001, true); !rep.Pass {
+		t.Fatalf("uniform slowdown failed normalized gate: %+v", rep)
+	}
+	if rep := compare(base, run, 0.15, 0.001, false); rep.Pass {
+		t.Fatal("uniform slowdown passed the raw gate")
+	}
+
+	// A relative regression on the slow machine still fails: C drops
+	// another 30% beyond the fleet-wide slowdown.
+	run["C"] = benchResult{MBs: 1.26, SimIPC: 1.1}
+	rep := compare(base, run, 0.15, 0.001, true)
+	if rep.Pass || rep.Benchmarks["C"].Pass {
+		t.Fatalf("relative regression slipped through normalization: %+v", rep.Benchmarks["C"])
+	}
+}
+
+// TestCompareGatesSimIPC: throughput may breathe, the reproduced IPC
+// may not — a drifted sim-IPC fails even at full speed.
+func TestCompareGatesSimIPC(t *testing.T) {
+	base := baseEntries(map[string][3]float64{"A": {100, 5.00, 1.5}})
+	rep := compare(base, map[string]benchResult{"A": {MBs: 6.00, SimIPC: 1.497}}, 0.15, 0.001, true)
+	if rep.Pass {
+		t.Fatal("sim-IPC drift passed")
+	}
+	if !strings.Contains(rep.Benchmarks["A"].FailureReasons[0], "sim-IPC drift") {
+		t.Fatalf("verdict: %+v", rep.Benchmarks["A"])
+	}
+	// Rounding-level wobble (the JSON records 4 significant digits) is
+	// tolerated.
+	rep = compare(base, map[string]benchResult{"A": {MBs: 6.00, SimIPC: 1.50004}}, 0.15, 0.001, true)
+	if !rep.Pass {
+		t.Fatalf("rounding-level IPC wobble failed: %+v", rep.Benchmarks["A"])
+	}
+}
+
+func TestCompareFailsOnMissing(t *testing.T) {
+	base := baseEntries(map[string][3]float64{
+		"A": {100, 5.00, 1.5},
+		"B": {100, 4.00, 1.2},
+	})
+	rep := compare(base, map[string]benchResult{"A": {MBs: 5.0, SimIPC: 1.5}}, 0.15, 0.001, true)
+	if len(rep.Missing) != 1 || rep.Missing[0] != "B" {
+		t.Fatalf("missing list: %+v", rep.Missing)
+	}
+	// A benchmark vanishing from the run fails the gate — otherwise the
+	// suite could shrink one deletion at a time and never regress.
+	if rep.Pass {
+		t.Fatal("missing benchmark passed the gate")
+	}
+	if rep := compare(base, map[string]benchResult{"X": {MBs: 1, SimIPC: 1}}, 0.15, 0.001, true); rep.Pass {
+		t.Fatal("run sharing no benchmarks with the baseline passed")
+	}
+}

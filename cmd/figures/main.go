@@ -40,34 +40,47 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 	var (
-		all    = flag.Bool("all", false, "regenerate everything")
-		fig3   = flag.Bool("fig3", false, "Figure 3")
-		sec33  = flag.Bool("sec33", false, "Section 3.3 speedups")
-		fig9   = flag.Bool("fig9", false, "Figure 9")
-		sec44  = flag.Bool("sec44", false, "Section 4.4 energy balance")
-		fig10  = flag.Bool("fig10", false, "Figure 10")
-		fig11  = flag.Bool("fig11", false, "Figure 11")
-		table1 = flag.Bool("table1", false, "Table 1")
-		table4 = flag.Bool("table4", false, "Table 4 (implies -fig11)")
-		sens   = flag.String("sensitivity", "", "machine-model sensitivity axes: \"all\" or comma list (ros,issue,lsq,...)")
-		sensWs = flag.String("sens-workloads", "", "workloads for -sensitivity (empty = paper suite)")
-		scale  = flag.Int("scale", 300_000, "dynamic instructions per workload")
-		quick  = flag.Bool("quick", false, "smaller scale and size axis")
-		check  = flag.Bool("check", false, "enable invariant checking")
-		cache  = flag.String("cache", "", "persistent sweep-result cache file (repeated runs only simulate new points)")
-		statsJ = flag.String("stats-json", "", "write cache statistics to this file")
+		all     = flag.Bool("all", false, "regenerate everything")
+		fig3    = flag.Bool("fig3", false, "Figure 3")
+		sec33   = flag.Bool("sec33", false, "Section 3.3 speedups")
+		fig9    = flag.Bool("fig9", false, "Figure 9")
+		sec44   = flag.Bool("sec44", false, "Section 4.4 energy balance")
+		fig10   = flag.Bool("fig10", false, "Figure 10")
+		fig11   = flag.Bool("fig11", false, "Figure 11")
+		table1  = flag.Bool("table1", false, "Table 1")
+		table4  = flag.Bool("table4", false, "Table 4 (implies -fig11)")
+		sens    = flag.String("sensitivity", "", "machine-model sensitivity axes: \"all\" or comma list (ros,issue,lsq,...)")
+		sensWs  = flag.String("sens-workloads", "", "workloads for -sensitivity (empty = paper suite)")
+		scale   = flag.Int("scale", 300_000, "dynamic instructions per workload")
+		quick   = flag.Bool("quick", false, "smaller scale and size axis")
+		check   = flag.Bool("check", false, "enable invariant checking")
+		cache   = flag.String("cache", "", "persistent sweep-result cache file (repeated runs only simulate new points)")
+		remote  = flag.String("remote", "", "sweepd coordinator URL: farm every driver grid out for federated execution")
+		remoteC = flag.String("remote-cache", "", "sweepd coordinator URL: run locally over its shared result cache")
+		statsJ  = flag.String("stats-json", "", "write cache statistics to this file")
 	)
 	flag.Parse()
 
 	opt := experiments.DefaultOptions()
 	opt.Scale = *scale
 	opt.Check = *check
+	opt.Remote = *remote
+	if *remote != "" && (*cache != "" || *remoteC != "") {
+		log.Fatal("-remote farms grids out to the coordinator (which owns the cache); " +
+			"it cannot be combined with -cache or -remote-cache")
+	}
 	if *cache != "" {
 		c, err := sweep.OpenCache(*cache)
 		if err != nil {
 			log.Fatal(err)
 		}
 		opt.Cache = c
+	}
+	if *remoteC != "" {
+		if opt.Cache == nil {
+			opt.Cache = sweep.NewCache()
+		}
+		opt.Cache.SetRemote(sweep.NewRemoteCache(*remoteC))
 	}
 	sizes := experiments.DefaultSizes
 	if *quick {

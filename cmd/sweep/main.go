@@ -17,6 +17,16 @@
 // With -json the full outcomes (every Result field) are printed;
 // otherwise a compact IPC table. -stats-json FILE writes the run and
 // cache statistics (the CI smokes upload these).
+//
+// Grids can scale past one machine through a sweepd coordinator
+// (DESIGN.md §4.3): -remote URL submits the grid for federated
+// execution across the coordinator's workers, while -remote-cache URL
+// keeps execution local but layers the coordinator's shared result
+// cache under the local one (read-through on miss, write-back on
+// save) — results are byte-identical in every mode:
+//
+//	sweep -remote http://coordinator:8080 -workloads tomcatv -int-regs 40,48,64
+//	sweep -remote-cache http://coordinator:8080 -cache local.json -axis ros=32,0
 package main
 
 import (
@@ -83,6 +93,8 @@ func main() {
 		ablate     = flag.Bool("ablate", false, "also sweep the no-reuse and eager ablations")
 		parallel   = flag.Int("parallel", 0, "workers (0 = GOMAXPROCS)")
 		cachePath  = flag.String("cache", "", "persistent result-cache file")
+		remote     = flag.String("remote", "", "sweepd coordinator URL: submit the grid for federated execution")
+		remoteC    = flag.String("remote-cache", "", "sweepd coordinator URL: run locally but read-through/write-back its shared cache")
 		jsonOut    = flag.Bool("json", false, "print full outcomes as JSON")
 		statsPath  = flag.String("stats-json", "", "write run + cache statistics to this file")
 		quiet      = flag.Bool("q", false, "suppress progress output")
@@ -141,11 +153,24 @@ func main() {
 		}
 	}
 
+	// Federated submission runs nothing locally, so a local cache or
+	// cache tier would be silently dead weight — reject the combination
+	// instead of letting -cache files quietly stop filling.
+	if *remote != "" && (*cachePath != "" || *remoteC != "") {
+		log.Fatal("-remote submits the grid to the coordinator (which owns the cache); " +
+			"it cannot be combined with -cache or -remote-cache")
+	}
 	eng := &sweep.Engine{Parallel: *parallel}
 	if *cachePath != "" {
 		if eng.Cache, err = sweep.OpenCache(*cachePath); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *remoteC != "" {
+		if eng.Cache == nil {
+			eng.Cache = sweep.NewCache()
+		}
+		eng.Cache.SetRemote(sweep.NewRemoteCache(*remoteC))
 	}
 
 	progress := func(p sweep.Progress) {
@@ -154,7 +179,14 @@ func main() {
 				p.Done, p.Total, p.CacheHits, p.Errors)
 		}
 	}
-	res, err := eng.Run(g, progress)
+	var res *sweep.Results
+	if *remote != "" {
+		// Federated execution: the coordinator plans the grid into
+		// leased shards and its workers do the simulating.
+		res, err = sweep.NewClient(*remote).RunGrid(g, progress)
+	} else {
+		res, err = eng.Run(g, progress)
+	}
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}

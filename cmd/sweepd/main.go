@@ -1,22 +1,36 @@
-// Command sweepd serves the sweep engine over HTTP: clients POST
-// declarative parameter grids (see internal/sweep) and poll or stream
-// the simulations' progress and results. All clients share one
-// content-addressed result cache — concurrent or repeated sweeps only
-// simulate points never seen before — and -cache persists it across
-// restarts.
+// Command sweepd runs the sweep service. In its default coordinator
+// role it serves the client API (POST grids, poll or stream progress,
+// shared content-addressed result cache) and the federation API:
+// submitted grids are planned into cost-balanced shards and executed
+// under TTL leases by workers — embedded local ones and any number of
+// sweepd worker processes joined over HTTP. See DESIGN.md §4.3.
+//
+// Coordinator (the default role):
 //
 //	sweepd -addr :8080 -cache sweep-cache.json
+//	sweepd -role coordinator -local-workers 0        # pure coordinator
 //
 //	curl -d '{"workloads":["tomcatv"],"int_regs":[40,48,64]}' localhost:8080/sweep
 //	curl localhost:8080/sweep/sw-1
 //	curl localhost:8080/sweep/sw-1/stream
 //	curl localhost:8080/cache
+//	curl localhost:8080/federation
+//
+// Worker — joins a coordinator, pulls leased shards, runs them on a
+// local Core-recycling pool and reports results by content key:
+//
+//	sweepd -role worker -join http://coordinator:8080 -parallel 8
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"earlyrelease/internal/sweep"
 )
@@ -25,23 +39,74 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweepd: ")
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		cachePath = flag.String("cache", "", "persistent result-cache file (empty = in-memory)")
-		parallel  = flag.Int("parallel", 0, "workers per sweep (0 = GOMAXPROCS)")
+		role         = flag.String("role", "coordinator", "coordinator or worker")
+		addr         = flag.String("addr", ":8080", "coordinator listen address")
+		cachePath    = flag.String("cache", "", "persistent result-cache file (empty = in-memory)")
+		parallel     = flag.Int("parallel", 0, "simulations per worker engine (0 = GOMAXPROCS)")
+		localWorkers = flag.Int("local-workers", 1, "embedded workers in the coordinator (0 = pure coordinator)")
+		leaseTTL     = flag.Duration("lease-ttl", 30*time.Second, "work lease lifetime between renewals")
+		shardPoints  = flag.Int("shard-points", 0, "max points per shard (0 = default)")
+		join         = flag.String("join", "", "coordinator URL to join (worker role)")
+		name         = flag.String("name", "", "worker name in the coordinator registry (default: hostname)")
 	)
 	flag.Parse()
 
+	switch *role {
+	case "worker":
+		runWorker(*join, *name, *parallel)
+	case "coordinator":
+		runCoordinator(*addr, *cachePath, *parallel, *localWorkers, *leaseTTL, *shardPoints)
+	default:
+		log.Fatalf("unknown role %q (want coordinator or worker)", *role)
+	}
+}
+
+func runCoordinator(addr, cachePath string, parallel, localWorkers int, leaseTTL time.Duration, shardPoints int) {
 	cache := sweep.NewCache()
-	if *cachePath != "" {
+	if cachePath != "" {
 		var err error
-		cache, err = sweep.OpenCache(*cachePath)
+		cache, err = sweep.OpenCache(cachePath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("cache %s: %d results", *cachePath, cache.Len())
+		log.Printf("cache %s: %d results", cachePath, cache.Len())
 	}
 
-	srv := NewServer(cache, *parallel)
-	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	cfg := ServerConfig{
+		Cache:          cache,
+		WorkerParallel: parallel,
+		LocalWorkers:   localWorkers,
+		LeaseTTL:       leaseTTL,
+		Planner:        sweep.ShardPlanner{MaxPoints: shardPoints},
+	}
+	if localWorkers <= 0 {
+		cfg.LocalWorkers = -1
+		log.Printf("pure coordinator: waiting for workers to join")
+	}
+	srv := NewServerWith(cfg)
+	defer srv.Close()
+	log.Printf("coordinator listening on %s (%d local workers, lease TTL %s)",
+		addr, max(localWorkers, 0), leaseTTL)
+	log.Fatal(http.ListenAndServe(addr, srv.Handler()))
+}
+
+func runWorker(join, name string, parallel int) {
+	if join == "" {
+		log.Fatal("worker role needs -join URL of a coordinator")
+	}
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	w := &sweep.Worker{
+		Source: sweep.NewClient(join),
+		Name:   name,
+		Engine: &sweep.Engine{Parallel: parallel},
+	}
+	log.Printf("worker %q joining %s", name, join)
+	if err := w.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("worker stopped")
 }

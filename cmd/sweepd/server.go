@@ -1,19 +1,29 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
 
+	"earlyrelease/internal/pipeline"
 	"earlyrelease/internal/sweep"
 )
 
-// Server is the sweepd HTTP API: clients submit grids, poll or stream
-// their progress, and read results. All sweeps share one engine cache,
-// so concurrent clients asking for overlapping grids each pay only for
-// the points nobody has simulated yet.
+// Server is the sweepd HTTP API. Clients submit grids, poll or stream
+// their progress, and read results; since the federation refactor the
+// server is a coordinator — submitted grids are planned into
+// cost-balanced shards and executed under TTL leases by workers, local
+// (embedded in this process) or remote (sweepd -role worker -join).
+// All sweeps share one content-addressed cache, so concurrent clients
+// asking for overlapping grids each pay only for the points nobody has
+// simulated yet.
+//
+// Client API:
 //
 //	POST /sweep               submit a sweep.Grid, returns {"id": ...}
 //	GET  /sweep/{id}          status, progress and (when done) results
@@ -23,11 +33,27 @@ import (
 //	GET  /cache               shared cache statistics
 //	GET  /healthz             liveness
 //
+// Federation API (see DESIGN.md §4.3 for the protocol):
+//
+//	POST /workers/register    join the worker registry
+//	POST /workers/heartbeat   worker liveness while idle
+//	GET  /workers             registry snapshot
+//	GET  /federation          queue + lease + registry status
+//	POST /work/lease          pull a shard lease (binary wire frame)
+//	POST /work/renew          extend a held lease
+//	POST /work/complete       report a leased shard (binary wire frame)
+//	GET  /cache/{key}         remote-cache tier: fetch one result
+//	PUT  /cache/{key}         remote-cache tier: publish one result
+//
 // Grids may sweep any machine-model axis (ros_sizes, lsq_sizes,
 // issue_widths, bpred_bits, ... — see GET /axes) exactly like the
 // register-file and policy axes; a 0 entry names the Table 2 baseline.
 type Server struct {
-	engine *sweep.Engine
+	coord *sweep.Coordinator
+	cache *sweep.Cache
+
+	stopWorkers context.CancelFunc
+	workerWG    sync.WaitGroup
 
 	mu     sync.Mutex
 	sweeps map[string]*sweepJob
@@ -51,16 +77,80 @@ type sweepJob struct {
 	Err      string         `json:"err,omitempty"`
 }
 
-// NewServer builds a server around a shared cache. parallel bounds each
-// sweep's worker pool (0 = GOMAXPROCS).
+// ServerConfig assembles a coordinator server.
+type ServerConfig struct {
+	// Cache is the shared result store (nil = fresh in-memory cache).
+	Cache *sweep.Cache
+	// LocalWorkers is the number of embedded worker loops pulling from
+	// this coordinator in-process (<0 = none: a pure coordinator that
+	// only serves remote workers; 0 = 1).
+	LocalWorkers int
+	// WorkerParallel bounds each local worker's engine pool
+	// (0 = GOMAXPROCS).
+	WorkerParallel int
+	// LeaseTTL, MaxAttempts and Planner tune the federation (zero
+	// values take the sweep package defaults).
+	LeaseTTL    time.Duration
+	MaxAttempts int
+	Planner     sweep.ShardPlanner
+}
+
+// NewServer builds a coordinator server with one embedded local worker
+// whose engine runs `parallel` simulations at once — the single-process
+// behavior sweepd always had.
 func NewServer(cache *sweep.Cache, parallel int) *Server {
+	return NewServerWith(ServerConfig{Cache: cache, WorkerParallel: parallel})
+}
+
+// NewServerWith builds a server from an explicit configuration.
+func NewServerWith(cfg ServerConfig) *Server {
+	cache := cfg.Cache
 	if cache == nil {
 		cache = sweep.NewCache()
 	}
-	return &Server{
-		engine: &sweep.Engine{Parallel: parallel, Cache: cache},
+	s := &Server{
+		coord: sweep.NewCoordinator(cache, sweep.CoordConfig{
+			LeaseTTL:    cfg.LeaseTTL,
+			MaxAttempts: cfg.MaxAttempts,
+			Planner:     cfg.Planner,
+		}),
+		cache:  cache,
 		sweeps: make(map[string]*sweepJob),
 	}
+
+	n := cfg.LocalWorkers
+	if n == 0 {
+		n = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.stopWorkers = cancel
+	for i := 0; i < n; i++ {
+		w := &sweep.Worker{
+			Source: s.coord,
+			Name:   fmt.Sprintf("local-%d", i+1),
+			Engine: &sweep.Engine{Parallel: cfg.WorkerParallel},
+			Poll:   5 * time.Millisecond,
+		}
+		s.workerWG.Add(1)
+		go func() {
+			defer s.workerWG.Done()
+			w.Run(ctx)
+		}()
+	}
+	return s
+}
+
+// Coordinator exposes the underlying federation coordinator (tests and
+// the worker role wire directly to it).
+func (s *Server) Coordinator() *sweep.Coordinator { return s.coord }
+
+// Close shuts the federation down: embedded workers stop, queued jobs
+// abort with an error, and in-flight HTTP streams wind down on their
+// own contexts.
+func (s *Server) Close() {
+	s.coord.Close()
+	s.stopWorkers()
+	s.workerWG.Wait()
 }
 
 // Handler returns the route table.
@@ -71,7 +161,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /sweep/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /sweeps", s.handleList)
 	mux.HandleFunc("GET /axes", handleAxes)
-	mux.HandleFunc("GET /cache", s.handleCache)
+	mux.HandleFunc("GET /cache", s.handleCacheStats)
+	mux.HandleFunc("POST /workers/register", s.handleRegister)
+	mux.HandleFunc("POST /workers/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("GET /workers", s.handleWorkers)
+	mux.HandleFunc("GET /federation", s.handleFederation)
+	mux.HandleFunc("POST /work/lease", s.handleLease)
+	mux.HandleFunc("POST /work/renew", s.handleRenew)
+	mux.HandleFunc("POST /work/complete", s.handleComplete)
+	mux.HandleFunc("GET /cache/{key}", s.handleCacheGet)
+	mux.HandleFunc("PUT /cache/{key}", s.handleCachePut)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -123,11 +222,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": job.ID})
 }
 
-// runJob executes the sweep and publishes progress under the lock. A
-// grid whose points all fail still completes as "done": per-point
-// errors live in the outcomes, matching the engine's contract.
+// runJob executes the sweep on the federation and publishes progress
+// under the lock. A grid whose points all fail still completes as
+// "done": per-point errors live in the outcomes, matching the engine's
+// contract.
 func (s *Server) runJob(job *sweepJob, g sweep.Grid) {
-	res, err := s.engine.Run(g, func(p sweep.Progress) {
+	res, err := s.coord.Run(g, func(p sweep.Progress) {
 		s.mu.Lock()
 		job.Progress = p
 		s.mu.Unlock()
@@ -164,19 +264,28 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 // handleStream writes NDJSON progress snapshots (one per change, at
 // most ~20/s) until the sweep completes, then a final line with state
 // "done". Clients get live progress with plain line-buffered readers —
-// no SSE machinery needed.
+// no SSE machinery needed. The handler honors client disconnects on
+// both paths — a write to a gone peer and the idle wait — so an
+// abandoned stream releases its goroutine promptly instead of riding
+// along until the sweep finishes.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.snapshot(id); !ok {
 		writeError(w, http.StatusNotFound, "no sweep %q", id)
 		return
 	}
+	ctx := r.Context()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
 	lastProg := sweep.Progress{Done: -1}
 	lastState := ""
 	for {
+		if ctx.Err() != nil {
+			return
+		}
 		job, ok := s.snapshot(id)
 		if !ok {
 			return
@@ -186,7 +295,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		// ends with a state:"done" line.
 		if job.Progress != lastProg || job.State != lastState {
 			lastProg, lastState = job.Progress, job.State
-			enc.Encode(map[string]any{"state": job.State, "progress": job.Progress})
+			if err := enc.Encode(map[string]any{"state": job.State, "progress": job.Progress}); err != nil {
+				return // peer is gone; don't wait out the sweep
+			}
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -195,9 +306,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		select {
-		case <-r.Context().Done():
+		case <-ctx.Done():
 			return
-		case <-time.After(50 * time.Millisecond):
+		case <-tick.C:
 		}
 	}
 }
@@ -219,8 +330,8 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, items)
 }
 
-func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.engine.Cache.Stats())
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cache.Stats())
 }
 
 // handleAxes publishes the machine-model axis schema so clients can
@@ -238,4 +349,186 @@ func handleAxes(w http.ResponseWriter, r *http.Request) {
 		axes = append(axes, axis{Name: ax.Name, Doc: ax.Doc, Baseline: ax.Baseline, Field: ax.Field})
 	}
 	writeJSON(w, http.StatusOK, axes)
+}
+
+// --- federation handlers -----------------------------------------------
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var in struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		writeError(w, http.StatusBadRequest, "bad register request: %v", err)
+		return
+	}
+	rep, err := s.coord.RegisterWorker(in.Name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"worker_id":    rep.WorkerID,
+		"lease_ttl_ms": rep.LeaseTTL.Milliseconds(),
+	})
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var in struct {
+		WorkerID string `json:"worker_id"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		writeError(w, http.StatusBadRequest, "bad heartbeat: %v", err)
+		return
+	}
+	if err := s.coord.HeartbeatWorker(in.WorkerID); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.coord.Status().Workers)
+}
+
+func (s *Server) handleFederation(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.coord.Status())
+}
+
+// handleLease pops the next shard for a registered worker. 204 means
+// the queue is empty; the 200 body is a binary wire-codec LeaseGrant.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var in struct {
+		WorkerID string `json:"worker_id"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		writeError(w, http.StatusBadRequest, "bad lease request: %v", err)
+		return
+	}
+	grant, err := s.coord.LeaseShard(in.WorkerID)
+	if err != nil {
+		if errors.Is(err, sweep.ErrUnknownWorker) {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if grant == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	frame, err := sweep.EncodeLease(grant)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode lease: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(frame)
+}
+
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var in struct {
+		LeaseID string `json:"lease_id"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		writeError(w, http.StatusBadRequest, "bad renew request: %v", err)
+		return
+	}
+	if err := s.coord.RenewLease(in.LeaseID); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// maxCompleteBytes bounds a completion payload (a full shard of
+// Results is well under 1 MiB; 64 MiB leaves room for huge shards
+// without letting a hostile peer exhaust memory).
+const maxCompleteBytes = 64 << 20
+
+// handleComplete accepts a worker's binary completion frame. The wire
+// envelope's checksum rejects corruption before decode; the
+// coordinator's key verification rejects mislabeled results after it.
+// Either way a bad payload gets a 4xx and never touches the cache.
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxCompleteBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read completion: %v", err)
+		return
+	}
+	if len(data) > maxCompleteBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "completion exceeds %d bytes", maxCompleteBytes)
+		return
+	}
+	m, err := sweep.DecodeMessage(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad completion frame: %v", err)
+		return
+	}
+	req, ok := m.(*sweep.CompleteRequest)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "completion frame decoded to %T", m)
+		return
+	}
+	switch err := s.coord.CompleteShard(req); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case errors.Is(err, sweep.ErrBadPayload):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, sweep.ErrStaleLease), errors.Is(err, sweep.ErrWrongWorker):
+		writeError(w, http.StatusConflict, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// --- remote cache tier --------------------------------------------------
+
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	res, ok := s.cache.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for key %.12s…", key)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleCachePut accepts a client's locally simulated result for the
+// shared cache. The body carries the point alongside the result so the
+// key can be recomputed and verified — a mislabeled or corrupted entry
+// is rejected instead of poisoning every future read-through.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	var in struct {
+		Point  sweep.Point      `json:"point"`
+		Result *json.RawMessage `json:"result"`
+	}
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxCompleteBytes))
+	if err := dec.Decode(&in); err != nil {
+		writeError(w, http.StatusBadRequest, "bad cache put: %v", err)
+		return
+	}
+	if in.Result == nil {
+		writeError(w, http.StatusBadRequest, "cache put carries no result")
+		return
+	}
+	want, err := in.Point.Key()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "cache put point: %v", err)
+		return
+	}
+	if want != key {
+		writeError(w, http.StatusBadRequest,
+			"cache put key %.12s… does not match point key %.12s… (rejected)", key, want)
+		return
+	}
+	res := &pipeline.Result{}
+	if err := json.Unmarshal(*in.Result, res); err != nil {
+		writeError(w, http.StatusBadRequest, "bad cache put result: %v", err)
+		return
+	}
+	s.cache.Put(key, res)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

@@ -23,6 +23,7 @@ const testScale = 20_000
 func newTestServer(t *testing.T) (*httptest.Server, *Server) {
 	t.Helper()
 	srv := NewServer(sweep.NewCache(), 0)
+	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts, srv

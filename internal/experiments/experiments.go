@@ -24,8 +24,15 @@ type Options struct {
 
 	// Cache overrides the process-wide shared result cache — e.g. a
 	// persistent sweep.OpenCache file so repeated figure runs are
-	// incremental across processes. Nil uses the shared in-memory cache.
+	// incremental across processes (optionally layered over a remote
+	// tier with Cache.SetRemote). Nil uses the shared in-memory cache.
 	Cache *sweep.Cache
+
+	// Remote is a sweepd coordinator base URL. When set, every driver
+	// grid is submitted there for federated execution instead of
+	// running in-process; results are byte-identical either way, so
+	// figures and tables don't care where the cycles were spent.
+	Remote string
 }
 
 // DefaultOptions is a good compromise for regenerating all figures in a
@@ -83,14 +90,22 @@ func (o Options) point(w string, k release.Kind, p int) sweep.Point {
 		Scale: o.scale(), Check: o.Check}
 }
 
-// runGrid executes a driver's grid on the shared (or overridden) cache.
+// runGrid executes a driver's grid on the shared (or overridden)
+// cache, or farms it out to a federated coordinator when the options
+// name one.
 func runGrid(g sweep.Grid, opt Options) (*sweep.Results, error) {
-	cache := opt.Cache
-	if cache == nil {
-		cache = sharedCache
+	var res *sweep.Results
+	var err error
+	if opt.Remote != "" {
+		res, err = sweep.NewClient(opt.Remote).RunGrid(g, nil)
+	} else {
+		cache := opt.Cache
+		if cache == nil {
+			cache = sharedCache
+		}
+		eng := &sweep.Engine{Parallel: opt.Parallel, Cache: cache}
+		res, err = eng.Run(g, nil)
 	}
-	eng := &sweep.Engine{Parallel: opt.Parallel, Cache: cache}
-	res, err := eng.Run(g, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -27,10 +27,34 @@ type Cache struct {
 
 	hits, misses uint64
 
+	// Remote tier (SetRemote): lookups that miss locally read through
+	// to a coordinator's cache over HTTP, and locally simulated results
+	// are written back on Save. Both directions are best-effort — a
+	// broken network degrades to local-only behavior.
+	remote        *RemoteCache
+	pendingRemote []remotePut
+	rstats        RemoteCacheStats
+
 	// saveMu serializes Save calls so concurrent sweeps finishing
 	// together cannot interleave their file writes (a later snapshot
 	// could otherwise be overwritten by an earlier one).
 	saveMu sync.Mutex
+}
+
+// remotePut is one queued write-back. The point rides along because
+// the remote end verifies the key against it before accepting.
+type remotePut struct {
+	pt  Point
+	key string
+	r   *pipeline.Result
+}
+
+// SetRemote layers a remote tier under this cache: Get read-through,
+// Save write-back.
+func (c *Cache) SetRemote(rc *RemoteCache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.remote = rc
 }
 
 // NewCache returns an empty in-memory cache.
@@ -57,17 +81,47 @@ func OpenCache(path string) (*Cache, error) {
 	return c, nil
 }
 
-// Get returns the cached result for key, if any.
+// Get returns the cached result for key, if any. A local miss with a
+// remote tier configured reads through: a remote hit is stored locally
+// (off the lookup lock, so concurrent Gets never stall behind HTTP)
+// and counted as a hit.
 func (c *Cache) Get(key string) (*pipeline.Result, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	r, ok := c.mem[key]
-	if ok {
+	if r, ok := c.mem[key]; ok {
 		c.hits++
-	} else {
-		c.misses++
+		c.mu.Unlock()
+		return r, true
 	}
-	return r, ok
+	rc := c.remote
+	c.mu.Unlock()
+
+	if rc != nil {
+		r, ok, err := rc.Get(key)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		switch {
+		case err != nil:
+			c.rstats.GetErrors++
+		case ok:
+			c.rstats.Hits++
+			c.hits++
+			if have, exists := c.mem[key]; exists {
+				return have, true // a concurrent Put won the race
+			}
+			c.mem[key] = r
+			c.dirty = true
+			return r, true
+		default:
+			c.rstats.Misses++
+		}
+		c.misses++
+		return nil, false
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.misses++
+	return nil, false
 }
 
 // Put stores a result. Only successful simulations are ever stored, so
@@ -84,6 +138,25 @@ func (c *Cache) Put(key string, r *pipeline.Result) {
 	}
 }
 
+// PutPoint is Put for a locally simulated point: with a remote tier
+// configured, the result is additionally queued for write-back (the
+// point travels with it so the remote end can verify the key). Save
+// flushes the queue.
+func (c *Cache) PutPoint(pt Point, key string, r *pipeline.Result) {
+	if r == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.mem[key]; !exists {
+		c.mem[key] = r
+		c.dirty = true
+		if c.remote != nil {
+			c.pendingRemote = append(c.pendingRemote, remotePut{pt, key, r})
+		}
+	}
+}
+
 // Len reports the number of cached results.
 func (c *Cache) Len() int {
 	c.mu.Lock()
@@ -91,14 +164,33 @@ func (c *Cache) Len() int {
 	return len(c.mem)
 }
 
-// Save writes the cache to its backing file if it has one and new
-// entries were added since the last save. The write is atomic (temp
-// file + rename) so concurrent readers never see a torn file, and the
-// encode happens on a snapshot outside the lookup lock so concurrent
-// sweeps' Get/Put never stall behind file I/O.
+// Save persists the cache: queued remote write-backs are flushed
+// first (best-effort — failures are counted in Stats, never returned,
+// and never block the file write), then the backing file is rewritten
+// if it has one and new entries were added since the last save. The
+// write is atomic (temp file + rename) so concurrent readers never see
+// a torn file, and the encode happens on a snapshot outside the lookup
+// lock so concurrent sweeps' Get/Put never stall behind file I/O.
 func (c *Cache) Save() error {
 	c.saveMu.Lock()
 	defer c.saveMu.Unlock()
+
+	c.mu.Lock()
+	rc, pend := c.remote, c.pendingRemote
+	c.pendingRemote = nil
+	c.mu.Unlock()
+	if rc != nil {
+		for _, p := range pend {
+			err := rc.Put(p.pt, p.key, p.r)
+			c.mu.Lock()
+			if err != nil {
+				c.rstats.PutErrors++
+			} else {
+				c.rstats.Puts++
+			}
+			c.mu.Unlock()
+		}
+	}
 
 	c.mu.Lock()
 	if c.path == "" || !c.dirty {
@@ -147,6 +239,20 @@ type CacheStats struct {
 	Hits    uint64  `json:"hits"`
 	Misses  uint64  `json:"misses"`
 	HitRate float64 `json:"hit_rate"` // hits / (hits+misses), 0 if no lookups
+
+	// Remote reports the remote tier's traffic when one is configured.
+	Remote *RemoteCacheStats `json:"remote,omitempty"`
+}
+
+// RemoteCacheStats counts remote-tier traffic: read-through lookups
+// and write-back pushes, with failures tallied rather than surfaced
+// (the tier is best-effort by design).
+type RemoteCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	GetErrors uint64 `json:"get_errors"`
+	Puts      uint64 `json:"puts"`
+	PutErrors uint64 `json:"put_errors"`
 }
 
 // Stats returns lifetime lookup counters for this cache instance.
@@ -156,6 +262,10 @@ func (c *Cache) Stats() CacheStats {
 	s := CacheStats{Entries: len(c.mem), Hits: c.hits, Misses: c.misses}
 	if n := c.hits + c.misses; n > 0 {
 		s.HitRate = float64(c.hits) / float64(n)
+	}
+	if c.remote != nil {
+		rs := c.rstats
+		s.Remote = &rs
 	}
 	return s
 }

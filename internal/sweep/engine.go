@@ -100,7 +100,14 @@ func (r *Results) Err() error {
 // lock with strictly increasing Done counts; it must not call back
 // into the engine.
 func (e *Engine) Run(g Grid, onProgress func(Progress)) (*Results, error) {
-	points := g.Expand()
+	return e.RunPoints(g.Expand(), onProgress)
+}
+
+// RunPoints runs an explicit, already-expanded point list — the
+// entry federated workers use to execute a leased shard. Semantics
+// match Run exactly (same cache, pool, progress and error contracts);
+// outcomes are returned in input order.
+func (e *Engine) RunPoints(points []Point, onProgress func(Progress)) (*Results, error) {
 	cache := e.Cache
 	if cache == nil {
 		cache = NewCache()
@@ -173,7 +180,7 @@ func (e *Engine) Run(g Grid, onProgress func(Progress)) (*Results, error) {
 				if err != nil {
 					o.Err = err.Error()
 				} else {
-					cache.Put(m.key, r)
+					cache.PutPoint(m.pt, m.key, r)
 				}
 				finish(m.i, o)
 			}

@@ -1,0 +1,527 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// This file is the coordinator half of federated sweep execution (the
+// worker half is worker.go; DESIGN.md §4.3 documents the protocol).
+// A Coordinator plans each submitted grid into cost-balanced shards
+// (ShardPlanner), serves them to workers under TTL-bounded leases, and
+// assembles verified completions into the same Results an in-process
+// Engine.Run would return — byte-identical, because workers run the
+// identical simulation path. Failure model:
+//
+//   - a worker that dies mid-lease simply stops renewing; the lease
+//     expires and the shard is requeued for another worker
+//   - a completion whose keys don't match the planned shard (or whose
+//     envelope checksum fails before that) is rejected whole — nothing
+//     unverified ever reaches the shared cache
+//   - a shard abandoned MaxAttempts times fails its points with an
+//     error outcome instead of looping forever
+//
+// Expiry scanning is piggybacked on every lease/complete/status call
+// and on the submitter's wait loop, so no background timer is needed
+// and tests drive the state machine deterministically.
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrStaleLease rejects a completion for a lease that expired (and
+	// was requeued) or never existed.
+	ErrStaleLease = errors.New("sweep: unknown or expired lease")
+	// ErrWrongWorker rejects a completion from a worker that does not
+	// hold the lease.
+	ErrWrongWorker = errors.New("sweep: lease held by a different worker")
+	// ErrUnknownWorker rejects a lease request from an unregistered
+	// worker (workers re-register on seeing it, e.g. after a
+	// coordinator restart).
+	ErrUnknownWorker = errors.New("sweep: unknown worker")
+	// ErrBadPayload rejects a completion whose outcomes fail
+	// verification against the planned shard.
+	ErrBadPayload = errors.New("sweep: completion failed verification")
+	// ErrClosed aborts jobs still queued when the coordinator shuts down.
+	ErrClosed = errors.New("sweep: coordinator closed")
+)
+
+// CoordConfig tunes the coordinator; the zero value is production-ready.
+type CoordConfig struct {
+	LeaseTTL    time.Duration // work lease lifetime between renewals (0 = 30s)
+	MaxAttempts int           // lease grants per shard before it fails (0 = 5)
+	Planner     ShardPlanner  // shard sizing/balancing (zero = defaults)
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// WorkerStatus is one registered worker's public state.
+type WorkerStatus struct {
+	ID           string    `json:"id"`
+	Name         string    `json:"name"`
+	LastSeen     time.Time `json:"last_seen"`
+	ActiveLeases int       `json:"active_leases"`
+	ShardsDone   int       `json:"shards_done"`
+	PointsDone   int       `json:"points_done"`
+	Expiries     int       `json:"expiries"` // leases lost to TTL expiry
+}
+
+// RegisterReply tells a fresh worker its identity and how often to
+// renew leases (renew well under TTL; TTL/3 is the convention).
+type RegisterReply struct {
+	WorkerID string        `json:"worker_id"`
+	LeaseTTL time.Duration `json:"lease_ttl"`
+}
+
+// FederationStatus is the coordinator's queue/registry snapshot.
+type FederationStatus struct {
+	PendingShards int            `json:"pending_shards"`
+	PendingPoints int            `json:"pending_points"`
+	ActiveLeases  int            `json:"active_leases"`
+	Workers       []WorkerStatus `json:"workers"`
+}
+
+// Coordinator owns the shared cache, the shard queue and the lease
+// table. One Coordinator serves many concurrent Run calls (sweepd
+// submissions) and many workers, local or remote.
+type Coordinator struct {
+	cfg   CoordConfig
+	cache *Cache
+
+	mu      sync.Mutex
+	pending []*fedShard // FIFO; expiry requeues push to the front
+	leases  map[string]*fedLease
+	workers map[string]*workerState
+	// workerIDs keeps registration order for listings; entries whose
+	// worker aged out of the registry are skipped (and compacted) on
+	// Status.
+	workerIDs []string
+	seq       int
+	closed    bool
+	quit      chan struct{}
+}
+
+type fedJob struct {
+	res    *Results
+	total  int
+	done   int
+	onProg func(Progress)
+	doneCh chan struct{}
+}
+
+// workUnit binds a planned WorkItem to its slot in the submitting job.
+type workUnit struct {
+	item   WorkItem
+	jobIdx int
+	job    *fedJob
+}
+
+type fedShard struct {
+	id      string
+	units   []workUnit
+	attempt int // lease grants so far
+}
+
+type fedLease struct {
+	id       string
+	workerID string
+	shard    *fedShard
+	deadline time.Time
+}
+
+type workerState struct {
+	WorkerStatus
+}
+
+// NewCoordinator builds a coordinator around a shared cache (nil = a
+// fresh in-memory cache).
+func NewCoordinator(cache *Cache, cfg CoordConfig) *Coordinator {
+	if cache == nil {
+		cache = NewCache()
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		cache:   cache,
+		leases:  make(map[string]*fedLease),
+		workers: make(map[string]*workerState),
+		quit:    make(chan struct{}),
+	}
+}
+
+// Cache exposes the coordinator's shared result cache (the remote-tier
+// GET/PUT handlers and stats endpoints serve it).
+func (c *Coordinator) Cache() *Cache { return c.cache }
+
+// LeaseTTL reports the configured lease lifetime.
+func (c *Coordinator) LeaseTTL() time.Duration { return c.cfg.LeaseTTL }
+
+// Close aborts all queued work: blocked Run calls return ErrClosed.
+// Workers polling a closed coordinator see empty leases.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.quit)
+	}
+}
+
+// Run plans the grid, queues its cache misses as shards and blocks
+// until every point is resolved — the federated counterpart of
+// Engine.Run with the same Results/Stats/progress contracts. Work is
+// executed by whatever workers are attached (including the embedded
+// local workers sweepd starts); with none attached the call blocks
+// until one joins or the coordinator closes.
+func (c *Coordinator) Run(g Grid, onProgress func(Progress)) (*Results, error) {
+	return c.RunPoints(g.Expand(), onProgress)
+}
+
+// RunPoints is Run for an explicit point list.
+func (c *Coordinator) RunPoints(points []Point, onProgress func(Progress)) (*Results, error) {
+	job := &fedJob{
+		res:    &Results{Outcomes: make([]*Outcome, len(points))},
+		total:  len(points),
+		onProg: onProgress,
+		doneCh: make(chan struct{}),
+	}
+	job.res.Stats.Points = len(points)
+
+	// Resolve keys off the lock (hashing is CPU work), then classify.
+	keys := make([]string, len(points))
+	keyErrs := make([]error, len(points))
+	for i, pt := range points {
+		keys[i], keyErrs[i] = pt.Key()
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	var missIdx []int
+	for i, pt := range points {
+		if err := keyErrs[i]; err != nil {
+			c.finishLocked(job, i, &Outcome{Point: pt, Err: err.Error()})
+			continue
+		}
+		if r, ok := c.cache.Get(keys[i]); ok {
+			c.finishLocked(job, i, &Outcome{Point: pt, Key: keys[i], Cached: true, Result: r})
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) > 0 {
+		missPts := make([]Point, len(missIdx))
+		for j, i := range missIdx {
+			missPts[j] = points[i]
+		}
+		planner := c.cfg.Planner
+		if n := len(c.workers); n > planner.MinShards {
+			planner.MinShards = n
+		}
+		for _, group := range planner.Plan(missPts) {
+			c.seq++
+			sh := &fedShard{id: fmt.Sprintf("sh-%d", c.seq)}
+			for _, j := range group {
+				i := missIdx[j]
+				sh.units = append(sh.units, workUnit{
+					item: WorkItem{Point: points[i], Key: keys[i]}, jobIdx: i, job: job})
+			}
+			c.pending = append(c.pending, sh)
+		}
+	}
+	done := job.done == job.total
+	c.mu.Unlock()
+
+	if !done {
+		// Wake periodically to reap expired leases even if no worker is
+		// polling (e.g. every worker died: the shard must still fail
+		// over to MaxAttempts exhaustion instead of hanging forever).
+		tick := c.cfg.LeaseTTL / 4
+		if tick < 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+		for waiting := true; waiting; {
+			select {
+			case <-job.doneCh:
+				waiting = false
+			case <-c.quit:
+				return nil, ErrClosed
+			case <-time.After(tick):
+				c.mu.Lock()
+				c.reapLocked(c.cfg.now())
+				c.mu.Unlock()
+			}
+		}
+	}
+
+	if err := c.cache.Save(); err != nil {
+		job.res.SaveErr = err.Error()
+	}
+	return job.res, nil
+}
+
+// finishLocked records one resolved point and publishes progress.
+// Callers hold c.mu, so progress callbacks are serialized with
+// strictly increasing Done counts (the Engine.Run contract).
+func (c *Coordinator) finishLocked(job *fedJob, idx int, o *Outcome) {
+	job.res.Outcomes[idx] = o
+	job.done++
+	st := &job.res.Stats
+	if o.Cached {
+		st.CacheHits++
+	}
+	if o.Err != "" {
+		st.Errors++
+	} else if !o.Cached {
+		st.Simulated++
+	}
+	if job.onProg != nil {
+		job.onProg(Progress{Total: job.total, Done: job.done,
+			CacheHits: st.CacheHits, Errors: st.Errors, Last: o.Point.String()})
+	}
+	if job.done == job.total {
+		close(job.doneCh)
+	}
+}
+
+// reapLocked expires overdue leases: each one's shard is requeued at
+// the front (another worker picks it up next) until MaxAttempts lease
+// grants have been burned, after which the shard's points fail with an
+// error outcome.
+func (c *Coordinator) reapLocked(now time.Time) {
+	for id, ls := range c.leases {
+		if now.Before(ls.deadline) {
+			continue
+		}
+		delete(c.leases, id)
+		if w := c.workers[ls.workerID]; w != nil {
+			w.ActiveLeases--
+			w.Expiries++
+		}
+		c.abandonOrRequeueLocked(ls.shard)
+	}
+	for id, w := range c.workers {
+		if w.ActiveLeases == 0 && now.Sub(w.LastSeen) > c.workerExpiry() {
+			delete(c.workers, id)
+		}
+	}
+}
+
+// workerExpiry is how long a silent, lease-free worker stays in the
+// registry. Workers heartbeat while idle and touch LastSeen on every
+// lease call, so only the genuinely departed age out — keeping the
+// registry (and the MinShards worker count it feeds) honest on a
+// long-lived coordinator.
+func (c *Coordinator) workerExpiry() time.Duration {
+	return 10 * c.cfg.LeaseTTL
+}
+
+// abandonOrRequeueLocked gives a recovered shard back to the queue, or
+// fails its points once MaxAttempts lease grants have been burned.
+func (c *Coordinator) abandonOrRequeueLocked(sh *fedShard) {
+	if sh.attempt >= c.cfg.MaxAttempts {
+		msg := fmt.Sprintf("sweep: shard %s abandoned after %d burned leases", sh.id, sh.attempt)
+		for _, u := range sh.units {
+			c.finishLocked(u.job, u.jobIdx, &Outcome{Point: u.item.Point, Key: u.item.Key, Err: msg})
+		}
+		return
+	}
+	c.pending = append([]*fedShard{sh}, c.pending...)
+}
+
+// RegisterWorker adds a worker to the registry and names it.
+func (c *Coordinator) RegisterWorker(name string) (RegisterReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	id := fmt.Sprintf("wk-%d", c.seq)
+	if name == "" {
+		name = id
+	}
+	c.workers[id] = &workerState{WorkerStatus{ID: id, Name: name, LastSeen: c.cfg.now()}}
+	c.workerIDs = append(c.workerIDs, id)
+	return RegisterReply{WorkerID: id, LeaseTTL: c.cfg.LeaseTTL}, nil
+}
+
+// HeartbeatWorker refreshes a worker's liveness timestamp.
+func (c *Coordinator) HeartbeatWorker(workerID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[workerID]
+	if w == nil {
+		return ErrUnknownWorker
+	}
+	w.LastSeen = c.cfg.now()
+	return nil
+}
+
+// LeaseShard hands the requesting worker the next pending shard, or
+// nil when the queue is empty. Points that landed in the shared cache
+// since planning (another job finished them) are stripped from the
+// lease and served as cache hits on the spot — the queue never makes a
+// worker resimulate a known result.
+func (c *Coordinator) LeaseShard(workerID string) (*LeaseGrant, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.now()
+	c.reapLocked(now)
+	w := c.workers[workerID]
+	if w == nil {
+		return nil, ErrUnknownWorker
+	}
+	w.LastSeen = now
+
+	for len(c.pending) > 0 {
+		sh := c.pending[0]
+		c.pending = c.pending[1:]
+
+		kept := sh.units[:0]
+		for _, u := range sh.units {
+			if r, ok := c.cache.Get(u.item.Key); ok {
+				c.finishLocked(u.job, u.jobIdx,
+					&Outcome{Point: u.item.Point, Key: u.item.Key, Cached: true, Result: r})
+				continue
+			}
+			kept = append(kept, u)
+		}
+		sh.units = kept
+		if len(sh.units) == 0 {
+			continue
+		}
+
+		sh.attempt++
+		c.seq++
+		ls := &fedLease{
+			id:       fmt.Sprintf("ls-%d", c.seq),
+			workerID: workerID,
+			shard:    sh,
+			deadline: now.Add(c.cfg.LeaseTTL),
+		}
+		c.leases[ls.id] = ls
+		w.ActiveLeases++
+		grant := &LeaseGrant{
+			LeaseID: ls.id, ShardID: sh.id, Attempt: sh.attempt, TTL: c.cfg.LeaseTTL,
+			Items: make([]WorkItem, len(sh.units)),
+		}
+		for i, u := range sh.units {
+			grant.Items[i] = u.item
+		}
+		return grant, nil
+	}
+	return nil, nil
+}
+
+// RenewLease extends a held lease by one TTL.
+func (c *Coordinator) RenewLease(leaseID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(c.cfg.now())
+	ls := c.leases[leaseID]
+	if ls == nil {
+		return ErrStaleLease
+	}
+	ls.deadline = c.cfg.now().Add(c.cfg.LeaseTTL)
+	return nil
+}
+
+// CompleteShard accepts a worker's results for a leased shard. The
+// payload is verified against the plan before anything is believed:
+// outcome count and order must match the lease, every reported key
+// must equal the planned content key, and every outcome must carry
+// exactly one of a result or an error. Any violation rejects the
+// whole payload with ErrBadPayload and requeues the shard immediately
+// — a corrupt or malicious report can cost time, never correctness,
+// and the cache is never poisoned.
+func (c *Coordinator) CompleteShard(req *CompleteRequest) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(c.cfg.now())
+	ls := c.leases[req.LeaseID]
+	if ls == nil {
+		return ErrStaleLease
+	}
+	if ls.workerID != req.WorkerID {
+		return ErrWrongWorker
+	}
+	sh := ls.shard
+
+	verify := func() error {
+		if len(req.Outcomes) != len(sh.units) {
+			return fmt.Errorf("%w: %d outcomes for %d leased points",
+				ErrBadPayload, len(req.Outcomes), len(sh.units))
+		}
+		for i, o := range req.Outcomes {
+			if o.Key != sh.units[i].item.Key {
+				return fmt.Errorf("%w: outcome %d key %.12s… does not match planned key %.12s…",
+					ErrBadPayload, i, o.Key, sh.units[i].item.Key)
+			}
+			if (o.Err == "") == (o.Result == nil) {
+				return fmt.Errorf("%w: outcome %d must carry exactly one of result or error",
+					ErrBadPayload, i)
+			}
+		}
+		return nil
+	}
+	if err := verify(); err != nil {
+		// Burn this lease and requeue at the front so a healthy worker
+		// retries without waiting out the TTL — under the same
+		// MaxAttempts budget as expiry, so a worker that persistently
+		// reports garbage cannot cycle the shard forever.
+		delete(c.leases, req.LeaseID)
+		if w := c.workers[ls.workerID]; w != nil {
+			w.ActiveLeases--
+		}
+		c.abandonOrRequeueLocked(sh)
+		return err
+	}
+
+	delete(c.leases, req.LeaseID)
+	if w := c.workers[ls.workerID]; w != nil {
+		w.ActiveLeases--
+		w.ShardsDone++
+		w.PointsDone += len(sh.units)
+	}
+	for i, u := range sh.units {
+		o := req.Outcomes[i]
+		if o.Err == "" {
+			c.cache.Put(u.item.Key, o.Result)
+		}
+		c.finishLocked(u.job, u.jobIdx,
+			&Outcome{Point: u.item.Point, Key: u.item.Key, Result: o.Result, Err: o.Err})
+	}
+	return nil
+}
+
+// Status snapshots the queue and worker registry.
+func (c *Coordinator) Status() FederationStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(c.cfg.now())
+	st := FederationStatus{
+		PendingShards: len(c.pending),
+		ActiveLeases:  len(c.leases),
+	}
+	for _, sh := range c.pending {
+		st.PendingPoints += len(sh.units)
+	}
+	live := c.workerIDs[:0]
+	for _, id := range c.workerIDs {
+		if w, ok := c.workers[id]; ok {
+			live = append(live, id)
+			st.Workers = append(st.Workers, w.WorkerStatus)
+		}
+	}
+	c.workerIDs = live
+	return st
+}

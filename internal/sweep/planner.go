@@ -1,0 +1,111 @@
+package sweep
+
+import "sort"
+
+// ShardPlanner batches a list of points into cost-balanced shards for
+// federated execution. Points are not all equal: a simulated cycle
+// costs roughly the same everywhere, but cycles per instruction vary by
+// an order of magnitude across the corpus — an MLP-starved pointer
+// chase like listwalk (IPC ≈ 0.1) burns ~10× the simulator time of a
+// well-behaved kernel at the same scale. Equal-count batching would
+// let one listwalk-heavy shard straggle the whole sweep, so the
+// planner balances estimated cost with an LPT (longest-processing-time
+// first) assignment instead.
+type ShardPlanner struct {
+	// MaxPoints caps a shard's size (0 = 24). The cap bounds the work
+	// lost to a lease expiry and the size of a completion payload.
+	MaxPoints int
+	// MinShards forces at least this many shards when there are enough
+	// points, so every attached worker gets work even when the grid
+	// would fit one batch (0 = 1). The coordinator passes its live
+	// worker count here.
+	MinShards int
+}
+
+// relCost is the planner's rough cycles-per-instruction estimate by
+// workload, normalized to a well-predicted cache-friendly kernel ≈ 1.
+// Only load balance depends on these numbers — correctness never does —
+// so coarse buckets are enough.
+var relCost = map[string]float64{
+	"listwalk": 9,   // serial pointer chase, IPC pinned near 0.1
+	"hashjoin": 3,   // L1-hostile probe loops
+	"triad":    2,   // bandwidth-bound streaming
+	"qsort":    1.5, // predictor-hostile branches
+	"mixmode":  1.5,
+}
+
+// EstimateCost scores one point's relative simulation time: scale ×
+// workload weight, with the invariant checker costing extra.
+func EstimateCost(p Point) float64 {
+	w := relCost[p.Workload]
+	if w == 0 {
+		w = 1
+	}
+	scale := p.Scale
+	if scale <= 0 {
+		scale = DefaultScale
+	}
+	cost := w * float64(scale)
+	if p.Check {
+		cost *= 1.6
+	}
+	return cost
+}
+
+// Plan partitions the points into cost-balanced shards, returned as
+// groups of indices into pts. Every index appears in exactly one
+// shard; shards and their contents are deterministic for a given
+// input. Expensive points are spread across shards (LPT greedy onto
+// the least-loaded shard), and indices within a shard stay in input
+// order so completion reports read like the grid expansion.
+func (pl ShardPlanner) Plan(pts []Point) [][]int {
+	if len(pts) == 0 {
+		return nil
+	}
+	maxPts := pl.MaxPoints
+	if maxPts <= 0 {
+		maxPts = 24
+	}
+	k := (len(pts) + maxPts - 1) / maxPts
+	if pl.MinShards > k {
+		k = pl.MinShards
+	}
+	if k > len(pts) {
+		k = len(pts)
+	}
+
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	cost := make([]float64, len(pts))
+	for i, p := range pts {
+		cost[i] = EstimateCost(p)
+	}
+	// Costliest first; ties broken by index for determinism.
+	sort.SliceStable(order, func(a, b int) bool {
+		return cost[order[a]] > cost[order[b]]
+	})
+
+	shards := make([][]int, k)
+	load := make([]float64, k)
+	for _, idx := range order {
+		// Least-loaded shard with room; ties go to the lowest shard.
+		// k*maxPts >= len(pts), so a shard with room always exists.
+		best := -1
+		for s := 0; s < k; s++ {
+			if len(shards[s]) >= maxPts {
+				continue
+			}
+			if best == -1 || load[s] < load[best] {
+				best = s
+			}
+		}
+		shards[best] = append(shards[best], idx)
+		load[best] += cost[idx]
+	}
+	for _, sh := range shards {
+		sort.Ints(sh)
+	}
+	return shards
+}

@@ -1,0 +1,161 @@
+package sweep
+
+import (
+	"testing"
+)
+
+// acceptanceGrid is the 192-point federation acceptance grid (3
+// workloads × 2 policies × 2 sizes × 4 two-valued machine axes), the
+// same shape the CI sweep smoke crosses.
+func acceptanceGrid(scale int) Grid {
+	return Grid{
+		Workloads:   []string{"tomcatv", "go", "listwalk"},
+		Policies:    []string{"conv", "extended"},
+		IntRegs:     []int{40, 48},
+		ROSSizes:    []int{64, 0},
+		IssueWidths: []int{4, 0},
+		LSQSizes:    []int{16, 0},
+		BPredBits:   []int{10, 0},
+		Scale:       scale,
+	}
+}
+
+func shardCost(pts []Point, shard []int) float64 {
+	var c float64
+	for _, i := range shard {
+		c += EstimateCost(pts[i])
+	}
+	return c
+}
+
+// TestPlannerPartition checks the basic contract: every point lands in
+// exactly one shard, shard sizes respect the cap, and output is
+// deterministic.
+func TestPlannerPartition(t *testing.T) {
+	pts := acceptanceGrid(20000).Expand()
+	if len(pts) != 192 {
+		t.Fatalf("acceptance grid expands to %d points, want 192", len(pts))
+	}
+	pl := ShardPlanner{MaxPoints: 16}
+	shards := pl.Plan(pts)
+	if want := 12; len(shards) != want {
+		t.Fatalf("%d shards, want %d", len(shards), want)
+	}
+	seen := make(map[int]bool)
+	for _, sh := range shards {
+		if len(sh) == 0 || len(sh) > 16 {
+			t.Fatalf("shard size %d out of range", len(sh))
+		}
+		for j := 1; j < len(sh); j++ {
+			if sh[j] <= sh[j-1] {
+				t.Fatalf("shard indices not sorted: %v", sh)
+			}
+		}
+		for _, i := range sh {
+			if seen[i] {
+				t.Fatalf("point %d in two shards", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(pts) {
+		t.Fatalf("%d of %d points planned", len(seen), len(pts))
+	}
+
+	again := pl.Plan(pts)
+	for s := range shards {
+		if len(again[s]) != len(shards[s]) {
+			t.Fatalf("plan not deterministic")
+		}
+		for j := range shards[s] {
+			if again[s][j] != shards[s][j] {
+				t.Fatalf("plan not deterministic")
+			}
+		}
+	}
+}
+
+// TestPlannerBalancesCost is the anti-straggler property: listwalk
+// points (~9× the simulation cost) must be spread out, keeping every
+// shard's estimated cost near the mean instead of letting one
+// listwalk-heavy shard run 5× longer than the rest.
+func TestPlannerBalancesCost(t *testing.T) {
+	pts := acceptanceGrid(20000).Expand()
+	shards := ShardPlanner{MaxPoints: 16}.Plan(pts)
+
+	var total float64
+	for _, p := range pts {
+		total += EstimateCost(p)
+	}
+	mean := total / float64(len(shards))
+	for s, sh := range shards {
+		c := shardCost(pts, sh)
+		if c > 1.35*mean || c < 0.65*mean {
+			t.Errorf("shard %d cost %.0f strays from mean %.0f", s, c, mean)
+		}
+	}
+
+	// A naive equal-count split in expansion order would stack all 64
+	// listwalk points into contiguous shards; the planner must not.
+	listwalkPerShard := 0
+	for _, sh := range shards {
+		n := 0
+		for _, i := range sh {
+			if pts[i].Workload == "listwalk" {
+				n++
+			}
+		}
+		if n > listwalkPerShard {
+			listwalkPerShard = n
+		}
+	}
+	// 64 listwalk points over 12 shards ≈ 5.3 if evenly spread.
+	if listwalkPerShard > 8 {
+		t.Errorf("one shard holds %d of 64 listwalk points — stragglers ahoy", listwalkPerShard)
+	}
+}
+
+// TestPlannerMinShards checks worker-count-aware splitting: a grid
+// that fits one batch still splits so every attached worker eats.
+func TestPlannerMinShards(t *testing.T) {
+	pts := Grid{Workloads: []string{"go"}, Policies: []string{"conv"},
+		IntRegs: []int{8, 16, 24, 32, 40, 48}, Scale: 1000}.Expand()
+	if n := len(ShardPlanner{MaxPoints: 24}.Plan(pts)); n != 1 {
+		t.Fatalf("without MinShards: %d shards, want 1", n)
+	}
+	shards := ShardPlanner{MaxPoints: 24, MinShards: 3}.Plan(pts)
+	if len(shards) != 3 {
+		t.Fatalf("with MinShards 3: %d shards", len(shards))
+	}
+	for _, sh := range shards {
+		if len(sh) == 0 {
+			t.Fatalf("empty shard in %v", shards)
+		}
+	}
+
+	// MinShards beyond the point count degrades to one point per shard.
+	if n := len(ShardPlanner{MinShards: 100}.Plan(pts[:2])); n != 2 {
+		t.Fatalf("MinShards > points: %d shards, want 2", n)
+	}
+	if (ShardPlanner{}).Plan(nil) != nil {
+		t.Fatal("empty plan not nil")
+	}
+}
+
+// TestEstimateCost pins the relative ordering the balance rests on.
+func TestEstimateCost(t *testing.T) {
+	base := Point{Workload: "tomcatv", Scale: 20000}
+	lw := Point{Workload: "listwalk", Scale: 20000}
+	if EstimateCost(lw) <= 4*EstimateCost(base) {
+		t.Errorf("listwalk not costed as a straggler risk: %f vs %f",
+			EstimateCost(lw), EstimateCost(base))
+	}
+	checked := base
+	checked.Check = true
+	if EstimateCost(checked) <= EstimateCost(base) {
+		t.Errorf("invariant checking not costed")
+	}
+	if EstimateCost(Point{Workload: "tomcatv"}) != EstimateCost(Point{Workload: "tomcatv", Scale: DefaultScale}) {
+		t.Errorf("zero scale must cost like the default scale")
+	}
+}

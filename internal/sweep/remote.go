@@ -1,0 +1,275 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"earlyrelease/internal/pipeline"
+)
+
+// Client talks to a sweepd coordinator. It serves three roles:
+// submitting grids for federated execution (RunGrid), pulling leased
+// shards as a remote worker (the WorkSource methods, used by sweepd
+// -role worker), and backing a RemoteCache tier. All state lives on
+// the coordinator; a Client is just a base URL and an http.Client.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a coordinator client for a base URL like
+// "http://host:8080" (a trailing slash is tolerated).
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{Timeout: 60 * time.Second}}
+}
+
+// apiError decodes sweepd's {"error": ...} body into a Go error.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("sweep: coordinator: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("sweep: coordinator: HTTP %d", resp.StatusCode)
+}
+
+func (c *Client) postJSON(path string, in any, out any) error {
+	blob, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// --- grid submission ---------------------------------------------------
+
+// SubmitGrid posts a grid and returns the sweep id.
+func (c *Client) SubmitGrid(g Grid) (string, error) {
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := c.postJSON("/sweep", g, &out); err != nil {
+		return "", err
+	}
+	if out.ID == "" {
+		return "", fmt.Errorf("sweep: coordinator returned no sweep id")
+	}
+	return out.ID, nil
+}
+
+// WaitSweep polls a submitted sweep until it completes, forwarding
+// progress snapshots to onProgress as they change.
+func (c *Client) WaitSweep(id string, onProgress func(Progress)) (*Results, error) {
+	var last Progress
+	last.Done = -1
+	for {
+		resp, err := c.hc.Get(c.base + "/sweep/" + id)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, apiError(resp)
+		}
+		var job struct {
+			State    string   `json:"state"`
+			Progress Progress `json:"progress"`
+			Results  *Results `json:"results"`
+			Err      string   `json:"err"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if onProgress != nil && job.Progress != last {
+			last = job.Progress
+			onProgress(job.Progress)
+		}
+		if job.State == "done" {
+			if job.Err != "" {
+				return job.Results, fmt.Errorf("sweep: remote sweep %s: %s", id, job.Err)
+			}
+			if job.Results == nil {
+				return nil, fmt.Errorf("sweep: remote sweep %s finished without results", id)
+			}
+			return job.Results, nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// RunGrid submits the grid for federated execution and waits for the
+// results — a drop-in remote counterpart of Engine.Run. Results decode
+// from the same JSON the cache persists, so they are byte-identical to
+// a local run of the same points.
+func (c *Client) RunGrid(g Grid, onProgress func(Progress)) (*Results, error) {
+	id, err := c.SubmitGrid(g)
+	if err != nil {
+		return nil, err
+	}
+	return c.WaitSweep(id, onProgress)
+}
+
+// --- WorkSource over HTTP ----------------------------------------------
+
+// RegisterWorker implements WorkSource.
+func (c *Client) RegisterWorker(name string) (RegisterReply, error) {
+	var out struct {
+		WorkerID   string `json:"worker_id"`
+		LeaseTTLMS int64  `json:"lease_ttl_ms"`
+	}
+	err := c.postJSON("/workers/register", map[string]string{"name": name}, &out)
+	if err != nil {
+		return RegisterReply{}, err
+	}
+	return RegisterReply{WorkerID: out.WorkerID,
+		LeaseTTL: time.Duration(out.LeaseTTLMS) * time.Millisecond}, nil
+}
+
+// HeartbeatWorker implements WorkSource.
+func (c *Client) HeartbeatWorker(workerID string) error {
+	return c.postJSON("/workers/heartbeat", map[string]string{"worker_id": workerID}, nil)
+}
+
+// LeaseShard implements WorkSource: 204 means an empty queue, 404 an
+// unknown worker (mapped to ErrUnknownWorker so the loop re-registers),
+// and a 200 body is a wire-codec LeaseGrant.
+func (c *Client) LeaseShard(workerID string) (*LeaseGrant, error) {
+	blob, _ := json.Marshal(map[string]string{"worker_id": workerID})
+	resp, err := c.hc.Post(c.base+"/work/lease", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return nil, ErrUnknownWorker
+	case http.StatusOK:
+	default:
+		return nil, apiError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	m, err := DecodeMessage(data)
+	if err != nil {
+		return nil, err
+	}
+	grant, ok := m.(*LeaseGrant)
+	if !ok {
+		return nil, fmt.Errorf("sweep: lease response decoded to %T", m)
+	}
+	return grant, nil
+}
+
+// RenewLease implements WorkSource.
+func (c *Client) RenewLease(leaseID string) error {
+	return c.postJSON("/work/renew", map[string]string{"lease_id": leaseID}, nil)
+}
+
+// CompleteShard implements WorkSource, posting the wire-codec frame.
+func (c *Client) CompleteShard(req *CompleteRequest) error {
+	frame, err := EncodeComplete(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+"/work/complete", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// --- remote cache tier --------------------------------------------------
+
+// RemoteCache is the HTTP backend of a Cache's remote tier: results
+// are fetched and published by their SHA-256 content key against a
+// coordinator's shared cache (GET/PUT /cache/{key}).
+type RemoteCache struct {
+	c *Client
+}
+
+// NewRemoteCache builds a remote tier against a coordinator base URL.
+func NewRemoteCache(base string) *RemoteCache {
+	rc := &RemoteCache{c: NewClient(base)}
+	rc.c.hc.Timeout = 15 * time.Second
+	return rc
+}
+
+// Get fetches one result by content key; ok=false on a clean 404.
+func (rc *RemoteCache) Get(key string) (*pipeline.Result, bool, error) {
+	resp, err := rc.c.hc.Get(rc.c.base + "/cache/" + key)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	case http.StatusOK:
+		r := &pipeline.Result{}
+		if err := json.NewDecoder(resp.Body).Decode(r); err != nil {
+			return nil, false, err
+		}
+		return r, true, nil
+	}
+	return nil, false, apiError(resp)
+}
+
+// Put publishes a locally simulated result under its content key. The
+// point travels along so the remote end can recompute and verify the
+// key before accepting — a client can waste its own time, but it
+// cannot poison the shared cache with a mislabeled result.
+func (rc *RemoteCache) Put(pt Point, key string, r *pipeline.Result) error {
+	blob, err := json.Marshal(struct {
+		Point  Point            `json:"point"`
+		Result *pipeline.Result `json:"result"`
+	}{pt, r})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, rc.c.base+"/cache/"+key, bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rc.c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	resp.Body.Close()
+	return nil
+}

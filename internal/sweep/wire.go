@@ -1,0 +1,320 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"earlyrelease/internal/pipeline"
+)
+
+// The shard wire codec frames the two federation messages — a lease
+// grant handed to a worker and the worker's completion report — in a
+// compact binary envelope:
+//
+//	magic "ERSW" | version 1 | type byte | payload | sha256[:8]
+//
+// Strings and JSON blobs are uvarint-length-prefixed; the trailing
+// checksum covers everything before it, so a truncated or bit-flipped
+// message is rejected before any field is believed. The decoder is
+// fully bounds-checked (FuzzShardCodec keeps it panic-free) and
+// rejects trailing junk, so encode∘decode is the identity on valid
+// messages.
+
+const (
+	wireVersion  = 1
+	msgLease     = 1
+	msgComplete  = 2
+	checksumLen  = 8
+	maxLeaseTTL  = int64(1) << 40 // ms; ~35 years, rejects absurd values
+	maxWireCount = 1 << 20        // items per message, pre-bounded by size
+)
+
+var wireMagic = [4]byte{'E', 'R', 'S', 'W'}
+
+// WorkItem is one leased simulation: the point to run and the content
+// key the coordinator planned for it. Workers must report results
+// under exactly this key — the coordinator verifies it on completion.
+type WorkItem struct {
+	Point Point  `json:"point"`
+	Key   string `json:"key"`
+}
+
+// LeaseGrant is the coordinator's answer to a lease request: a shard
+// of work items owned by the worker until TTL elapses (renewable).
+type LeaseGrant struct {
+	LeaseID string
+	ShardID string
+	Attempt int           // 1 on first lease, +1 per expiry requeue
+	TTL     time.Duration // whole milliseconds on the wire
+	Items   []WorkItem
+}
+
+// WireOutcome is one point's completion report: the planned key plus
+// either a result or a per-point error (never both, never neither).
+type WireOutcome struct {
+	Key    string
+	Err    string
+	Result *pipeline.Result
+}
+
+// CompleteRequest reports a whole leased shard, outcomes in item order.
+type CompleteRequest struct {
+	LeaseID  string
+	WorkerID string
+	Outcomes []WireOutcome
+}
+
+type wbuf struct{ b []byte }
+
+func (w *wbuf) uvarint(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+func (w *wbuf) bytes(p []byte)   { w.uvarint(uint64(len(p))); w.b = append(w.b, p...) }
+func (w *wbuf) str(s string)     { w.uvarint(uint64(len(s))); w.b = append(w.b, s...) }
+func (w *wbuf) json(v any) error {
+	if v == nil {
+		w.uvarint(0)
+		return nil
+	}
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	w.bytes(blob)
+	return nil
+}
+
+var errTruncated = errors.New("sweep: wire message truncated")
+
+type rbuf struct {
+	b   []byte
+	off int
+}
+
+func (r *rbuf) rem() int { return len(r.b) - r.off }
+
+func (r *rbuf) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *rbuf) take(n uint64) ([]byte, error) {
+	if n > uint64(r.rem()) {
+		return nil, errTruncated
+	}
+	p := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return p, nil
+}
+
+func (r *rbuf) lenBytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	return r.take(n)
+}
+
+func (r *rbuf) str() (string, error) {
+	p, err := r.lenBytes()
+	return string(p), err
+}
+
+// count reads an item count and bounds it by the bytes remaining (each
+// item costs at least minItemBytes), so a hostile header cannot force a
+// huge allocation.
+func (r *rbuf) count(minItemBytes int) (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxWireCount || n*uint64(minItemBytes) > uint64(r.rem()) {
+		return 0, fmt.Errorf("sweep: wire count %d exceeds message size", n)
+	}
+	return int(n), nil
+}
+
+func encodeEnvelope(typ byte, payload func(*wbuf) error) ([]byte, error) {
+	w := &wbuf{b: make([]byte, 0, 256)}
+	w.b = append(w.b, wireMagic[:]...)
+	w.b = append(w.b, wireVersion, typ)
+	if err := payload(w); err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(w.b)
+	return append(w.b, sum[:checksumLen]...), nil
+}
+
+// EncodeLease frames a lease grant for the wire.
+func EncodeLease(l *LeaseGrant) ([]byte, error) {
+	return encodeEnvelope(msgLease, func(w *wbuf) error {
+		w.str(l.LeaseID)
+		w.str(l.ShardID)
+		w.uvarint(uint64(l.Attempt))
+		w.uvarint(uint64(l.TTL / time.Millisecond))
+		w.uvarint(uint64(len(l.Items)))
+		for _, it := range l.Items {
+			w.str(it.Key)
+			if err := w.json(it.Point); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// EncodeComplete frames a completion report for the wire.
+func EncodeComplete(c *CompleteRequest) ([]byte, error) {
+	return encodeEnvelope(msgComplete, func(w *wbuf) error {
+		w.str(c.LeaseID)
+		w.str(c.WorkerID)
+		w.uvarint(uint64(len(c.Outcomes)))
+		for _, o := range c.Outcomes {
+			w.str(o.Key)
+			w.str(o.Err)
+			if o.Result == nil {
+				w.uvarint(0)
+				continue
+			}
+			if err := w.json(o.Result); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// EncodeMessage frames either message type.
+func EncodeMessage(m any) ([]byte, error) {
+	switch m := m.(type) {
+	case *LeaseGrant:
+		return EncodeLease(m)
+	case *CompleteRequest:
+		return EncodeComplete(m)
+	}
+	return nil, fmt.Errorf("sweep: cannot encode %T", m)
+}
+
+// DecodeMessage validates the envelope (magic, version, checksum) and
+// decodes the payload into a *LeaseGrant or *CompleteRequest. It never
+// panics on hostile input; any structural violation is an error.
+func DecodeMessage(data []byte) (any, error) {
+	if len(data) < len(wireMagic)+2+checksumLen {
+		return nil, errTruncated
+	}
+	if [4]byte(data[:4]) != wireMagic {
+		return nil, errors.New("sweep: bad wire magic")
+	}
+	if data[4] != wireVersion {
+		return nil, fmt.Errorf("sweep: unsupported wire version %d", data[4])
+	}
+	body, tail := data[:len(data)-checksumLen], data[len(data)-checksumLen:]
+	sum := sha256.Sum256(body)
+	if [checksumLen]byte(tail) != [checksumLen]byte(sum[:checksumLen]) {
+		return nil, errors.New("sweep: wire checksum mismatch (corrupt message)")
+	}
+	payload := body[6:]
+	switch data[5] {
+	case msgLease:
+		return decodeLeasePayload(payload)
+	case msgComplete:
+		return decodeCompletePayload(payload)
+	}
+	return nil, fmt.Errorf("sweep: unknown wire message type %d", data[5])
+}
+
+func decodeLeasePayload(payload []byte) (*LeaseGrant, error) {
+	r := &rbuf{b: payload}
+	l := &LeaseGrant{}
+	var err error
+	if l.LeaseID, err = r.str(); err != nil {
+		return nil, err
+	}
+	if l.ShardID, err = r.str(); err != nil {
+		return nil, err
+	}
+	attempt, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if attempt > 1<<20 {
+		return nil, fmt.Errorf("sweep: wire attempt %d out of range", attempt)
+	}
+	l.Attempt = int(attempt)
+	ttlMS, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if int64(ttlMS) < 0 || int64(ttlMS) > maxLeaseTTL {
+		return nil, fmt.Errorf("sweep: wire lease TTL %dms out of range", ttlMS)
+	}
+	l.TTL = time.Duration(ttlMS) * time.Millisecond
+	n, err := r.count(2) // key len + point len, at least
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var it WorkItem
+		if it.Key, err = r.str(); err != nil {
+			return nil, err
+		}
+		blob, err := r.lenBytes()
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(blob, &it.Point); err != nil {
+			return nil, fmt.Errorf("sweep: wire point %d: %w", i, err)
+		}
+		l.Items = append(l.Items, it)
+	}
+	if r.rem() != 0 {
+		return nil, errors.New("sweep: trailing bytes after lease payload")
+	}
+	return l, nil
+}
+
+func decodeCompletePayload(payload []byte) (*CompleteRequest, error) {
+	r := &rbuf{b: payload}
+	c := &CompleteRequest{}
+	var err error
+	if c.LeaseID, err = r.str(); err != nil {
+		return nil, err
+	}
+	if c.WorkerID, err = r.str(); err != nil {
+		return nil, err
+	}
+	n, err := r.count(3) // key + err + result lengths
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var o WireOutcome
+		if o.Key, err = r.str(); err != nil {
+			return nil, err
+		}
+		if o.Err, err = r.str(); err != nil {
+			return nil, err
+		}
+		blob, err := r.lenBytes()
+		if err != nil {
+			return nil, err
+		}
+		if len(blob) > 0 {
+			o.Result = &pipeline.Result{}
+			if err := json.Unmarshal(blob, o.Result); err != nil {
+				return nil, fmt.Errorf("sweep: wire result %d: %w", i, err)
+			}
+		}
+		c.Outcomes = append(c.Outcomes, o)
+	}
+	if r.rem() != 0 {
+		return nil, errors.New("sweep: trailing bytes after complete payload")
+	}
+	return c, nil
+}
