@@ -16,6 +16,12 @@
 // and plots per-axis IPC and early-release-rate curves. It is not part
 // of -all: its grid is several times the size of the whole paper.
 //
+// -frontier re-derives the §4.4 energy balance as a searched Pareto
+// frontier (cmd/explore's engine): one hill-climb per policy over the
+// int×fp sizing space, then the equal-IPC energy pairing between the
+// conventional and extended frontiers. Tune with -frontier-budget and
+// -frontier-seed; also not part of -all.
+//
 // Use -scale to trade fidelity for time and -quick for a fast smoke run.
 // With -cache FILE, results persist across runs: a repeated invocation
 // only simulates points whose configuration changed. -stats-json FILE
@@ -51,6 +57,10 @@ func main() {
 		table4  = flag.Bool("table4", false, "Table 4 (implies -fig11)")
 		sens    = flag.String("sensitivity", "", "machine-model sensitivity axes: \"all\" or comma list (ros,issue,lsq,...)")
 		sensWs  = flag.String("sens-workloads", "", "workloads for -sensitivity (empty = paper suite)")
+		front   = flag.Bool("frontier", false, "searched §4.4 energy balance (Pareto frontier per policy)")
+		frontB  = flag.Int("frontier-budget", 60, "candidate evaluations per policy for -frontier")
+		frontS  = flag.Int64("frontier-seed", 1, "search seed for -frontier")
+		frontWs = flag.String("frontier-workloads", "", "workloads for -frontier (empty = paper suite)")
 		scale   = flag.Int("scale", 300_000, "dynamic instructions per workload")
 		quick   = flag.Bool("quick", false, "smaller scale and size axis")
 		check   = flag.Bool("check", false, "enable invariant checking")
@@ -87,7 +97,8 @@ func main() {
 		opt.Scale = 60_000
 		sizes = []int{40, 48, 64, 80, 96, 128, 160}
 	}
-	if !(*all || *fig3 || *sec33 || *fig9 || *sec44 || *fig10 || *fig11 || *table1 || *table4 || *sens != "") {
+	if !(*all || *fig3 || *sec33 || *fig9 || *sec44 || *fig10 || *fig11 || *table1 || *table4 ||
+		*sens != "" || *front) {
 		*all = true
 	}
 
@@ -138,6 +149,20 @@ func main() {
 			}
 		}
 		res, err := experiments.Sensitivity(opt, strings.Split(*sens, ","), ws)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+	}
+
+	if *front {
+		var ws []string
+		if *frontWs != "" {
+			for _, w := range strings.Split(*frontWs, ",") {
+				ws = append(ws, strings.TrimSpace(w))
+			}
+		}
+		res, err := experiments.Frontier(opt, *frontB, *frontS, ws)
 		if err != nil {
 			log.Fatal(err)
 		}

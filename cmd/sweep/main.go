@@ -35,35 +35,12 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strconv"
 	"strings"
 
+	"earlyrelease/internal/search"
 	"earlyrelease/internal/stats"
 	"earlyrelease/internal/sweep"
 )
-
-func splitList(s string) []string {
-	if s == "" {
-		return nil
-	}
-	parts := strings.Split(s, ",")
-	for i := range parts {
-		parts[i] = strings.TrimSpace(parts[i])
-	}
-	return parts
-}
-
-func splitInts(s string) ([]int, error) {
-	var out []int
-	for _, p := range splitList(s) {
-		v, err := strconv.Atoi(p)
-		if err != nil {
-			return nil, fmt.Errorf("bad size %q", p)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
 
 // machineCol summarizes a point's machine-model overrides for the
 // result table ("table2" when every axis sits at the baseline).
@@ -103,17 +80,9 @@ func main() {
 	axisVals := map[string][]int{}
 	flag.Func("axis", "machine-model axis as name=v1,v2,... (repeatable; 0 = Table 2 baseline)",
 		func(s string) error {
-			name, list, ok := strings.Cut(s, "=")
-			if !ok {
-				return fmt.Errorf("want name=v1,v2,..., got %q", s)
-			}
-			name = strings.TrimSpace(name)
-			if _, err := sweep.AxisByName(name); err != nil {
+			name, vals, err := sweep.ParseAxisFlag(s)
+			if err != nil {
 				return err
-			}
-			vals, err := splitInts(list)
-			if err != nil || len(vals) == 0 {
-				return fmt.Errorf("bad values for axis %q: %q", name, list)
 			}
 			axisVals[name] = append(axisVals[name], vals...)
 			return nil
@@ -122,22 +91,23 @@ func main() {
 
 	if *listAxes {
 		for _, ax := range sweep.MachineAxes() {
-			fmt.Printf("%-10s %s (Table 2: %d)\n", ax.Name, ax.Doc, ax.Baseline)
+			fmt.Printf("%-10s %s (Table 2: %d; explore default: %v)\n",
+				ax.Name, ax.Doc, ax.Baseline, search.DefaultAxisValues(ax))
 		}
 		return
 	}
 
-	intRegs, err := splitInts(*intRegsF)
+	intRegs, err := sweep.SplitInts(*intRegsF)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fpRegs, err := splitInts(*fpRegsF)
+	fpRegs, err := sweep.SplitInts(*fpRegsF)
 	if err != nil {
 		log.Fatal(err)
 	}
 	g := sweep.Grid{
-		Workloads: splitList(*workloadsF),
-		Policies:  splitList(*policiesF),
+		Workloads: sweep.SplitList(*workloadsF),
+		Policies:  sweep.SplitList(*policiesF),
 		IntRegs:   intRegs,
 		FPRegs:    fpRegs,
 		Scale:     *scale,
@@ -202,7 +172,11 @@ func main() {
 		enc.SetIndent("", "  ")
 		enc.Encode(res)
 	} else {
-		t := stats.NewTable("workload", "policy", "int+fp", "machine", "IPC", "cycles", "source")
+		// The power columns come from the shared derived-metrics
+		// helper (sweep.Derive), the same model the explorer's
+		// objectives and the sensitivity driver use.
+		t := stats.NewTable("workload", "policy", "int+fp", "machine", "IPC",
+			"E/acc (pJ)", "t/acc (ns)", "cycles", "source")
 		for _, o := range res.Outcomes {
 			src := "run"
 			if o.Cached {
@@ -211,13 +185,16 @@ func main() {
 			if o.Err != "" {
 				t.AddRow(o.Point.Workload, o.Point.Policy,
 					fmt.Sprintf("%d+%d", o.Point.IntRegs, o.Point.FPRegs),
-					machineCol(o.Point), "-", "-", "error: "+o.Err)
+					machineCol(o.Point), "-", "-", "-", "-", "error: "+o.Err)
 				continue
 			}
+			d := sweep.Derive(o.Point, o.Result)
 			t.AddRow(o.Point.Workload, o.Point.Policy,
 				fmt.Sprintf("%d+%d", o.Point.IntRegs, o.Point.FPRegs),
 				machineCol(o.Point),
-				fmt.Sprintf("%.3f", o.Result.IPC),
+				fmt.Sprintf("%.3f", d.IPC),
+				fmt.Sprintf("%.0f", d.EnergyPJ),
+				fmt.Sprintf("%.2f", d.AccessNs),
 				fmt.Sprint(o.Result.Cycles), src)
 		}
 		fmt.Print(t.String())

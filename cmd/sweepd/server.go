@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"earlyrelease/internal/pipeline"
+	"earlyrelease/internal/search"
 	"earlyrelease/internal/sweep"
 )
 
@@ -29,9 +31,18 @@ import (
 //	GET  /sweep/{id}          status, progress and (when done) results
 //	GET  /sweep/{id}/stream   NDJSON progress snapshots until completion
 //	GET  /sweeps              list all submitted sweeps
-//	GET  /axes                machine-model axis schema (names, baselines)
+//	POST /explore             submit a search.Spec, returns {"id": ...}
+//	GET  /explore/{id}        exploration status and (when done) frontier
+//	GET  /explore/{id}/stream NDJSON progress snapshots until completion
+//	GET  /explores            list all submitted explorations
+//	GET  /axes                machine-model axis schema (names, Table 2
+//	                          baselines, explorer default bounds)
 //	GET  /cache               shared cache statistics
 //	GET  /healthz             liveness
+//
+// Explorations (DESIGN.md §4.5) run against this coordinator, so their
+// candidate evaluations shard across the same worker fleet and land in
+// the same content-addressed cache as ordinary sweeps.
 //
 // Federation API (see DESIGN.md §4.3 for the protocol):
 //
@@ -55,10 +66,59 @@ type Server struct {
 	stopWorkers context.CancelFunc
 	workerWG    sync.WaitGroup
 
-	mu     sync.Mutex
-	sweeps map[string]*sweepJob
-	nextID int
-	minID  int // oldest id that may still be retained
+	mu       sync.Mutex
+	sweeps   *jobStore[sweepJob]
+	explores *jobStore[exploreJob]
+}
+
+// jobStore retains one class of submitted jobs (sweeps, explorations)
+// with sequential "{prefix}-{n}" ids, evicting finished jobs
+// oldest-first beyond the retention cap. All methods require the
+// server's lock.
+type jobStore[J any] struct {
+	prefix string
+	done   func(*J) bool
+	jobs   map[string]*J
+	next   int
+	min    int // oldest id that may still be retained
+}
+
+func newJobStore[J any](prefix string, done func(*J) bool) *jobStore[J] {
+	return &jobStore[J]{prefix: prefix, done: done, jobs: map[string]*J{}}
+}
+
+// put registers a job, returns its new id, and evicts beyond the cap.
+func (st *jobStore[J]) put(j *J) string {
+	st.next++
+	id := fmt.Sprintf("%s-%d", st.prefix, st.next)
+	st.jobs[id] = j
+	for i := st.min; i <= st.next && len(st.jobs) > maxRetainedSweeps; i++ {
+		oid := fmt.Sprintf("%s-%d", st.prefix, i)
+		if old, ok := st.jobs[oid]; ok {
+			if !st.done(old) {
+				break // never evict past a still-running job
+			}
+			delete(st.jobs, oid)
+		}
+		st.min = i + 1
+	}
+	return id
+}
+
+func (st *jobStore[J]) get(id string) (*J, bool) {
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+// all lists the retained jobs in submission order.
+func (st *jobStore[J]) all() []*J {
+	out := make([]*J, 0, len(st.jobs))
+	for i := 1; i <= st.next; i++ {
+		if j, ok := st.jobs[fmt.Sprintf("%s-%d", st.prefix, i)]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
 }
 
 // maxRetainedSweeps bounds sweepd's job history: finished sweeps beyond
@@ -75,6 +135,18 @@ type sweepJob struct {
 	Progress sweep.Progress `json:"progress"`
 	Results  *sweep.Results `json:"results,omitempty"`
 	Err      string         `json:"err,omitempty"`
+}
+
+// exploreJob tracks one design-space exploration. Evaluation runs on
+// the coordinator (candidate batches shard across the worker fleet);
+// the frontier appears when the job completes.
+type exploreJob struct {
+	ID       string           `json:"id"`
+	State    string           `json:"state"` // "running" or "done"
+	Spec     search.Spec      `json:"spec"`
+	Progress search.Progress  `json:"progress"`
+	Frontier *search.Frontier `json:"frontier,omitempty"`
+	Err      string           `json:"err,omitempty"`
 }
 
 // ServerConfig assembles a coordinator server.
@@ -114,8 +186,9 @@ func NewServerWith(cfg ServerConfig) *Server {
 			MaxAttempts: cfg.MaxAttempts,
 			Planner:     cfg.Planner,
 		}),
-		cache:  cache,
-		sweeps: make(map[string]*sweepJob),
+		cache:    cache,
+		sweeps:   newJobStore("sw", func(j *sweepJob) bool { return j.State == "done" }),
+		explores: newJobStore("ex", func(j *exploreJob) bool { return j.State == "done" }),
 	}
 
 	n := cfg.LocalWorkers
@@ -160,6 +233,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /sweep/{id}", s.handleGet)
 	mux.HandleFunc("GET /sweep/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /sweeps", s.handleList)
+	mux.HandleFunc("POST /explore", s.handleExploreSubmit)
+	mux.HandleFunc("GET /explore/{id}", s.handleExploreGet)
+	mux.HandleFunc("GET /explore/{id}/stream", s.handleExploreStream)
+	mux.HandleFunc("GET /explores", s.handleExploreList)
 	mux.HandleFunc("GET /axes", handleAxes)
 	mux.HandleFunc("GET /cache", s.handleCacheStats)
 	mux.HandleFunc("POST /workers/register", s.handleRegister)
@@ -203,19 +280,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
-	s.nextID++
-	job := &sweepJob{ID: fmt.Sprintf("sw-%d", s.nextID), State: "running", Grid: g}
-	s.sweeps[job.ID] = job
-	for i := s.minID; i <= s.nextID && len(s.sweeps) > maxRetainedSweeps; i++ {
-		id := fmt.Sprintf("sw-%d", i)
-		if old, ok := s.sweeps[id]; ok {
-			if old.State != "done" {
-				break // never evict past a still-running sweep
-			}
-			delete(s.sweeps, id)
-		}
-		s.minID = i + 1
-	}
+	job := &sweepJob{State: "running", Grid: g}
+	job.ID = s.sweeps.put(job)
 	s.mu.Unlock()
 
 	go s.runJob(job, g)
@@ -245,7 +311,7 @@ func (s *Server) runJob(job *sweepJob, g sweep.Grid) {
 func (s *Server) snapshot(id string) (sweepJob, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	job, ok := s.sweeps[id]
+	job, ok := s.sweeps.get(id)
 	if !ok {
 		return sweepJob{}, false
 	}
@@ -261,48 +327,48 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job)
 }
 
-// handleStream writes NDJSON progress snapshots (one per change, at
-// most ~20/s) until the sweep completes, then a final line with state
-// "done". Clients get live progress with plain line-buffered readers —
-// no SSE machinery needed. The handler honors client disconnects on
-// both paths — a write to a gone peer and the idle wait — so an
-// abandoned stream releases its goroutine promptly instead of riding
-// along until the sweep finishes.
-func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	if _, ok := s.snapshot(id); !ok {
-		writeError(w, http.StatusNotFound, "no sweep %q", id)
-		return
-	}
+// streamSnapshots writes NDJSON job snapshots (one per visible change,
+// at most ~20/s) until the job reports state "done", then a final line
+// with that state. Clients get live progress with plain line-buffered
+// readers — no SSE machinery needed. The handler honors client
+// disconnects on both paths — a write to a gone peer and the idle
+// wait — so an abandoned stream releases its goroutine promptly
+// instead of riding along until the job finishes. Both the sweep and
+// exploration streams run on this one loop; snap returns the job's
+// current state and the line payload, or ok=false when the job is
+// unknown (evicted mid-stream ends the stream cleanly).
+func streamSnapshots(w http.ResponseWriter, r *http.Request, snap func() (state string, line any, ok bool)) {
 	ctx := r.Context()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
 	tick := time.NewTicker(50 * time.Millisecond)
 	defer tick.Stop()
-	lastProg := sweep.Progress{Done: -1}
-	lastState := ""
+	var last []byte
 	for {
 		if ctx.Err() != nil {
 			return
 		}
-		job, ok := s.snapshot(id)
+		state, line, ok := snap()
 		if !ok {
 			return
 		}
 		// Emit on any visible change — including the state flip to
 		// "done" after the final progress update, so the stream always
 		// ends with a state:"done" line.
-		if job.Progress != lastProg || job.State != lastState {
-			lastProg, lastState = job.Progress, job.State
-			if err := enc.Encode(map[string]any{"state": job.State, "progress": job.Progress}); err != nil {
-				return // peer is gone; don't wait out the sweep
+		blob, err := json.Marshal(line)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(blob, last) {
+			last = append(last[:0], blob...)
+			if _, err := w.Write(append(blob, '\n')); err != nil {
+				return // peer is gone; don't wait out the job
 			}
 			if flusher != nil {
 				flusher.Flush()
 			}
 		}
-		if job.State == "done" {
+		if state == "done" {
 			return
 		}
 		select {
@@ -313,6 +379,21 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.snapshot(id); !ok {
+		writeError(w, http.StatusNotFound, "no sweep %q", id)
+		return
+	}
+	streamSnapshots(w, r, func() (string, any, bool) {
+		job, ok := s.snapshot(id)
+		if !ok {
+			return "", nil, false
+		}
+		return job.State, map[string]any{"state": job.State, "progress": job.Progress}, true
+	})
+}
+
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	type item struct {
@@ -320,11 +401,10 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		State    string         `json:"state"`
 		Progress sweep.Progress `json:"progress"`
 	}
-	items := make([]item, 0, len(s.sweeps))
-	for i := 1; i <= s.nextID; i++ {
-		if job, ok := s.sweeps[fmt.Sprintf("sw-%d", i)]; ok {
-			items = append(items, item{job.ID, job.State, job.Progress})
-		}
+	jobs := s.sweeps.all()
+	items := make([]item, 0, len(jobs))
+	for _, job := range jobs {
+		items = append(items, item{job.ID, job.State, job.Progress})
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, items)
@@ -334,20 +414,127 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.cache.Stats())
 }
 
-// handleAxes publishes the machine-model axis schema so clients can
-// discover the sweepable dimensions and their Table 2 baselines
-// without hardcoding the grid's field names.
+// --- design-space exploration -------------------------------------------
+
+// handleExploreSubmit accepts a search.Spec and runs it against this
+// coordinator: candidate evaluations are planned into shards and
+// executed by the worker fleet exactly like submitted grids, and every
+// simulated point lands in the shared cache. The spec is normalized
+// (defaults resolved, space validated) before the job is accepted, so
+// a bad spec is a synchronous 400 rather than a failed job.
+func (s *Server) handleExploreSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec search.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad exploration spec: %v", err)
+		return
+	}
+	if err := spec.Normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	job := &exploreJob{State: "running", Spec: spec}
+	job.ID = s.explores.put(job)
+	s.mu.Unlock()
+
+	go s.runExploreJob(job, spec)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": job.ID})
+}
+
+func (s *Server) runExploreJob(job *exploreJob, spec search.Spec) {
+	ex := &search.Explorer{Eval: s.coord}
+	fr, err := ex.Run(spec, func(p search.Progress) {
+		s.mu.Lock()
+		job.Progress = p
+		s.mu.Unlock()
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job.State = "done"
+	job.Frontier = fr
+	if err != nil {
+		job.Err = err.Error()
+	}
+}
+
+func (s *Server) snapshotExplore(id string) (exploreJob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.explores.get(id)
+	if !ok {
+		return exploreJob{}, false
+	}
+	return *job, true
+}
+
+func (s *Server) handleExploreGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.snapshotExplore(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no exploration %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleExploreStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.snapshotExplore(id); !ok {
+		writeError(w, http.StatusNotFound, "no exploration %q", id)
+		return
+	}
+	streamSnapshots(w, r, func() (string, any, bool) {
+		job, ok := s.snapshotExplore(id)
+		if !ok {
+			return "", nil, false
+		}
+		return job.State, map[string]any{"state": job.State, "progress": job.Progress}, true
+	})
+}
+
+func (s *Server) handleExploreList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	type item struct {
+		ID       string          `json:"id"`
+		State    string          `json:"state"`
+		Strategy string          `json:"strategy"`
+		Progress search.Progress `json:"progress"`
+	}
+	jobs := s.explores.all()
+	items := make([]item, 0, len(jobs))
+	for _, job := range jobs {
+		items = append(items, item{job.ID, job.State, job.Spec.Strategy, job.Progress})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, items)
+}
+
+// handleAxes publishes the sweepable-dimension schema so clients can
+// build grids — and exploration Spaces — without hardcoding: each
+// machine axis reports its grid field, Table 2 baseline and the
+// explorer's default bounds, and two register-file entries carry the
+// default size dimension (their "field" is the grid's int_regs /
+// fp_regs axis; the explorer ties FP to int by default).
 func handleAxes(w http.ResponseWriter, r *http.Request) {
 	type axis struct {
-		Name     string `json:"name"`
-		Doc      string `json:"doc"`
-		Baseline int    `json:"baseline"`
-		Field    string `json:"field"` // grid JSON field the axis maps to
+		Name          string `json:"name"`
+		Doc           string `json:"doc"`
+		Baseline      int    `json:"baseline"`
+		Field         string `json:"field"` // grid JSON field the axis maps to
+		ExploreValues []int  `json:"explore_values"`
 	}
 	var axes []axis
 	for _, ax := range sweep.MachineAxes() {
-		axes = append(axes, axis{Name: ax.Name, Doc: ax.Doc, Baseline: ax.Baseline, Field: ax.Field})
+		axes = append(axes, axis{Name: ax.Name, Doc: ax.Doc, Baseline: ax.Baseline,
+			Field: ax.Field, ExploreValues: search.DefaultAxisValues(ax)})
 	}
+	axes = append(axes,
+		axis{Name: "int_regs", Doc: "integer register file size", Baseline: 48,
+			Field: "int_regs", ExploreValues: search.DefaultSizes},
+		axis{Name: "fp_regs", Doc: "FP register file size (explorer default: tied to int)", Baseline: 48,
+			Field: "fp_regs", ExploreValues: search.DefaultSizes})
 	writeJSON(w, http.StatusOK, axes)
 }
 

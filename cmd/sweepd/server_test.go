@@ -172,7 +172,10 @@ func TestMachineAxisGridOverHTTP(t *testing.T) {
 	}
 }
 
-// TestAxesEndpoint checks the machine-axis schema discovery route.
+// TestAxesEndpoint checks the axis schema discovery route: every
+// machine axis plus the two register-file dimensions, each carrying
+// its Table 2 baseline and the explorer's default bounds so remote
+// clients can build a search.Space without hardcoding.
 func TestAxesEndpoint(t *testing.T) {
 	ts, _ := newTestServer(t)
 	resp, err := http.Get(ts.URL + "/axes")
@@ -181,26 +184,48 @@ func TestAxesEndpoint(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var axes []struct {
-		Name     string `json:"name"`
-		Doc      string `json:"doc"`
-		Baseline int    `json:"baseline"`
-		Field    string `json:"field"`
+		Name          string `json:"name"`
+		Doc           string `json:"doc"`
+		Baseline      int    `json:"baseline"`
+		Field         string `json:"field"`
+		ExploreValues []int  `json:"explore_values"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&axes); err != nil {
 		t.Fatal(err)
 	}
-	if len(axes) != len(sweep.MachineAxes()) {
-		t.Fatalf("%d axes served, want %d", len(axes), len(sweep.MachineAxes()))
+	if want := len(sweep.MachineAxes()) + 2; len(axes) != want {
+		t.Fatalf("%d axes served, want %d (machine axes + int/fp regs)", len(axes), want)
 	}
 	fields := map[string]bool{}
 	for _, ax := range axes {
 		if ax.Name == "" || ax.Doc == "" || ax.Baseline <= 0 || ax.Field == "" {
 			t.Errorf("incomplete axis schema: %+v", ax)
 		}
+		if len(ax.ExploreValues) < 2 {
+			t.Errorf("axis %s: no explorer bounds: %+v", ax.Name, ax)
+		}
 		if fields[ax.Field] {
 			t.Errorf("duplicate grid field %q", ax.Field)
 		}
 		fields[ax.Field] = true
+	}
+	for _, name := range []string{"int_regs", "fp_regs"} {
+		if !fields[name] {
+			t.Errorf("register dimension %q missing from /axes", name)
+		}
+	}
+	// Machine-axis bounds must contain the baseline (the explorer's
+	// hill-climb starts there).
+	for _, ax := range axes[:len(sweep.MachineAxes())] {
+		found := false
+		for _, v := range ax.ExploreValues {
+			if v == ax.Baseline {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("axis %s: baseline %d not in explorer bounds %v", ax.Name, ax.Baseline, ax.ExploreValues)
+		}
 	}
 	// The advertised fields round-trip: a grid JSON using each field
 	// name is accepted by POST /sweep.

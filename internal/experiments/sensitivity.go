@@ -38,20 +38,6 @@ type SensitivityResult struct {
 	Axes      []SensitivityAxis
 }
 
-// earlyPerKilo is the early-release rate: releases that happened before
-// the conventional NV-commit point, per 1000 committed instructions.
-func earlyPerKilo(s release.Stats, committed uint64) float64 {
-	if committed == 0 {
-		return 0
-	}
-	early := s.Frees[release.FreeEarlyCommit] +
-		s.Frees[release.FreeEarlyConfirm] +
-		s.Frees[release.FreeImmediate] +
-		s.Frees[release.FreeEager] +
-		s.Frees[release.FreeReuse]
-	return 1000 * float64(early) / float64(committed)
-}
-
 // SensitivityAxes resolves the requested axis names ("" or "all" means
 // every machine axis) in the sweep package's presentation order.
 func SensitivityAxes(names []string) ([]sweep.IntAxis, error) {
@@ -117,8 +103,11 @@ func Sensitivity(opt Options, axisNames, ws []string) (*SensitivityResult, error
 					if r == nil {
 						return nil, fmt.Errorf("axis %s: missing result for %s", ax.Name, pt)
 					}
+					// The early-release rate comes from the shared
+					// derived-metrics helper, so this table, the sweep
+					// CLI and the explorer agree on the definition.
 					ipcs = append(ipcs, r.IPC)
-					rel += earlyPerKilo(r.Release, r.Committed)
+					rel += sweep.EarlyPerKilo(r.Release, r.Committed)
 					n++
 				}
 				curve.IPC[k] = append(curve.IPC[k], stats.HarmonicMean(ipcs))

@@ -1,0 +1,71 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+// The design-space explorer minimizes EnergyPJ/AccessTimeNs as
+// objectives, so the model must be strictly monotonic in the file
+// geometry over the searched range — a plateau or inversion would let
+// a larger file onto the frontier for free — and the §4.4 calibration
+// anchor must hold tightly, or the energy-balance story the frontier
+// reproduces is meaningless.
+
+// TestAccessTimeStrictlyMonotonicInRegs: every +1 register over the
+// Fig 9 range (40–160) strictly increases access time and energy, for
+// both files' port counts.
+func TestPowerStrictlyMonotonicInRegs(t *testing.T) {
+	for _, ports := range []int{IntPorts, FPPorts} {
+		for r := 40; r < 160; r++ {
+			t0 := AccessTimeNs(r, ports, WordBits)
+			t1 := AccessTimeNs(r+1, ports, WordBits)
+			if t1 <= t0 {
+				t.Fatalf("access time not strictly increasing at %d→%d regs (%d ports): %.6f → %.6f",
+					r, r+1, ports, t0, t1)
+			}
+			e0 := EnergyPJ(r, ports, WordBits)
+			e1 := EnergyPJ(r+1, ports, WordBits)
+			if e1 <= e0 {
+				t.Fatalf("energy not strictly increasing at %d→%d regs (%d ports): %.6f → %.6f",
+					r, r+1, ports, e0, e1)
+			}
+		}
+	}
+}
+
+// TestPowerStrictlyMonotonicInPorts: every added port strictly costs
+// time and energy at any file size in the searched range.
+func TestPowerStrictlyMonotonicInPorts(t *testing.T) {
+	for _, regs := range []int{40, 64, 96, 128, 160} {
+		for p := 8; p < 64; p++ {
+			t0 := AccessTimeNs(regs, p, WordBits)
+			t1 := AccessTimeNs(regs, p+1, WordBits)
+			if t1 <= t0 {
+				t.Fatalf("access time not strictly increasing at %d→%d ports (%d regs): %.6f → %.6f",
+					p, p+1, regs, t0, t1)
+			}
+			e0 := EnergyPJ(regs, p, WordBits)
+			e1 := EnergyPJ(regs, p+1, WordBits)
+			if e1 <= e0 {
+				t.Fatalf("energy not strictly increasing at %d→%d ports (%d regs): %.6f → %.6f",
+					p, p+1, regs, e0, e1)
+			}
+		}
+	}
+}
+
+// TestEnergyBalanceAnchorTight: the §4.4 anchor — Econv(RF64+RF79) ≈
+// Eearly(RF56+RF72 + 2 LUs Tables) — holds within 1%. The frontier
+// objectives inherit this calibration; drift here silently reshapes
+// every searched energy balance.
+func TestEnergyBalanceAnchorTight(t *testing.T) {
+	econv, eearly := EnergyBalance(64, 79, 56, 72)
+	if econv <= 0 {
+		t.Fatalf("degenerate Econv %f", econv)
+	}
+	if rel := math.Abs(eearly-econv) / econv; rel > 0.01 {
+		t.Fatalf("anchor drift %.2f%%: Econv %.1f vs Eearly %.1f (must stay within 1%%)",
+			100*rel, econv, eearly)
+	}
+}

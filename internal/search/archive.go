@@ -1,0 +1,141 @@
+package search
+
+import "sort"
+
+// Objectives is one candidate's position in objective space. IPC is
+// maximized; the two register-file power figures (internal/power, via
+// sweep.FilePower) are minimized. EarlyPerKilo rides along for
+// reporting but takes no part in dominance.
+type Objectives struct {
+	IPC          float64 `json:"hmean_ipc"`      // harmonic-mean IPC over the job's workloads
+	EnergyPJ     float64 `json:"energy_pj"`      // RF energy per access (files + LUs Tables)
+	AccessNs     float64 `json:"access_ns"`      // worst-case RF access time
+	EarlyPerKilo float64 `json:"early_per_kilo"` // mean early releases per 1k committed
+}
+
+// Dominates reports whether a is at least as good as b on every
+// objective and strictly better on at least one.
+func (a Objectives) Dominates(b Objectives) bool {
+	if a.IPC < b.IPC || a.EnergyPJ > b.EnergyPJ || a.AccessNs > b.AccessNs {
+		return false
+	}
+	return a.IPC > b.IPC || a.EnergyPJ < b.EnergyPJ || a.AccessNs < b.AccessNs
+}
+
+// Eval is one evaluated candidate: its configuration, the scale it was
+// simulated at, and the resulting objective vector. A failed candidate
+// (any of its workload points errored) carries Err and never enters
+// the archive.
+type Eval struct {
+	Candidate  Candidate  `json:"candidate"`
+	Scale      int        `json:"scale"`
+	Objectives Objectives `json:"objectives"`
+	Err        string     `json:"err,omitempty"`
+
+	g genome // position in the job's space (strategies step from here)
+}
+
+// less is the canonical eval order used everywhere a deterministic
+// sequence is needed (frontier output, halving promotion ties):
+// energy ascending, then access time, then IPC descending, then the
+// genome key.
+func less(a, b *Eval) bool {
+	if a.Objectives.EnergyPJ != b.Objectives.EnergyPJ {
+		return a.Objectives.EnergyPJ < b.Objectives.EnergyPJ
+	}
+	if a.Objectives.AccessNs != b.Objectives.AccessNs {
+		return a.Objectives.AccessNs < b.Objectives.AccessNs
+	}
+	if a.Objectives.IPC != b.Objectives.IPC {
+		return a.Objectives.IPC > b.Objectives.IPC
+	}
+	return a.g.key() < b.g.key()
+}
+
+// Archive accumulates full-scale evaluations and answers non-dominated
+// queries. It keeps every successful eval (the frontier is filtered on
+// read), so a point dominated early can still shadow later duplicates
+// through the seen map.
+type Archive struct {
+	evals []*Eval
+	seen  map[string]bool // genome keys ever archived
+}
+
+// NewArchive returns an empty archive.
+func NewArchive() *Archive {
+	return &Archive{seen: map[string]bool{}}
+}
+
+// Add archives a successful evaluation. Errored evals and duplicate
+// genomes are ignored.
+func (a *Archive) Add(e *Eval) {
+	if e.Err != "" || a.seen[e.g.key()] {
+		return
+	}
+	a.seen[e.g.key()] = true
+	a.evals = append(a.evals, e)
+}
+
+// Len is the number of archived evaluations.
+func (a *Archive) Len() int { return len(a.evals) }
+
+// Frontier returns the non-dominated archived evals in canonical
+// order (energy ascending). The slice is freshly built; callers own it.
+func (a *Archive) Frontier() []*Eval {
+	return nonDominated(a.evals)
+}
+
+// nonDominated filters a set to its Pareto-optimal members, sorted
+// canonically. With exact duplicates in objective space, all survive
+// (Dominates is strict), keeping the filter order-independent.
+func nonDominated(evals []*Eval) []*Eval {
+	var out []*Eval
+	for _, e := range evals {
+		dominated := false
+		for _, o := range evals {
+			if o != e && o.Objectives.Dominates(e.Objectives) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// rank orders a set for successive-halving promotion: non-dominated
+// sorting (rank 0 = the set's frontier, rank 1 = the frontier of the
+// rest, ...) with the canonical order within each rank. Errored evals
+// sink to the very end.
+func rank(evals []*Eval) []*Eval {
+	var ok, bad []*Eval
+	for _, e := range evals {
+		if e.Err != "" {
+			bad = append(bad, e)
+		} else {
+			ok = append(ok, e)
+		}
+	}
+	var out []*Eval
+	rest := ok
+	for len(rest) > 0 {
+		front := nonDominated(rest)
+		inFront := map[*Eval]bool{}
+		for _, e := range front {
+			inFront[e] = true
+		}
+		out = append(out, front...)
+		var next []*Eval
+		for _, e := range rest {
+			if !inFront[e] {
+				next = append(next, e)
+			}
+		}
+		rest = next
+	}
+	sort.Slice(bad, func(i, j int) bool { return bad[i].g.key() < bad[j].g.key() })
+	return append(out, bad...)
+}

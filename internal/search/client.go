@@ -1,0 +1,117 @@
+package search
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client submits exploration jobs to a sweepd coordinator's /explore
+// routes and waits for their frontiers — the remote counterpart of
+// Explorer.Run. The job runs inside the coordinator, where candidate
+// evaluations federate across its workers; the frontier decodes from
+// the same JSON the server marshals, so a remote run of a spec is
+// byte-identical to a local one.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for a coordinator base URL like
+// "http://host:8080" (a trailing slash is tolerated).
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{Timeout: 60 * time.Second}}
+}
+
+// apiError decodes sweepd's {"error": ...} body into a Go error.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("search: coordinator: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("search: coordinator: HTTP %d", resp.StatusCode)
+}
+
+// Submit posts a spec and returns the exploration id.
+func (c *Client) Submit(spec Spec) (string, error) {
+	blob, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Post(c.base+"/explore", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", apiError(resp)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	if out.ID == "" {
+		return "", fmt.Errorf("search: coordinator returned no exploration id")
+	}
+	return out.ID, nil
+}
+
+// Wait polls an exploration until it completes, forwarding progress
+// snapshots as they change.
+func (c *Client) Wait(id string, onProgress func(Progress)) (*Frontier, error) {
+	var last Progress
+	last.Round = -1
+	for {
+		resp, err := c.hc.Get(c.base + "/explore/" + id)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, apiError(resp)
+		}
+		var job struct {
+			State    string    `json:"state"`
+			Progress Progress  `json:"progress"`
+			Frontier *Frontier `json:"frontier"`
+			Err      string    `json:"err"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if onProgress != nil && job.Progress != last {
+			last = job.Progress
+			onProgress(job.Progress)
+		}
+		if job.State == "done" {
+			if job.Err != "" {
+				return job.Frontier, fmt.Errorf("search: remote exploration %s: %s", id, job.Err)
+			}
+			if job.Frontier == nil {
+				return nil, fmt.Errorf("search: remote exploration %s finished without a frontier", id)
+			}
+			return job.Frontier, nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Run submits the spec and waits for its frontier.
+func (c *Client) Run(spec Spec, onProgress func(Progress)) (*Frontier, error) {
+	id, err := c.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait(id, onProgress)
+}

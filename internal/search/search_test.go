@@ -1,0 +1,365 @@
+package search
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"earlyrelease/internal/sweep"
+)
+
+// testSpec is a small, fast exploration job shared by the tests: one
+// workload, a 2×3×(2·2) = 24-candidate space, tiny traces.
+func testSpec(strategy string, budget int) Spec {
+	return Spec{
+		Strategy:  strategy,
+		Budget:    budget,
+		Seed:      7,
+		Scale:     4000,
+		Batch:     4,
+		Workloads: []string{"tomcatv"},
+		Space: &Space{
+			Policies: []string{"conv", "extended"},
+			IntRegs:  []int{40, 48, 64},
+			Axes: []AxisRange{
+				{Name: "ros", Values: []int{64, 0}},
+				{Name: "lsq", Values: []int{32, 64}},
+			},
+		},
+	}
+}
+
+func TestSpaceNormalizeDefaults(t *testing.T) {
+	s := &Space{}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Policies) != 3 || len(s.IntRegs) != len(DefaultSizes) {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if len(s.Axes) != len(sweep.MachineAxes()) {
+		t.Fatalf("default axes: got %d, want %d", len(s.Axes), len(sweep.MachineAxes()))
+	}
+	// ≥ 4 axes beyond policy and regs — the acceptance floor.
+	if len(s.dims()) < 6 {
+		t.Fatalf("default space has %d dims", len(s.dims()))
+	}
+}
+
+func TestSpaceNormalizeCanonicalizes(t *testing.T) {
+	s := &Space{
+		Policies: []string{"conv"},
+		IntRegs:  []int{64, 40, 64},
+		Axes:     []AxisRange{{Name: "ros", Values: []int{256, 0, 64, 128}}},
+	}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.IntRegs, []int{40, 64}) {
+		t.Errorf("int regs not canonicalized: %v", s.IntRegs)
+	}
+	// 0 aliases the ros baseline (128) and deduplicates against it.
+	if !reflect.DeepEqual(s.Axes[0].Values, []int{64, 128, 256}) {
+		t.Errorf("axis values not canonicalized: %v", s.Axes[0].Values)
+	}
+}
+
+func TestSpaceNormalizeRejects(t *testing.T) {
+	cases := []*Space{
+		{Policies: []string{"bogus"}},
+		{Policies: []string{"conv", "conv"}},
+		{IntRegs: []int{-8}},
+		{Axes: []AxisRange{{Name: "nope", Values: []int{1}}}},
+		{Axes: []AxisRange{{Name: "ros", Values: nil}}},
+		{Axes: []AxisRange{{Name: "ros", Values: []int{64}}, {Name: "ros", Values: []int{128}}}},
+	}
+	for i, s := range cases {
+		if err := s.Normalize(); err == nil {
+			t.Errorf("case %d: bad space accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestDecodeAndPoints(t *testing.T) {
+	spec := testSpec("random", 1)
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	sp := spec.Space
+	// genome order: policy, int_regs, ros, lsq (fp tied to int).
+	c := sp.decode(genome{1, 2, 0, 1})
+	want := Candidate{Policy: "extended", IntRegs: 64, FPRegs: 64,
+		Machine: map[string]int{"ros": 64}} // lsq 64 is the baseline → omitted
+	if !reflect.DeepEqual(c, want) {
+		t.Fatalf("decode: got %+v want %+v", c, want)
+	}
+	pts := sp.Points(c, []string{"tomcatv", "swim"}, 4000, true)
+	if len(pts) != 2 {
+		t.Fatalf("points: %v", pts)
+	}
+	if pts[0].ROSSize != 64 || pts[0].LSQSize != 0 || !pts[0].Check {
+		t.Errorf("axis overrides/check not carried onto the point: %+v", pts[0])
+	}
+	if pts[1].Workload != "swim" || pts[1].Policy != "extended" || pts[1].FPRegs != 64 {
+		t.Errorf("point fields: %+v", pts[1])
+	}
+}
+
+func TestNeighborsDeterministicAndBounded(t *testing.T) {
+	spec := testSpec("hillclimb", 1)
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	sp := spec.Space
+	g := genome{0, 1, 0, 0}
+	nbs := sp.neighbors(g)
+	var keys []string
+	for _, nb := range nbs {
+		if len(nb) != len(g) {
+			t.Fatalf("neighbor arity: %v", nb)
+		}
+		keys = append(keys, nb.key())
+	}
+	// policy flip, regs ±1, ros +1, lsq +1 (both at index 0).
+	want := []string{"1.1.0.0", "0.0.0.0", "0.2.0.0", "0.1.1.0", "0.1.0.1"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("neighbors: got %v want %v", keys, want)
+	}
+}
+
+func TestDominance(t *testing.T) {
+	a := Objectives{IPC: 2, EnergyPJ: 100, AccessNs: 1}
+	b := Objectives{IPC: 1, EnergyPJ: 200, AccessNs: 2}
+	if !a.Dominates(b) || b.Dominates(a) {
+		t.Fatal("strict dominance broken")
+	}
+	c := Objectives{IPC: 3, EnergyPJ: 300, AccessNs: 1}
+	if a.Dominates(c) || c.Dominates(a) {
+		t.Fatal("incomparable pair reported dominated")
+	}
+	if a.Dominates(a) {
+		t.Fatal("self-dominance must be false (equal vectors co-exist on the frontier)")
+	}
+}
+
+func TestArchiveFrontier(t *testing.T) {
+	arch := NewArchive()
+	add := func(key string, ipc, e float64) {
+		arch.Add(&Eval{Objectives: Objectives{IPC: ipc, EnergyPJ: e, AccessNs: 1},
+			g: genome{int(key[0] - '0')}})
+	}
+	add("0", 1.0, 100) // frontier (cheapest)
+	add("1", 2.0, 200) // frontier
+	add("2", 1.5, 300) // dominated by 1
+	add("3", 2.0, 200) // duplicate genome key of... no: distinct key, equal objectives → survives
+	fr := arch.Frontier()
+	if len(fr) != 3 {
+		t.Fatalf("frontier size %d: %+v", len(fr), fr)
+	}
+	// Canonical order: energy ascending, ties by key.
+	if fr[0].g.key() != "0" || fr[1].g.key() != "1" || fr[2].g.key() != "3" {
+		t.Fatalf("frontier order: %v %v %v", fr[0].g, fr[1].g, fr[2].g)
+	}
+	if !verifyNonDominated(fr) {
+		t.Fatal("frontier verification failed")
+	}
+}
+
+func TestHalvingLadder(t *testing.T) {
+	spec := Spec{Strategy: "halving", Budget: 24, Scale: 32000, ScreenScale: 2000}
+	h := newHalving(spec)
+	var total int
+	lastScale := 0
+	for _, r := range h.rungs {
+		if r.scale <= lastScale {
+			t.Fatalf("non-increasing rung scales: %+v", h.rungs)
+		}
+		lastScale = r.scale
+		total += r.n
+	}
+	if lastScale != 32000 {
+		t.Fatalf("ladder does not end at full scale: %+v", h.rungs)
+	}
+	if total > 24 {
+		t.Fatalf("ladder %+v exceeds budget", h.rungs)
+	}
+	// A budget too small for the full ladder still reaches full scale.
+	h2 := newHalving(Spec{Strategy: "halving", Budget: 2, Scale: 32000, ScreenScale: 2000})
+	if h2.rungs[len(h2.rungs)-1].scale != 32000 {
+		t.Fatalf("tiny-budget ladder: %+v", h2.rungs)
+	}
+}
+
+func TestRandomUnseenExhaustsSpace(t *testing.T) {
+	spec := testSpec("random", 100) // budget beyond the 24-candidate space
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	memo := map[string]bool{}
+	ctx := &stratCtx{
+		space: spec.Space,
+		rng:   rand.New(rand.NewSource(1)),
+		lookup: func(g genome, scale int) *Eval {
+			if memo[g.key()] {
+				return &Eval{}
+			}
+			return nil
+		},
+		fullScale: spec.Scale,
+	}
+	total := 0
+	for i := 0; i < 50; i++ {
+		props := randomUnseen(ctx, 4, spec.Scale)
+		for _, p := range props {
+			memo[p.g.key()] = true
+		}
+		total += len(props)
+		if len(props) == 0 {
+			break
+		}
+	}
+	if total != 24 {
+		t.Fatalf("drew %d distinct candidates from a 24-candidate space", total)
+	}
+}
+
+// TestExplorerStrategies runs each strategy end to end on the engine
+// and checks the shared invariants: budget respected, frontier
+// non-empty and non-dominated, accounting consistent.
+func TestExplorerStrategies(t *testing.T) {
+	for _, strat := range StrategyNames() {
+		strat := strat
+		t.Run(strat, func(t *testing.T) {
+			t.Parallel()
+			spec := testSpec(strat, 10)
+			ex := &Explorer{Eval: &sweep.Engine{Cache: sweep.NewCache()}}
+			var progressed bool
+			fr, err := ex.Run(spec, func(p Progress) {
+				progressed = true
+				if p.Budget != 10 {
+					t.Errorf("progress budget %d", p.Budget)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !progressed {
+				t.Error("no progress callbacks")
+			}
+			if got := fr.Evaluations + fr.ScreenEvaluations; got > 10 {
+				t.Errorf("%d evaluations exceed budget", got)
+			}
+			if len(fr.Frontier) == 0 {
+				t.Fatal("empty frontier")
+			}
+			if !fr.NonDominated || !verifyNonDominated(fr.Frontier) {
+				t.Fatal("dominated entry on the frontier")
+			}
+			if fr.CandidateErrors != 0 || fr.Points.Errors != 0 {
+				t.Fatalf("unexpected errors: %+v", fr)
+			}
+			if fr.SpaceSize != 24 {
+				t.Errorf("space size %d, want 24", fr.SpaceSize)
+			}
+			for _, e := range fr.Frontier {
+				if e.Scale != 4000 {
+					t.Errorf("frontier entry at screening scale: %+v", e)
+				}
+				if e.Objectives.IPC <= 0 || e.Objectives.EnergyPJ <= 0 || e.Objectives.AccessNs <= 0 {
+					t.Errorf("degenerate objectives: %+v", e.Objectives)
+				}
+			}
+		})
+	}
+}
+
+// TestExplorerCandidateErrors: an axis value the sweep layer rejects
+// (bpred history bits out of range) fails every candidate without
+// failing the run; nothing enters the archive.
+func TestExplorerCandidateErrors(t *testing.T) {
+	spec := testSpec("random", 4)
+	spec.Space.Axes = []AxisRange{{Name: "bpred", Values: []int{31}}}
+	ex := &Explorer{Eval: &sweep.Engine{Cache: sweep.NewCache()}}
+	fr, err := ex.Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.CandidateErrors == 0 || len(fr.Frontier) != 0 {
+		t.Fatalf("errors not isolated: %+v", fr)
+	}
+	if !fr.NonDominated {
+		t.Fatal("empty frontier must verify as non-dominated")
+	}
+}
+
+// TestRunDoesNotMutateCallerSpec: Run normalizes a deep copy; the
+// caller's space — possibly shared with a concurrent reader, as in
+// sweepd's job snapshots — must come back byte-for-byte untouched.
+func TestRunDoesNotMutateCallerSpec(t *testing.T) {
+	spec := testSpec("random", 2)
+	spec.Space.Axes[0].Values = []int{0, 64} // unsorted, baseline-aliased
+	before, _ := json.Marshal(spec)
+	if _, err := (&Explorer{Eval: &sweep.Engine{Cache: sweep.NewCache()}}).Run(spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := json.Marshal(spec)
+	if string(before) != string(after) {
+		t.Fatalf("Run mutated the caller's spec:\n before: %s\n after:  %s", before, after)
+	}
+}
+
+// TestSpecNormalizeDedupsWorkloads: a repeated workload would
+// double-weight the hmean objective and make the run accounting
+// depend on cache timing under federation.
+func TestSpecNormalizeDedupsWorkloads(t *testing.T) {
+	s := Spec{Workloads: []string{"tomcatv", "go", "tomcatv"}}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Workloads, []string{"tomcatv", "go"}) {
+		t.Fatalf("workloads not deduplicated: %v", s.Workloads)
+	}
+}
+
+func TestSpecNormalizeRejects(t *testing.T) {
+	bad := []Spec{
+		{Strategy: "annealing"},
+		{Workloads: []string{"nope"}},
+		{Space: &Space{Policies: []string{"bogus"}}},
+	}
+	for i, s := range bad {
+		if err := s.Normalize(); err == nil {
+			t.Errorf("case %d: bad spec accepted", i)
+		}
+	}
+}
+
+// TestFrontierJSONShape pins the output contract the CI smoke and
+// remote clients rely on: frontier is [] (not null) when empty, the
+// spec echo is fully resolved, and candidate JSON is stable.
+func TestFrontierJSONShape(t *testing.T) {
+	spec := testSpec("hillclimb", 6)
+	ex := &Explorer{Eval: &sweep.Engine{Cache: sweep.NewCache()}}
+	fr, err := ex.Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(blob)
+	for _, want := range []string{`"non_dominated":true`, `"screen_scale":`, `"space":`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("frontier JSON missing %s: %s", want, s[:200])
+		}
+	}
+	if strings.Contains(s, `"frontier":null`) {
+		t.Error("frontier marshals as null")
+	}
+	if fr.Spec.ScreenScale == 0 || fr.Spec.Space == nil || len(fr.Spec.Workloads) == 0 {
+		t.Errorf("spec echo not resolved: %+v", fr.Spec)
+	}
+}

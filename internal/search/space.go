@@ -1,0 +1,351 @@
+// Package search is the adaptive design-space exploration engine: it
+// discovers the Pareto frontier of (harmonic-mean IPC, register-file
+// energy per access, register-file access time) over the sweep
+// package's full axis space — release policy, integer and FP register
+// file sizes, and all ten machine-model axes. A Space declares the
+// discrete candidate values per dimension, a Strategy proposes
+// candidate batches (random seeding, coordinate hill-climbing from the
+// Table 2 baseline, or successive halving with small-scale screening),
+// and the Explorer evaluates them through any sweep evaluator — the
+// in-process Engine, or a sweepd Coordinator so evaluations federate —
+// keeping a non-dominated archive. Every random choice flows from the
+// job's explicit seed, so the same (seed, budget, space) produces a
+// byte-identical frontier no matter where or how often it runs (see
+// DESIGN.md §4.5).
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"earlyrelease/internal/release"
+	"earlyrelease/internal/sweep"
+)
+
+// AxisRange is one machine-model axis of the space: the sweep wire
+// name and the ordered candidate values. Values are real machine
+// values (e.g. ros 128, not the sweep grid's 0-means-baseline); a 0
+// entry is accepted as an alias for the Table 2 baseline.
+type AxisRange struct {
+	Name   string `json:"name"`
+	Values []int  `json:"values"`
+}
+
+// Space is the discrete design space candidates are drawn from. Every
+// dimension is an ordered value list, so strategies can step along
+// axes (hill-climbing) as well as sample. The zero value of each field
+// takes the explorer default; Normalize resolves them.
+type Space struct {
+	// Policies under consideration (default: conv, basic, extended).
+	Policies []string `json:"policies,omitempty"`
+	// IntRegs is the integer register-file size dimension (default:
+	// the Figure 11 sizes, 40..160).
+	IntRegs []int `json:"int_regs,omitempty"`
+	// FPRegs is the FP size dimension. Empty ties it to IntRegs (the
+	// paper's p+p configurations); otherwise it varies independently.
+	FPRegs []int `json:"fp_regs,omitempty"`
+	// Axes are the machine-model dimensions (default: every axis in
+	// the sweep.MachineAxes registry over its sensitivity range).
+	Axes []AxisRange `json:"axes,omitempty"`
+}
+
+// DefaultSizes is the default register-file size dimension — the
+// paper's Figure 11 axis.
+var DefaultSizes = []int{40, 48, 56, 64, 72, 80, 88, 96, 104, 112, 120, 128, 160}
+
+// DefaultAxisValues returns the explorer's default candidate values
+// for one machine axis: its sensitivity range with the baseline made
+// explicit, ascending. GET /axes publishes these so remote clients can
+// build a Space without hardcoding.
+func DefaultAxisValues(ax sweep.IntAxis) []int {
+	vals := append([]int(nil), ax.Sensitivity...)
+	for i, v := range vals {
+		if v == 0 {
+			vals[i] = ax.Baseline
+		}
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+// DefaultSpace is the full default design space: all three policies,
+// the Figure 11 size axis (FP tied to int), and every machine-model
+// axis over its sensitivity range.
+func DefaultSpace() *Space {
+	s := &Space{
+		Policies: []string{
+			release.Conventional.String(), release.Basic.String(), release.Extended.String()},
+		IntRegs: append([]int(nil), DefaultSizes...),
+	}
+	for _, ax := range sweep.MachineAxes() {
+		s.Axes = append(s.Axes, AxisRange{Name: ax.Name, Values: DefaultAxisValues(ax)})
+	}
+	return s
+}
+
+// Candidate is one fully specified machine configuration — a point of
+// the design space, independent of workload. Machine holds only the
+// non-baseline axis overrides (real values), so the Table 2 machine is
+// the empty map; Go's JSON encoder sorts map keys, keeping candidate
+// JSON deterministic.
+type Candidate struct {
+	Policy  string         `json:"policy"`
+	IntRegs int            `json:"int_regs"`
+	FPRegs  int            `json:"fp_regs"`
+	Machine map[string]int `json:"machine,omitempty"`
+}
+
+// String names the candidate in progress lines and tables.
+func (c Candidate) String() string {
+	s := fmt.Sprintf("%s/%d+%d", c.Policy, c.IntRegs, c.FPRegs)
+	var names []string
+	for n := range c.Machine {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s += fmt.Sprintf("/%s=%d", n, c.Machine[n])
+	}
+	return s
+}
+
+// genome is a candidate's position in the space: one value-list index
+// per dimension, in layout order (policy, int regs, fp regs if free,
+// then machine axes).
+type genome []int
+
+// key is the genome's identity within one space.
+func (g genome) key() string {
+	var b strings.Builder
+	for i, v := range g {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+func (g genome) clone() genome {
+	return append(genome(nil), g...)
+}
+
+// dim is one normalized dimension: its name and cardinality (policy
+// indexes Space.Policies; every other dimension indexes an int list).
+type dim struct {
+	name string
+	n    int
+}
+
+// Normalize fills defaults, canonicalizes value lists (sorted,
+// deduplicated, 0 mapped to the axis baseline) and validates the
+// space. It must be called before any other method; the Explorer
+// normalizes the spec's space exactly once so the job's JSON echo is
+// fully resolved.
+func (s *Space) Normalize() error {
+	def := DefaultSpace()
+	if len(s.Policies) == 0 {
+		s.Policies = def.Policies
+	}
+	seenPol := map[string]bool{}
+	for _, p := range s.Policies {
+		if _, err := release.ParseKind(p); err != nil {
+			return fmt.Errorf("search: space policy: %w", err)
+		}
+		if seenPol[p] {
+			return fmt.Errorf("search: duplicate policy %q", p)
+		}
+		seenPol[p] = true
+	}
+	if len(s.IntRegs) == 0 {
+		s.IntRegs = def.IntRegs
+	}
+	var err error
+	if s.IntRegs, err = canonInts("int_regs", s.IntRegs, 0); err != nil {
+		return err
+	}
+	if len(s.FPRegs) > 0 {
+		if s.FPRegs, err = canonInts("fp_regs", s.FPRegs, 0); err != nil {
+			return err
+		}
+	}
+	if s.Axes == nil {
+		s.Axes = def.Axes
+	}
+	seenAx := map[string]bool{}
+	for i := range s.Axes {
+		ax, err := sweep.AxisByName(s.Axes[i].Name)
+		if err != nil {
+			return fmt.Errorf("search: space axis: %w", err)
+		}
+		if seenAx[ax.Name] {
+			return fmt.Errorf("search: duplicate axis %q", ax.Name)
+		}
+		seenAx[ax.Name] = true
+		if s.Axes[i].Values, err = canonInts(ax.Name, s.Axes[i].Values, ax.Baseline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// canonInts sorts, deduplicates and validates one dimension's values,
+// mapping 0 entries to the baseline (sweep-grid convention) when the
+// dimension has one.
+func canonInts(name string, vals []int, baseline int) ([]int, error) {
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("search: axis %s has no values", name)
+	}
+	out := make([]int, 0, len(vals))
+	seen := map[int]bool{}
+	for _, v := range vals {
+		if v == 0 && baseline > 0 {
+			v = baseline
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("search: axis %s value %d is not positive", name, v)
+		}
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// dims lists the space's dimensions in genome order. The FP dimension
+// exists only when FPRegs is non-empty; otherwise FP mirrors int.
+func (s *Space) dims() []dim {
+	ds := []dim{{"policy", len(s.Policies)}, {"int_regs", len(s.IntRegs)}}
+	if len(s.FPRegs) > 0 {
+		ds = append(ds, dim{"fp_regs", len(s.FPRegs)})
+	}
+	for _, ax := range s.Axes {
+		ds = append(ds, dim{ax.Name, len(ax.Values)})
+	}
+	return ds
+}
+
+// Size is the number of distinct candidates in the space.
+func (s *Space) Size() int64 {
+	n := int64(1)
+	for _, d := range s.dims() {
+		n *= int64(d.n)
+		if n > 1<<50 {
+			return 1 << 50 // saturate; only used for reporting
+		}
+	}
+	return n
+}
+
+// decode maps a genome to its candidate. Machine keeps only the
+// non-baseline overrides.
+func (s *Space) decode(g genome) Candidate {
+	c := Candidate{Policy: s.Policies[g[0]], IntRegs: s.IntRegs[g[1]]}
+	i := 2
+	if len(s.FPRegs) > 0 {
+		c.FPRegs = s.FPRegs[g[2]]
+		i = 3
+	} else {
+		c.FPRegs = c.IntRegs
+	}
+	for j, ax := range s.Axes {
+		v := ax.Values[g[i+j]]
+		reg, _ := sweep.AxisByName(ax.Name)
+		if v != reg.Baseline {
+			if c.Machine == nil {
+				c.Machine = map[string]int{}
+			}
+			c.Machine[ax.Name] = v
+		}
+	}
+	return c
+}
+
+// Points expands a candidate into its simulation points, one per
+// workload, at the given scale and checking level. Axis overrides are
+// canonicalized so a baseline value and the sweep grid's 0 share one
+// cache entry.
+func (s *Space) Points(c Candidate, workloads []string, scale int, check bool) []sweep.Point {
+	pts := make([]sweep.Point, 0, len(workloads))
+	for _, w := range workloads {
+		pt := sweep.Point{Workload: w, Policy: c.Policy,
+			IntRegs: c.IntRegs, FPRegs: c.FPRegs, Scale: scale, Check: check}
+		for name, v := range c.Machine {
+			if ax, err := sweep.AxisByName(name); err == nil {
+				ax.Set(&pt, ax.Canon(v))
+			}
+		}
+		pts = append(pts, pt)
+	}
+	return pts
+}
+
+// random draws a uniform genome.
+func (s *Space) random(r *rand.Rand) genome {
+	ds := s.dims()
+	g := make(genome, len(ds))
+	for i, d := range ds {
+		g[i] = r.Intn(d.n)
+	}
+	return g
+}
+
+// baseline is the hill-climb starting genome for one policy: every
+// machine axis at the value closest to its Table 2 baseline, register
+// dimensions at their median value (the size axis has no Table 2
+// analogue; the median lets the climb walk toward either end).
+func (s *Space) baseline(policy int) genome {
+	g := genome{policy, len(s.IntRegs) / 2}
+	if len(s.FPRegs) > 0 {
+		g = append(g, len(s.FPRegs)/2)
+	}
+	for _, ar := range s.Axes {
+		ax, _ := sweep.AxisByName(ar.Name)
+		best, bestDist := 0, -1
+		for i, v := range ar.Values {
+			d := v - ax.Baseline
+			if d < 0 {
+				d = -d
+			}
+			if bestDist < 0 || d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		g = append(g, best)
+	}
+	return g
+}
+
+// neighbors yields every single-step move from g (±1 on one
+// dimension), in deterministic order: dimension ascending, down before
+// up. For the categorical policy dimension every other policy is a
+// neighbor.
+func (s *Space) neighbors(g genome) []genome {
+	ds := s.dims()
+	var out []genome
+	for p := 0; p < ds[0].n; p++ {
+		if p != g[0] {
+			q := g.clone()
+			q[0] = p
+			out = append(out, q)
+		}
+	}
+	for i := 1; i < len(ds); i++ {
+		if g[i] > 0 {
+			q := g.clone()
+			q[i]--
+			out = append(out, q)
+		}
+		if g[i] < ds[i].n-1 {
+			q := g.clone()
+			q[i]++
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// proposal is one unit of work a strategy asks for: a candidate genome
+// and the scale (dynamic instructions per workload) to evaluate it at.
+type proposal struct {
+	g     genome
+	scale int
+}
+
+// stratCtx is the read-only view a strategy proposes against.
+type stratCtx struct {
+	space       *Space
+	rng         *rand.Rand
+	arch        *Archive
+	lookup      func(g genome, scale int) *Eval // memoized eval, nil if not run
+	remaining   int                             // evaluations left in the budget
+	fullScale   int
+	screenScale int
+	batch       int
+}
+
+// strategy proposes candidate batches round by round. An empty batch
+// means the strategy is exhausted and the exploration ends (possibly
+// under budget). Strategies must be deterministic given the context's
+// seeded rng and archive state.
+type strategy interface {
+	propose(c *stratCtx) []proposal
+}
+
+// StrategyNames lists the built-in strategies.
+func StrategyNames() []string { return []string{"hillclimb", "random", "halving"} }
+
+// newStrategy builds a strategy from its wire name.
+func newStrategy(spec Spec) (strategy, error) {
+	switch spec.Strategy {
+	case "random":
+		return &randomSearch{}, nil
+	case "hillclimb":
+		return &hillClimb{expanded: map[string]bool{}}, nil
+	case "halving":
+		return newHalving(spec), nil
+	}
+	return nil, fmt.Errorf("search: unknown strategy %q (have %v)", spec.Strategy, StrategyNames())
+}
+
+// randomUnseen draws up to n distinct genomes not yet evaluated at the
+// given scale. The draw budget is bounded so a nearly exhausted space
+// terminates instead of spinning.
+func randomUnseen(c *stratCtx, n, scale int) []proposal {
+	var out []proposal
+	local := map[string]bool{}
+	for tries := 0; len(out) < n && tries < 200*n; tries++ {
+		g := c.space.random(c.rng)
+		k := g.key()
+		if local[k] || c.lookup(g, scale) != nil {
+			continue
+		}
+		local[k] = true
+		out = append(out, proposal{g, scale})
+	}
+	return out
+}
+
+// randomSearch uniformly samples the space at full scale, one batch
+// per round — the baseline strategy and the seeding stage others build
+// on.
+type randomSearch struct{}
+
+func (*randomSearch) propose(c *stratCtx) []proposal {
+	n := c.batch
+	if n > c.remaining {
+		n = c.remaining
+	}
+	return randomUnseen(c, n, c.fullScale)
+}
+
+// hillClimb is Pareto local search seeded at the Table 2 baseline:
+// each round expands the not-yet-expanded members of the current
+// frontier into their single-step axis neighbors. When the frontier is
+// fully expanded (a Pareto local optimum) it restarts from a random
+// unseen candidate, so a budget is always spent productively.
+type hillClimb struct {
+	seeded   bool
+	expanded map[string]bool
+}
+
+func (h *hillClimb) propose(c *stratCtx) []proposal {
+	if !h.seeded {
+		h.seeded = true
+		var out []proposal
+		for p := range c.space.Policies {
+			out = append(out, proposal{c.space.baseline(p), c.fullScale})
+		}
+		return out
+	}
+	var out []proposal
+	batch := map[string]bool{}
+	for _, e := range c.arch.Frontier() {
+		k := e.g.key()
+		if h.expanded[k] {
+			continue
+		}
+		h.expanded[k] = true
+		for _, nb := range c.space.neighbors(e.g) {
+			nk := nb.key()
+			if batch[nk] || c.lookup(nb, c.fullScale) != nil {
+				continue
+			}
+			batch[nk] = true
+			out = append(out, proposal{nb, c.fullScale})
+		}
+	}
+	if len(out) == 0 {
+		// Pareto local optimum: random restart.
+		return randomUnseen(c, 1, c.fullScale)
+	}
+	return out
+}
+
+// halving is successive halving: a wide random rung is screened at a
+// small scale, and each following rung promotes the better half (by
+// non-dominated rank) to a 4× larger scale until the survivors run at
+// full scale and enter the archive. Screening objectives are noisier
+// than full-scale ones, but only survivors pay the full price.
+type halving struct {
+	rungs []rung
+	next  int      // next rung to propose
+	prev  []genome // genomes proposed in the previous rung
+}
+
+type rung struct{ scale, n int }
+
+// newHalving plans the rung ladder for the spec's budget: scales grow
+// geometrically (×4) from ScreenScale to Scale, candidate counts halve
+// toward the top, and the total stays within budget.
+func newHalving(spec Spec) *halving {
+	var scales []int
+	for s := spec.ScreenScale; s < spec.Scale; s *= 4 {
+		scales = append(scales, s)
+	}
+	scales = append(scales, spec.Scale)
+	// Drop the earliest (cheapest) rungs when the budget cannot fund
+	// even one candidate per rung.
+	for len(scales) > 1 && spec.Budget < len(scales) {
+		scales = scales[1:]
+	}
+	// Largest n0 whose halving ladder sum fits the budget.
+	n0 := 1
+	for fits(n0+1, len(scales), spec.Budget) {
+		n0++
+	}
+	h := &halving{}
+	n := n0
+	for _, s := range scales {
+		h.rungs = append(h.rungs, rung{scale: s, n: n})
+		n = (n + 1) / 2
+	}
+	return h
+}
+
+// fits reports whether a ladder starting at n0 over r rungs stays
+// within budget.
+func fits(n0, r, budget int) bool {
+	sum, n := 0, n0
+	for i := 0; i < r; i++ {
+		sum += n
+		n = (n + 1) / 2
+	}
+	return sum <= budget
+}
+
+func (h *halving) propose(c *stratCtx) []proposal {
+	if h.next >= len(h.rungs) {
+		return nil
+	}
+	ru := h.rungs[h.next]
+	var out []proposal
+	if h.next == 0 {
+		out = randomUnseen(c, ru.n, ru.scale)
+	} else {
+		// Promote the previous rung's best survivors. Genomes the
+		// budget trimmed away simply have no eval and are skipped.
+		last := h.rungs[h.next-1]
+		var evals []*Eval
+		for _, g := range h.prev {
+			if e := c.lookup(g, last.scale); e != nil {
+				evals = append(evals, e)
+			}
+		}
+		for i, e := range rank(evals) {
+			if i >= ru.n {
+				break
+			}
+			out = append(out, proposal{e.g, ru.scale})
+		}
+	}
+	h.prev = h.prev[:0]
+	for _, p := range out {
+		h.prev = append(h.prev, p.g)
+	}
+	h.next++
+	return out
+}

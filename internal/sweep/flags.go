@@ -1,0 +1,53 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SplitList parses a comma-separated flag value into trimmed elements;
+// empty input is nil. Shared by the sweep and explore CLI surfaces so
+// the two commands cannot drift in how they read the same flag syntax.
+func SplitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// SplitInts parses a comma-separated integer list, empty input = nil.
+func SplitInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range SplitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseAxisFlag parses one repeatable "-axis name=v1,v2,..." flag
+// value against the machine-axis registry — the one syntax both the
+// sweep and explore CLIs accept.
+func ParseAxisFlag(s string) (name string, vals []int, err error) {
+	name, list, ok := strings.Cut(s, "=")
+	if !ok {
+		return "", nil, fmt.Errorf("want name=v1,v2,..., got %q", s)
+	}
+	name = strings.TrimSpace(name)
+	if _, err := AxisByName(name); err != nil {
+		return "", nil, err
+	}
+	vals, err = SplitInts(list)
+	if err != nil || len(vals) == 0 {
+		return "", nil, fmt.Errorf("bad values for axis %q: %q", name, list)
+	}
+	return name, vals, nil
+}

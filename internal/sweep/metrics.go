@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"earlyrelease/internal/pipeline"
+	"earlyrelease/internal/power"
+	"earlyrelease/internal/release"
+)
+
+// Derived are the per-point metrics every consumer of sweep results
+// ends up computing: the simulated IPC and early-release rate, plus
+// the analytic register-file power figures for the point's file sizes
+// (internal/power). The cmd/sweep table, the sensitivity driver and
+// the design-space explorer all read the same numbers through this one
+// helper, so the §4.4 calibration is applied identically everywhere.
+type Derived struct {
+	IPC          float64 `json:"ipc"`
+	EarlyPerKilo float64 `json:"early_per_kilo"` // early releases per 1k committed
+	EnergyPJ     float64 `json:"energy_pj"`      // RF energy per access (files + LUs Tables)
+	AccessNs     float64 `json:"access_ns"`      // worst-case RF access time
+}
+
+// Derive computes a point's derived metrics. r may be nil (a failed
+// point): the power figures depend only on the point's geometry and
+// are still filled in.
+func Derive(p Point, r *pipeline.Result) Derived {
+	d := Derived{}
+	if r != nil {
+		d.IPC = r.IPC
+		d.EarlyPerKilo = EarlyPerKilo(r.Release, r.Committed)
+	}
+	kind, err := release.ParseKind(p.Policy)
+	if err != nil {
+		kind = release.Conventional
+	}
+	d.EnergyPJ, d.AccessNs = FilePower(kind, p.IntRegs, p.FPRegs)
+	return d
+}
+
+// EarlyPerKilo is the early-release rate: frees that happened before
+// the conventional NV-commit point, per 1000 committed instructions.
+func EarlyPerKilo(s release.Stats, committed uint64) float64 {
+	if committed == 0 {
+		return 0
+	}
+	early := s.Frees[release.FreeEarlyCommit] +
+		s.Frees[release.FreeEarlyConfirm] +
+		s.Frees[release.FreeImmediate] +
+		s.Frees[release.FreeEager] +
+		s.Frees[release.FreeReuse]
+	return 1000 * float64(early) / float64(committed)
+}
+
+// FilePower models the register-file cost of a configuration: energy
+// per access is the sum over both files, plus the two LUs Tables the
+// early-release mechanisms add (§4.4); access time is the slower of
+// the two files — the LUs Table sits off the critical path (the paper
+// measures it ~26% faster than even the smallest file).
+func FilePower(kind release.Kind, intRegs, fpRegs int) (energyPJ, accessNs float64) {
+	ti, ei := power.IntFile(intRegs)
+	tf, ef := power.FPFile(fpRegs)
+	energyPJ = ei + ef
+	if kind != release.Conventional {
+		_, lus := power.LUsTable()
+		energyPJ += 2 * lus
+	}
+	accessNs = ti
+	if tf > accessNs {
+		accessNs = tf
+	}
+	return energyPJ, accessNs
+}
