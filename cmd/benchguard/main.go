@@ -19,6 +19,16 @@
 // sim-IPC is compared too, with a much tighter band (0.1%): throughput
 // may wobble with the hardware, but the reproduced microarchitectural
 // IPC is deterministic and must not move at all.
+//
+// -mode sweep gates the sweep-level batched-execution win instead: it
+// parses the points/s metric from the BenchmarkSweep* pairs, computes
+// the batch/scalar ratio per pair named in BENCH_sweep.json, and fails
+// when a ratio drops below that pair's min_ratio. Both sides of each
+// ratio run on the same host in the same `go test` process, so the
+// gate is machine-independent and needs no normalization:
+//
+//	go test -run xxx -bench BenchmarkSweep -benchtime 2x ./internal/sweep | \
+//	    go run ./cmd/benchguard -mode sweep -baseline BENCH_sweep.json
 package main
 
 import (
@@ -89,6 +99,136 @@ func parseBench(out []byte) (map[string]benchResult, error) {
 		return nil, fmt.Errorf("no benchmark lines with MB/s and sim-IPC found")
 	}
 	return results, nil
+}
+
+// sweepPair mirrors one scalar/batch benchmark pair in
+// BENCH_sweep.json. The recorded points/s are documentation (captured
+// on one reference machine); only min_ratio gates.
+type sweepPair struct {
+	Scalar   string  `json:"scalar"`
+	Batch    string  `json:"batch"`
+	MinRatio float64 `json:"min_ratio"`
+}
+
+type sweepBaselineFile struct {
+	Pairs map[string]sweepPair `json:"pairs"`
+}
+
+var sweepLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.e+]+) ns/op\s+([\d.e+]+) points/s`)
+
+// parseSweepBench extracts points/s results from `go test -bench`
+// output. Repeated runs keep the best points/s per benchmark.
+func parseSweepBench(out []byte) (map[string]float64, error) {
+	results := make(map[string]float64)
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(out), -1) {
+		m := sweepLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad points/s in %q: %v", line, err)
+		}
+		if v > results[m[1]] {
+			results[m[1]] = v
+		}
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines with points/s found")
+	}
+	return results, nil
+}
+
+// sweepVerdict is one pair's comparison outcome.
+type sweepVerdict struct {
+	ScalarPointsS  float64  `json:"scalar_points_s"`
+	BatchPointsS   float64  `json:"batch_points_s"`
+	Ratio          float64  `json:"ratio"`
+	MinRatio       float64  `json:"min_ratio"`
+	Pass           bool     `json:"pass"`
+	FailureReasons []string `json:"failure_reasons,omitempty"`
+}
+
+type sweepReport struct {
+	Pass  bool                    `json:"pass"`
+	Pairs map[string]sweepVerdict `json:"pairs"`
+}
+
+// compareSweep applies each pair's ratio floor. A missing benchmark
+// fails the pair — deleting the scalar side would otherwise delete the
+// gate.
+func compareSweep(base map[string]sweepPair, run map[string]float64) sweepReport {
+	rep := sweepReport{Pass: true, Pairs: make(map[string]sweepVerdict)}
+	for name, p := range base {
+		v := sweepVerdict{MinRatio: p.MinRatio, Pass: true}
+		var ok bool
+		if v.ScalarPointsS, ok = run[p.Scalar]; !ok {
+			v.Pass = false
+			v.FailureReasons = append(v.FailureReasons, p.Scalar+" missing from this run")
+		}
+		if v.BatchPointsS, ok = run[p.Batch]; !ok {
+			v.Pass = false
+			v.FailureReasons = append(v.FailureReasons, p.Batch+" missing from this run")
+		}
+		if v.Pass {
+			v.Ratio = v.BatchPointsS / v.ScalarPointsS
+			if v.Ratio < p.MinRatio {
+				v.Pass = false
+				v.FailureReasons = append(v.FailureReasons, fmt.Sprintf(
+					"batch/scalar ratio %.2f below the %.2f floor (%.2f vs %.2f points/s)",
+					v.Ratio, p.MinRatio, v.BatchPointsS, v.ScalarPointsS))
+			}
+		}
+		if !v.Pass {
+			rep.Pass = false
+		}
+		rep.Pairs[name] = v
+	}
+	return rep
+}
+
+// runSweepMode is the -mode sweep entry point.
+func runSweepMode(baselineBlob, benchOut []byte, outPath string) {
+	var base sweepBaselineFile
+	if err := json.Unmarshal(baselineBlob, &base); err != nil {
+		log.Fatalf("parse sweep baseline: %v", err)
+	}
+	if len(base.Pairs) == 0 {
+		log.Fatal("sweep baseline holds no pairs")
+	}
+	run, err := parseSweepBench(benchOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := compareSweep(base.Pairs, run)
+	if outPath != "" {
+		blob, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	names := make([]string, 0, len(rep.Pairs))
+	for name := range rep.Pairs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := rep.Pairs[name]
+		status := "ok"
+		if !v.Pass {
+			status = "FAIL"
+		}
+		log.Printf("%-12s batch %8.1f points/s / scalar %7.2f points/s = %.2fx (floor %.2fx)  %s",
+			name, v.BatchPointsS, v.ScalarPointsS, v.Ratio, v.MinRatio, status)
+		for _, r := range v.FailureReasons {
+			log.Printf("  ↳ %s", r)
+		}
+	}
+	if !rep.Pass {
+		log.Fatal("sweep batch speedup below its floor")
+	}
+	log.Printf("all pairs above their ratio floors")
 }
 
 // verdict is one benchmark's comparison outcome.
@@ -180,6 +320,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchguard: ")
 	var (
+		mode         = flag.String("mode", "core", "core: per-core MB/s + sim-IPC gate; sweep: batch/scalar points/s ratio gate")
 		baselinePath = flag.String("baseline", "BENCH_core.json", "committed reference numbers")
 		benchPath    = flag.String("bench", "-", "go test -bench output file (- = stdin)")
 		tolerance    = flag.Float64("tolerance", 0.15, "allowed relative MB/s regression")
@@ -193,6 +334,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *mode == "sweep" {
+		var out []byte
+		if *benchPath == "-" {
+			out, err = io.ReadAll(os.Stdin)
+		} else {
+			out, err = os.ReadFile(*benchPath)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		runSweepMode(blob, out, *outPath)
+		return
+	}
+	if *mode != "core" {
+		log.Fatalf("unknown -mode %q (want core or sweep)", *mode)
+	}
+
 	var base baselineFile
 	if err := json.Unmarshal(blob, &base); err != nil {
 		log.Fatalf("parse %s: %v", *baselinePath, err)

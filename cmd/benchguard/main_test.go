@@ -146,6 +146,99 @@ func TestCompareGatesSimIPC(t *testing.T) {
 	}
 }
 
+const sampleSweepBench = `goos: linux
+pkg: earlyrelease/internal/sweep
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkSweepScalar    	       2	3268070606 ns/op	        19.58 points/s
+BenchmarkSweepBatch-8   	       2	 426054026 ns/op	       150.2 points/s
+BenchmarkSweepScalarMix 	       2	2707697230 ns/op	        23.64 points/s
+BenchmarkSweepBatchMix  	       2	2012702559 ns/op	        31.80 points/s
+BenchmarkPolicyConvGo 	       3	   6105766 ns/op	   4.08 MB/s	         1.678 sim-IPC
+PASS
+`
+
+func sweepPairs() map[string]sweepPair {
+	return map[string]sweepPair{
+		"Explorer": {Scalar: "BenchmarkSweepScalar", Batch: "BenchmarkSweepBatch", MinRatio: 5.0},
+		"Mix":      {Scalar: "BenchmarkSweepScalarMix", Batch: "BenchmarkSweepBatchMix", MinRatio: 1.0},
+	}
+}
+
+func TestParseSweepBench(t *testing.T) {
+	run, err := parseSweepBench([]byte(sampleSweepBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run) != 4 {
+		t.Fatalf("parsed %d results, want 4 (the MB/s line has no points/s): %+v", len(run), run)
+	}
+	// With and without the -procs suffix.
+	if run["BenchmarkSweepBatch"] != 150.2 || run["BenchmarkSweepScalar"] != 19.58 {
+		t.Fatalf("parsed: %+v", run)
+	}
+	if _, err := parseSweepBench([]byte("PASS\nok\n")); err == nil {
+		t.Fatal("empty sweep bench output accepted")
+	}
+
+	// Repeats keep the best points/s.
+	out := "BenchmarkSweepBatch \t 1 \t 700 ns/op\t 100.0 points/s\n" +
+		"BenchmarkSweepBatch \t 1 \t 500 ns/op\t 140.0 points/s\n"
+	run, err = parseSweepBench([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run["BenchmarkSweepBatch"] != 140.0 {
+		t.Fatalf("did not keep best repeat: %+v", run)
+	}
+}
+
+func TestCompareSweepPasses(t *testing.T) {
+	run, err := parseSweepBench([]byte(sampleSweepBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := compareSweep(sweepPairs(), run)
+	if !rep.Pass {
+		t.Fatalf("healthy ratios failed: %+v", rep)
+	}
+	v := rep.Pairs["Explorer"]
+	if v.Ratio < 7.6 || v.Ratio > 7.8 {
+		t.Fatalf("Explorer ratio %.3f, want ≈7.67", v.Ratio)
+	}
+}
+
+func TestCompareSweepCatchesRatioDrop(t *testing.T) {
+	run := map[string]float64{
+		"BenchmarkSweepScalar": 20.0, "BenchmarkSweepBatch": 80.0, // 4.0x < 5.0 floor
+		"BenchmarkSweepScalarMix": 23.0, "BenchmarkSweepBatchMix": 31.0,
+	}
+	rep := compareSweep(sweepPairs(), run)
+	if rep.Pass || rep.Pairs["Explorer"].Pass {
+		t.Fatalf("4.0x passed the 5.0 floor: %+v", rep)
+	}
+	if !rep.Pairs["Mix"].Pass {
+		t.Fatalf("healthy Mix pair dragged down: %+v", rep.Pairs["Mix"])
+	}
+	if !strings.Contains(rep.Pairs["Explorer"].FailureReasons[0], "below the 5.00 floor") {
+		t.Fatalf("reasons: %+v", rep.Pairs["Explorer"].FailureReasons)
+	}
+}
+
+func TestCompareSweepFailsOnMissingBenchmark(t *testing.T) {
+	// Deleting the scalar side must not delete the gate.
+	run := map[string]float64{
+		"BenchmarkSweepBatch":     80.0,
+		"BenchmarkSweepScalarMix": 23.0, "BenchmarkSweepBatchMix": 31.0,
+	}
+	rep := compareSweep(sweepPairs(), run)
+	if rep.Pass || rep.Pairs["Explorer"].Pass {
+		t.Fatalf("missing scalar benchmark passed: %+v", rep)
+	}
+	if !strings.Contains(rep.Pairs["Explorer"].FailureReasons[0], "missing") {
+		t.Fatalf("reasons: %+v", rep.Pairs["Explorer"].FailureReasons)
+	}
+}
+
 func TestCompareFailsOnMissing(t *testing.T) {
 	base := baseEntries(map[string][3]float64{
 		"A": {100, 5.00, 1.5},

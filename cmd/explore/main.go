@@ -30,6 +30,12 @@
 // coordinator's result cache. -json writes the frontier (the CI
 // explore smoke asserts it is non-empty, non-dominated, and fully
 // cached on a warm rerun).
+//
+// Local evaluation batches candidates sharing a (workload, scale)
+// trace onto the lockstep execution path (DESIGN.md §4.6) — results
+// stay bit-identical to scalar, so frontiers do not depend on -batch
+// (0 = auto width, 1 = scalar). -cpuprofile/-memprofile write
+// runtime/pprof profiles of the whole search.
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"os"
 	"strings"
 
+	"earlyrelease/internal/prof"
 	"earlyrelease/internal/search"
 	"earlyrelease/internal/stats"
 	"earlyrelease/internal/sweep"
@@ -54,7 +61,8 @@ func main() {
 		seed       = flag.Int64("seed", 0, "random seed (same seed+budget+space = identical frontier)")
 		scale      = flag.Int("scale", sweep.DefaultScale, "dynamic instructions per workload")
 		screen     = flag.Int("screen-scale", 0, "halving screening scale (0 = scale/8)")
-		batch      = flag.Int("batch", 0, "random-seeding batch size (0 = default)")
+		seedBatch  = flag.Int("seed-batch", 0, "random-seeding batch size (0 = default)")
+		batch      = flag.Int("batch", 0, "lockstep batch width for candidates sharing a trace (0 = auto, 1 = scalar)")
 		check      = flag.Bool("check", false, "run evaluations with the invariant checker (slower)")
 		workloadsF = flag.String("workloads", "", "workloads for the IPC objective (empty = paper suite)")
 		policiesF  = flag.String("policies", "", "policy dimension (empty = conv,basic,extended)")
@@ -66,6 +74,8 @@ func main() {
 		remoteC    = flag.String("remote-cache", "", "sweepd coordinator URL: search locally over its shared cache")
 		jsonPath   = flag.String("json", "", "write the frontier JSON to this file (\"-\" = stdout)")
 		statsPath  = flag.String("stats-json", "", "write run + cache statistics to this file")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the search to this file")
+		memProf    = flag.String("memprofile", "", "write an allocation profile after the search to this file")
 		quiet      = flag.Bool("q", false, "suppress progress output")
 	)
 	axisVals := map[string][]int{}
@@ -98,7 +108,7 @@ func main() {
 		Seed:        *seed,
 		Scale:       *scale,
 		ScreenScale: *screen,
-		Batch:       *batch,
+		Batch:       *seedBatch,
 		Check:       *check,
 		Workloads:   sweep.SplitList(*workloadsF),
 	}
@@ -124,6 +134,11 @@ func main() {
 			"it cannot be combined with -cache or -remote-cache")
 	}
 
+	stopProf, err := prof.Start(*cpuProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	progress := func(done, total int, last string) {
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "\r%d/%d evaluations, %s", done, total, last+strings.Repeat(" ", 20))
@@ -136,7 +151,7 @@ func main() {
 			progress(p.Evaluations+p.ScreenEvaluations, p.Budget, p.Last)
 		})
 	} else {
-		eng := &sweep.Engine{Parallel: *parallel}
+		eng := &sweep.Engine{Parallel: *parallel, Batch: *batch}
 		if *cachePath != "" {
 			if eng.Cache, err = sweep.OpenCache(*cachePath); err != nil {
 				log.Fatal(err)
@@ -155,11 +170,15 @@ func main() {
 			cacheStats = eng.Cache.Stats()
 		}
 	}
+	stopProf()
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if perr := prof.WriteHeap(*memProf); perr != nil {
+		log.Fatal(perr)
 	}
 
 	t := stats.NewTable("policy", "int+fp", "machine", "hm IPC", "E/acc (pJ)", "t/acc (ns)", "early/1k")

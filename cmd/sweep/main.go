@@ -18,6 +18,12 @@
 // otherwise a compact IPC table. -stats-json FILE writes the run and
 // cache statistics (the CI smokes upload these).
 //
+// Points sharing a (workload, scale) trace execute on the batched
+// lockstep path (DESIGN.md §4.6), which steps many pipeline configs
+// per pass over one decoded trace; results are bit-identical to scalar
+// execution. -batch caps the lockstep width (0 = auto, 1 = scalar).
+// -cpuprofile/-memprofile write runtime/pprof profiles of the run.
+//
 // Grids can scale past one machine through a sweepd coordinator
 // (DESIGN.md §4.3): -remote URL submits the grid for federated
 // execution across the coordinator's workers, while -remote-cache URL
@@ -37,6 +43,7 @@ import (
 	"os"
 	"strings"
 
+	"earlyrelease/internal/prof"
 	"earlyrelease/internal/search"
 	"earlyrelease/internal/stats"
 	"earlyrelease/internal/sweep"
@@ -69,6 +76,9 @@ func main() {
 		check      = flag.Bool("check", false, "enable invariant checking")
 		ablate     = flag.Bool("ablate", false, "also sweep the no-reuse and eager ablations")
 		parallel   = flag.Int("parallel", 0, "workers (0 = GOMAXPROCS)")
+		batch      = flag.Int("batch", 0, "lockstep batch width for points sharing a trace (0 = auto, 1 = scalar)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write an allocation profile after the run to this file")
 		cachePath  = flag.String("cache", "", "persistent result-cache file")
 		remote     = flag.String("remote", "", "sweepd coordinator URL: submit the grid for federated execution")
 		remoteC    = flag.String("remote-cache", "", "sweepd coordinator URL: run locally but read-through/write-back its shared cache")
@@ -130,7 +140,7 @@ func main() {
 		log.Fatal("-remote submits the grid to the coordinator (which owns the cache); " +
 			"it cannot be combined with -cache or -remote-cache")
 	}
-	eng := &sweep.Engine{Parallel: *parallel}
+	eng := &sweep.Engine{Parallel: *parallel, Batch: *batch}
 	if *cachePath != "" {
 		if eng.Cache, err = sweep.OpenCache(*cachePath); err != nil {
 			log.Fatal(err)
@@ -141,6 +151,11 @@ func main() {
 			eng.Cache = sweep.NewCache()
 		}
 		eng.Cache.SetRemote(sweep.NewRemoteCache(*remoteC))
+	}
+
+	stopProf, err := prof.Start(*cpuProf)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	progress := func(p sweep.Progress) {
@@ -157,11 +172,15 @@ func main() {
 	} else {
 		res, err = eng.Run(g, progress)
 	}
+	stopProf()
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+	if perr := prof.WriteHeap(*memProf); perr != nil {
+		log.Fatal(perr)
 	}
 	if res.SaveErr != "" {
 		log.Printf("warning: results below are complete but were not persisted: %s", res.SaveErr)

@@ -43,6 +43,7 @@ func main() {
 		addr         = flag.String("addr", ":8080", "coordinator listen address")
 		cachePath    = flag.String("cache", "", "persistent result-cache file (empty = in-memory)")
 		parallel     = flag.Int("parallel", 0, "simulations per worker engine (0 = GOMAXPROCS)")
+		batch        = flag.Int("batch", 0, "lockstep batch width for shard points sharing a trace (0 = auto, 1 = scalar)")
 		localWorkers = flag.Int("local-workers", 1, "embedded workers in the coordinator (0 = pure coordinator)")
 		leaseTTL     = flag.Duration("lease-ttl", 30*time.Second, "work lease lifetime between renewals")
 		shardPoints  = flag.Int("shard-points", 0, "max points per shard (0 = default)")
@@ -53,15 +54,15 @@ func main() {
 
 	switch *role {
 	case "worker":
-		runWorker(*join, *name, *parallel)
+		runWorker(*join, *name, *parallel, *batch)
 	case "coordinator":
-		runCoordinator(*addr, *cachePath, *parallel, *localWorkers, *leaseTTL, *shardPoints)
+		runCoordinator(*addr, *cachePath, *parallel, *batch, *localWorkers, *leaseTTL, *shardPoints)
 	default:
 		log.Fatalf("unknown role %q (want coordinator or worker)", *role)
 	}
 }
 
-func runCoordinator(addr, cachePath string, parallel, localWorkers int, leaseTTL time.Duration, shardPoints int) {
+func runCoordinator(addr, cachePath string, parallel, batch, localWorkers int, leaseTTL time.Duration, shardPoints int) {
 	cache := sweep.NewCache()
 	if cachePath != "" {
 		var err error
@@ -75,6 +76,7 @@ func runCoordinator(addr, cachePath string, parallel, localWorkers int, leaseTTL
 	cfg := ServerConfig{
 		Cache:          cache,
 		WorkerParallel: parallel,
+		WorkerBatch:    batch,
 		LocalWorkers:   localWorkers,
 		LeaseTTL:       leaseTTL,
 		Planner:        sweep.ShardPlanner{MaxPoints: shardPoints},
@@ -90,7 +92,7 @@ func runCoordinator(addr, cachePath string, parallel, localWorkers int, leaseTTL
 	log.Fatal(http.ListenAndServe(addr, srv.Handler()))
 }
 
-func runWorker(join, name string, parallel int) {
+func runWorker(join, name string, parallel, batch int) {
 	if join == "" {
 		log.Fatal("worker role needs -join URL of a coordinator")
 	}
@@ -102,7 +104,7 @@ func runWorker(join, name string, parallel int) {
 	w := &sweep.Worker{
 		Source: sweep.NewClient(join),
 		Name:   name,
-		Engine: &sweep.Engine{Parallel: parallel},
+		Engine: &sweep.Engine{Parallel: parallel, Batch: batch},
 	}
 	log.Printf("worker %q joining %s", name, join)
 	if err := w.Run(ctx); err != nil {

@@ -160,6 +160,9 @@ type ServerConfig struct {
 	// WorkerParallel bounds each local worker's engine pool
 	// (0 = GOMAXPROCS).
 	WorkerParallel int
+	// WorkerBatch caps each local worker's lockstep batch width
+	// (0 = auto, 1 = scalar execution).
+	WorkerBatch int
 	// LeaseTTL, MaxAttempts and Planner tune the federation (zero
 	// values take the sweep package defaults).
 	LeaseTTL    time.Duration
@@ -201,7 +204,7 @@ func NewServerWith(cfg ServerConfig) *Server {
 		w := &sweep.Worker{
 			Source: s.coord,
 			Name:   fmt.Sprintf("local-%d", i+1),
-			Engine: &sweep.Engine{Parallel: cfg.WorkerParallel},
+			Engine: &sweep.Engine{Parallel: cfg.WorkerParallel, Batch: cfg.WorkerBatch},
 			Poll:   5 * time.Millisecond,
 		}
 		s.workerWG.Add(1)

@@ -17,15 +17,19 @@ type Config struct {
 	HitLat    int // cycles for a hit at this level
 }
 
-// Cache is one set-associative level with LRU replacement.
+// Cache is one set-associative level with LRU replacement. The way
+// state is stored flat ([set*Ways+way]) so building a cache is a
+// handful of allocations regardless of geometry — the sweep engine
+// constructs hierarchies per point, and a 1 MB L2 as per-set slices
+// costs tens of thousands of small allocations.
 type Cache struct {
 	cfg      Config
 	sets     int
 	lineBits uint
-	tags     [][]uint64
-	valid    [][]bool
-	dirty    [][]bool
-	stamp    [][]uint64
+	tags     []uint64
+	valid    []bool
+	dirty    []bool
+	stamp    []uint64
 	clock    uint64
 
 	Accesses   uint64
@@ -44,16 +48,11 @@ func New(cfg Config) *Cache {
 		panic(fmt.Sprintf("cache: non power-of-two geometry %+v (sets=%d)", cfg, sets))
 	}
 	c := &Cache{cfg: cfg, sets: sets, lineBits: log2(cfg.LineBytes)}
-	c.tags = make([][]uint64, sets)
-	c.valid = make([][]bool, sets)
-	c.dirty = make([][]bool, sets)
-	c.stamp = make([][]uint64, sets)
-	for i := 0; i < sets; i++ {
-		c.tags[i] = make([]uint64, cfg.Ways)
-		c.valid[i] = make([]bool, cfg.Ways)
-		c.dirty[i] = make([]bool, cfg.Ways)
-		c.stamp[i] = make([]uint64, cfg.Ways)
-	}
+	n := sets * cfg.Ways
+	c.tags = make([]uint64, n)
+	c.valid = make([]bool, n)
+	c.dirty = make([]bool, n)
+	c.stamp = make([]uint64, n)
 	return c
 }
 
@@ -73,11 +72,12 @@ func (c *Cache) Lookup(addr uint64, write bool) bool {
 	c.Accesses++
 	set := int(addr>>c.lineBits) & (c.sets - 1)
 	tag := addr >> c.lineBits
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.valid[set][w] && c.tags[set][w] == tag {
-			c.stamp[set][w] = c.clock
+	base := set * c.cfg.Ways
+	for w := base; w < base+c.cfg.Ways; w++ {
+		if c.valid[w] && c.tags[w] == tag {
+			c.stamp[w] = c.clock
 			if write {
-				c.dirty[set][w] = true
+				c.dirty[w] = true
 			}
 			return true
 		}
@@ -92,38 +92,37 @@ func (c *Cache) Fill(addr uint64, write bool) (writeback bool) {
 	c.clock++
 	set := int(addr>>c.lineBits) & (c.sets - 1)
 	tag := addr >> c.lineBits
-	victim := 0
+	base := set * c.cfg.Ways
+	victim := base
 	best := ^uint64(0)
-	for w := 0; w < c.cfg.Ways; w++ {
-		if !c.valid[set][w] {
+	for w := base; w < base+c.cfg.Ways; w++ {
+		if !c.valid[w] {
 			victim = w
 			best = 0
 			break
 		}
-		if c.stamp[set][w] < best {
-			best = c.stamp[set][w]
+		if c.stamp[w] < best {
+			best = c.stamp[w]
 			victim = w
 		}
 	}
-	if c.valid[set][victim] && c.dirty[set][victim] {
+	if c.valid[victim] && c.dirty[victim] {
 		writeback = true
 		c.Writebacks++
 	}
-	c.valid[set][victim] = true
-	c.tags[set][victim] = tag
-	c.dirty[set][victim] = write
-	c.stamp[set][victim] = c.clock
+	c.valid[victim] = true
+	c.tags[victim] = tag
+	c.dirty[victim] = write
+	c.stamp[victim] = c.clock
 	return writeback
 }
 
 // reset restores the cache to its post-New state, keeping the arrays.
 func (c *Cache) reset() {
-	for i := range c.tags {
-		clear(c.tags[i])
-		clear(c.valid[i])
-		clear(c.dirty[i])
-		clear(c.stamp[i])
-	}
+	clear(c.tags)
+	clear(c.valid)
+	clear(c.dirty)
+	clear(c.stamp)
 	c.clock = 0
 	c.Accesses, c.Misses, c.Writebacks = 0, 0, 0
 }

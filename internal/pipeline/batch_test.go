@@ -1,0 +1,250 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"earlyrelease/internal/release"
+	"earlyrelease/internal/workloads"
+)
+
+// The batch differential suite pins BatchCore bit-identical to the
+// scalar reference: for every configuration the full Result — cycles,
+// IPC, stall and release breakdowns, predictor and cache rates,
+// register-lifetime averages — must equal an independent Core.Run.
+
+const batchDiffScale = 4_000
+
+// batchMatrix builds the per-workload lane list for the differential
+// matrix: every release policy, the ablation flags, and one variant per
+// machine axis (window, LSQ, widths, front end, predictor, caches,
+// memory latency), plus checker and fault-injection lanes. The lanes
+// halt at very different cycle counts, so every batch is ragged.
+func batchMatrix() []Config {
+	mk := func(kind release.Kind, regs int, mut func(*Config)) Config {
+		cfg := DefaultConfig(kind, regs, regs)
+		cfg.TrackRegStates = true
+		if mut != nil {
+			mut(&cfg)
+		}
+		return cfg
+	}
+	return []Config{
+		mk(release.Conventional, 48, nil),
+		mk(release.Basic, 48, nil),
+		mk(release.Extended, 48, nil),
+		mk(release.Basic, 48, func(c *Config) { c.Policy.Eager = true }),
+		mk(release.Extended, 48, func(c *Config) { c.Policy.Reuse = false }),
+		mk(release.Conventional, 40, nil),
+		mk(release.Extended, 48, func(c *Config) { c.ROSSize = 32 }),
+		mk(release.Basic, 48, func(c *Config) { c.LSQSize = 8 }),
+		mk(release.Conventional, 48, func(c *Config) { c.FetchWidth = 2; c.IssueWidth = 2 }),
+		mk(release.Extended, 48, func(c *Config) { c.FrontEndDepth = 8; c.BPred.HistoryBits = 10 }),
+		mk(release.Basic, 48, func(c *Config) { c.Mem.L1D.SizeBytes = 8 << 10 }),
+		mk(release.Extended, 48, func(c *Config) {
+			c.Mem.L1D.SizeBytes = 8 << 10
+			c.Mem.MemLat = 200
+			c.IssueWidth = 2
+		}),
+		mk(release.Extended, 44, func(c *Config) { c.Check = true }),
+		mk(release.Conventional, 48, func(c *Config) {
+			c.FaultAt = []int{50, 500}
+			c.Check = true
+		}),
+	}
+}
+
+// runScalar runs one config through the reference path.
+func runScalar(t *testing.T, cfg Config, w workloads.Workload, scale int) (*Result, error) {
+	t.Helper()
+	tr, err := w.Trace(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Run()
+}
+
+func TestBatchMatchesScalarAcrossCorpus(t *testing.T) {
+	cfgs := batchMatrix()
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			tr, err := w.Trace(batchDiffScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch := NewBatch(tr)
+			got, errs := batch.Run(cfgs)
+			for i, cfg := range cfgs {
+				if errs[i] != nil {
+					t.Fatalf("lane %d: %v", i, errs[i])
+				}
+				want, err := runScalar(t, cfg, w, batchDiffScale)
+				if err != nil {
+					t.Fatalf("scalar %d: %v", i, err)
+				}
+				if !reflect.DeepEqual(got[i], want) {
+					t.Errorf("lane %d diverged from scalar\n got: %+v\nwant: %+v", i, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchLaneErrorIsolation puts a lane that aborts on its cycle
+// limit and a lane with an invalid config in the middle of a batch and
+// requires (a) the failing lanes to report exactly the scalar path's
+// errors and (b) the sibling lanes to stay bit-identical to scalar.
+func TestBatchLaneErrorIsolation(t *testing.T) {
+	w, err := workloads.ByName("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := w.Trace(batchDiffScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	good := DefaultConfig(release.Extended, 48, 48)
+	good.TrackRegStates = true
+	limited := DefaultConfig(release.Basic, 48, 48)
+	limited.TrackRegStates = true
+	limited.MaxCycles = 100 // aborts mid-flight
+	invalid := DefaultConfig(release.Conventional, 48, 48)
+	invalid.IssueWidth = 0 // fails Validate
+	good2 := DefaultConfig(release.Conventional, 40, 40)
+	good2.TrackRegStates = true
+
+	batch := NewBatch(tr)
+	got, errs := batch.Run([]Config{good, limited, invalid, good2})
+
+	for _, i := range []int{0, 3} {
+		if errs[i] != nil {
+			t.Fatalf("lane %d: unexpected error %v", i, errs[i])
+		}
+	}
+	for _, i := range []int{1, 2} {
+		if errs[i] == nil {
+			t.Fatalf("lane %d: expected an error", i)
+		}
+		if got[i] != nil {
+			t.Fatalf("lane %d: result despite error", i)
+		}
+	}
+
+	// Failing lanes match the scalar path's behavior exactly.
+	core, err := New(limited, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Run(); err == nil || err.Error() != errs[1].Error() {
+		t.Errorf("cycle-limit error diverged: batch %q, scalar %v", errs[1], err)
+	}
+	if _, err := New(invalid, tr); err == nil || err.Error() != errs[2].Error() {
+		t.Errorf("config error diverged: batch %q, scalar %v", errs[2], err)
+	}
+
+	// Sibling lanes are undisturbed.
+	for _, i := range []int{0, 3} {
+		cfg := good
+		if i == 3 {
+			cfg = good2
+		}
+		want, err := runScalar(t, cfg, w, batchDiffScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("lane %d poisoned by sibling failure\n got: %+v\nwant: %+v", i, got[i], want)
+		}
+	}
+}
+
+// TestBatchCoreReuse drives one BatchCore across traces and batch
+// sizes, as the sweep workers do, and requires recycled lanes to match
+// fresh scalar runs bit for bit.
+func TestBatchCoreReuse(t *testing.T) {
+	cfgs := batchMatrix()[:6]
+	var batch *BatchCore
+	for _, name := range []string{"tomcatv", "go", "tomcatv"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := w.Trace(batchDiffScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch == nil {
+			batch = NewBatch(tr)
+		} else {
+			batch.SetTrace(tr)
+		}
+		n := len(cfgs)
+		if name == "go" {
+			n = 3 // shrink the batch to leave stale lanes behind
+		}
+		got, errs := batch.Run(cfgs[:n])
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				t.Fatalf("%s lane %d: %v", name, i, errs[i])
+			}
+			want, err := runScalar(t, cfgs[i], w, batchDiffScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got[i], want) {
+				t.Errorf("%s lane %d diverged after recycle", name, i)
+			}
+		}
+	}
+}
+
+// TestGoldenCasesThroughBatch replays the golden pin cases through the
+// batch path: the same configurations whose Results are pinned in
+// testdata/golden.json must come out identical when batched.
+func TestGoldenCasesThroughBatch(t *testing.T) {
+	byWork := map[string][]goldenCase{}
+	var order []string
+	for _, gc := range goldenCases() {
+		if len(byWork[gc.Work]) == 0 {
+			order = append(order, gc.Work)
+		}
+		byWork[gc.Work] = append(byWork[gc.Work], gc)
+	}
+	for _, work := range order {
+		cases := byWork[work]
+		w, err := workloads.ByName(work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := w.Trace(goldenScale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs := make([]Config, len(cases))
+		for i, gc := range cases {
+			cfg := DefaultConfig(gc.Kind, gc.IntRegs, gc.FPRegs)
+			cfg.TrackRegStates = true
+			cfg.Check = gc.Check
+			cfg.Policy.Reuse = !gc.NoReuse
+			cfg.Policy.Eager = gc.Eager
+			cfg.FaultAt = gc.Faults
+			cfgs[i] = cfg
+		}
+		got, errs := NewBatch(tr).Run(cfgs)
+		for i, gc := range cases {
+			if errs[i] != nil {
+				t.Fatalf("%s: %v", gc.Name, errs[i])
+			}
+			want := runGoldenCase(t, gc)
+			if !reflect.DeepEqual(got[i], want) {
+				t.Errorf("%s: batch diverged from scalar golden case", gc.Name)
+			}
+		}
+	}
+}

@@ -22,12 +22,15 @@ type uop struct {
 	pc       uint64
 	traceIdx int // index into the driving trace; -1 on the wrong path
 
-	// Predicates of inst, decoded once at rename so the per-cycle loops
+	// Predicates of inst, decoded once at fetch so the per-cycle loops
 	// never go back to the opcode table.
-	isLoad  bool
-	isStore bool
-	isMem   bool
-	fu      isa.FUKind
+	isLoad     bool
+	isStore    bool
+	isMem      bool
+	isBranch   bool
+	isIndirect bool
+	isHalt     bool
+	fu         isa.FUKind
 
 	issued        bool
 	completed     bool
@@ -51,6 +54,7 @@ type uop struct {
 // fetch and rename stages.
 type fetchItem struct {
 	inst       isa.Inst
+	meta       instMeta
 	pc         uint64
 	traceIdx   int
 	wrongPath  bool
@@ -167,6 +171,19 @@ type Core struct {
 	cycle     int64
 	committed uint64
 	halted    bool
+
+	// Shared pre-decode for the batch fast path; nil on the scalar
+	// reference path, where fetch decodes each item's meta inline.
+	dec *Decoded
+
+	// Fast-path bookkeeping (see batch.go). renameBlock records why the
+	// last renameStage call dispatched nothing (blockNone otherwise);
+	// renameBound is the cycle the fetch-queue head becomes ready when
+	// that is the blocker. wheelCount tracks outstanding completion-wheel
+	// entries so an idle stretch can be fast-forwarded to the next event.
+	renameBlock uint8
+	renameBound int64
+	wheelCount  int
 
 	faults map[int]bool
 
@@ -312,8 +329,23 @@ func (c *Core) init(cfg Config, tr *trace.Trace) error {
 	c.halted = false
 	c.stalls = Stalls{}
 	c.wrongUops, c.exceptions = 0, 0
+	c.dec = nil
+	c.renameBlock = blockNone
+	c.renameBound = 0
+	c.wheelCount = 0
 	return nil
 }
+
+// Rename-block reasons recorded for the fast path's stall accounting.
+const (
+	blockNone          uint8 = iota
+	blockFetchEmpty          // fetch queue empty (FetchDry)
+	blockFetchNotReady       // fetch-queue head still in the front end (FetchDry)
+	blockROSFull
+	blockLSQFull
+	blockBranches
+	blockNoPhysReg
+)
 
 func ci(class isa.RegClass) int {
 	if class == isa.ClassFP {
@@ -509,7 +541,7 @@ func (c *Core) commitStage() {
 		c.headSeq++
 		c.count--
 		c.committed++
-		if u.inst.IsHalt() {
+		if u.isHalt {
 			c.halted = true
 			return
 		}

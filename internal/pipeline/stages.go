@@ -50,7 +50,7 @@ func (c *Core) fetchStage() {
 		}
 		item.readyAt = c.cycle + int64(c.cfg.FrontEndDepth)
 		c.fqLen++
-		if item.inst.IsHalt() {
+		if item.meta.is(mHalt) {
 			if item.wrongPath {
 				// Wrong path ran into HALT/end of text: stall until the
 				// mispredicted branch resolves.
@@ -76,6 +76,11 @@ func (c *Core) fetchOnTrace(item *fetchItem) {
 	e := c.tr.At(c.cursor)
 	in := e.Inst
 	item.inst = in
+	if c.dec != nil {
+		item.meta = *c.dec.at(e.PC)
+	} else {
+		item.meta = decodeMeta(in)
+	}
 	item.pc = e.PC
 	item.traceIdx = c.cursor
 	item.wrongPath = false
@@ -87,7 +92,7 @@ func (c *Core) fetchOnTrace(item *fetchItem) {
 	item.mispredict = false
 	c.cursor++
 	switch {
-	case in.IsBranch():
+	case item.meta.is(mBranch):
 		item.snap = c.bp.Snap()
 		item.predTaken = c.bp.Predict(e.PC)
 		if item.predTaken == e.Taken {
@@ -102,14 +107,14 @@ func (c *Core) fetchOnTrace(item *fetchItem) {
 			c.wrongPath = true
 			c.wrongPC = item.predNext
 		}
-	case in.Op == isa.JAL:
+	case item.meta.is(mJAL):
 		// Direct target: computed by the front end, never mispredicted.
 		item.predTaken = true
 		item.predNext = e.NextPC
-		if bpred.IsCall(in) {
+		if item.meta.is(mCall) {
 			c.bp.OnCall(e.PC + isa.InstBytes)
 		}
-	case in.IsIndirect():
+	case item.meta.is(mIndirect):
 		item.snap = c.bp.Snap()
 		tgt, ok := c.bp.PredictTarget(in, e.PC)
 		if !ok {
@@ -117,7 +122,7 @@ func (c *Core) fetchOnTrace(item *fetchItem) {
 		}
 		item.predTaken = true
 		item.predNext = tgt
-		if bpred.IsCall(in) {
+		if item.meta.is(mCall) {
 			c.bp.OnCall(e.PC + isa.InstBytes)
 		}
 		if tgt != e.NextPC {
@@ -136,6 +141,11 @@ func (c *Core) fetchOnTrace(item *fetchItem) {
 func (c *Core) fetchWrongPath(pc uint64, item *fetchItem) {
 	in, _ := c.tr.Prog.FetchAt(pc)
 	item.inst = in
+	if c.dec != nil {
+		item.meta = *c.dec.at(pc)
+	} else {
+		item.meta = decodeMeta(in)
+	}
 	item.pc = pc
 	item.traceIdx = -1
 	item.wrongPath = true
@@ -145,25 +155,25 @@ func (c *Core) fetchWrongPath(pc uint64, item *fetchItem) {
 	item.mispredict = false
 	next := pc + isa.InstBytes
 	switch {
-	case in.IsBranch():
+	case item.meta.is(mBranch):
 		item.snap = c.bp.Snap()
 		item.predTaken = c.bp.Predict(pc)
 		if item.predTaken {
 			next = takenTarget(pc, in)
 		}
-	case in.Op == isa.JAL:
+	case item.meta.is(mJAL):
 		item.predTaken = true
 		next = jalTarget(pc, in)
-		if bpred.IsCall(in) {
+		if item.meta.is(mCall) {
 			c.bp.OnCall(pc + isa.InstBytes)
 		}
-	case in.IsIndirect():
+	case item.meta.is(mIndirect):
 		item.snap = c.bp.Snap()
 		if tgt, ok := c.bp.PredictTarget(in, pc); ok {
 			next = tgt
 		}
 		item.predTaken = true
-		if bpred.IsCall(in) {
+		if item.meta.is(mCall) {
 			c.bp.OnCall(pc + isa.InstBytes)
 		}
 	}
@@ -186,10 +196,12 @@ func jalTarget(pc uint64, in isa.Inst) uint64 {
 // renameStage moves instructions from the fetch queue into the reorder
 // structure, allocating registers, LSQ entries and branch checkpoints.
 func (c *Core) renameStage() {
+	c.renameBlock = blockNone
 	for n := 0; n < c.cfg.DecodeWidth; n++ {
 		if c.fqLen == 0 {
 			if n == 0 {
 				c.stalls.FetchDry++
+				c.renameBlock = blockFetchEmpty
 			}
 			return
 		}
@@ -197,32 +209,38 @@ func (c *Core) renameStage() {
 		if item.readyAt > c.cycle {
 			if n == 0 {
 				c.stalls.FetchDry++
+				c.renameBlock = blockFetchNotReady
+				c.renameBound = item.readyAt
 			}
 			return
 		}
 		in := item.inst
+		m := &item.meta
 		if c.count >= c.cfg.ROSSize {
 			if n == 0 {
 				c.stalls.ROSFull++
+				c.renameBlock = blockROSFull
 			}
 			return
 		}
-		if in.IsMem() && c.lsqLen >= c.cfg.LSQSize {
+		if m.is(mMem) && c.lsqLen >= c.cfg.LSQSize {
 			if n == 0 {
 				c.stalls.LSQFull++
+				c.renameBlock = blockLSQFull
 			}
 			return
 		}
-		needsChk := in.IsBranch() || in.IsIndirect()
+		needsChk := m.is(mBranch | mIndirect)
 		if needsChk && !c.engine.CanCheckpoint() {
 			if n == 0 {
 				c.stalls.Branches++
+				c.renameBlock = blockBranches
 			}
 			return
 		}
 		needInt, needFP := 0, 0
-		if in.HasDst() {
-			if in.DstClass() == isa.ClassInt {
+		if m.is(mHasDst) {
+			if m.dstClass == isa.ClassInt {
 				needInt = 1
 			} else {
 				needFP = 1
@@ -231,6 +249,7 @@ func (c *Core) renameStage() {
 		if !c.engine.CanRename(needInt, needFP) {
 			if n == 0 {
 				c.stalls.NoPhysReg++
+				c.renameBlock = blockNoPhysReg
 			}
 			return
 		}
@@ -252,14 +271,17 @@ func (c *Core) renameStage() {
 		u.inst = in
 		u.pc = item.pc
 		u.traceIdx = item.traceIdx
-		u.isLoad = in.IsLoad()
-		u.isStore = in.IsStore()
-		u.isMem = u.isLoad || u.isStore
-		u.fu = in.FU()
+		u.isLoad = m.is(mLoad)
+		u.isStore = m.is(mStore)
+		u.isMem = m.is(mMem)
+		u.isBranch = m.is(mBranch)
+		u.isIndirect = m.is(mIndirect)
+		u.isHalt = m.is(mHalt)
+		u.fu = m.fu
 		u.issued = false
 		u.completed = false
 		u.completeCycle = 0
-		u.isCtrl = in.IsCtrl()
+		u.isCtrl = m.is(mCtrl)
 		u.checkpointed = false
 		u.predTaken = item.predTaken
 		u.actTaken = item.actTaken
@@ -279,10 +301,10 @@ func (c *Core) renameStage() {
 			}
 		}
 		// Operand classes for the release engine.
-		u.SrcClass = [2]isa.RegClass{in.Src1Class(), in.Src2Class()}
+		u.SrcClass = m.srcClass
 		u.SrcLog = [2]isa.Reg{in.Rs1, in.Rs2}
-		if in.HasDst() {
-			u.DstClass = in.DstClass()
+		if m.is(mHasDst) {
+			u.DstClass = m.dstClass
 			u.DstLog = in.Rd
 		} else {
 			u.DstClass = isa.ClassNone
@@ -340,8 +362,17 @@ func (c *Core) renameStage() {
 // issueStage selects ready instructions oldest-first, bounded by issue
 // width and functional-unit availability. Only the unissued list is
 // scanned — already-issued window entries cost nothing.
-func (c *Core) issueStage() {
+//
+// It returns the issue count plus a stability bit for the fast path:
+// stable means no skipped instruction had ready operands, so with zero
+// issues the issue stage stays empty until a writeback event makes a
+// new operand ready — time alone cannot unblock it (renamed operands
+// sit at farFuture until written back). A ready instruction skipped for
+// a structural reason (FU pool, memory ordering) reports unstable,
+// because those conditions are relieved by in-cycle state, not events.
+func (c *Core) issueStage() (int, bool) {
 	issued := 0
+	stable := true
 	var fuUsed [isa.NumFUKinds]int
 	for idx := c.unHead; idx >= 0 && issued < c.cfg.IssueWidth; {
 		u := &c.ros[idx]
@@ -352,10 +383,12 @@ func (c *Core) issueStage() {
 		}
 		fu := u.fu
 		if fuUsed[fu] >= c.cfg.FUCount[fu] {
+			stable = false
 			idx = next
 			continue
 		}
 		if u.isLoad && !u.WrongPath && !c.loadMayIssue(u) {
+			stable = false
 			idx = next
 			continue
 		}
@@ -366,6 +399,7 @@ func (c *Core) issueStage() {
 		c.unlinkUnissued(idx)
 		slot := u.completeCycle & c.wheelMask
 		c.wheel[slot] = append(c.wheel[slot], u.Seq)
+		c.wheelCount++
 		if c.tracer != nil {
 			c.tracer.event(c.cycle, "issue", u, fmt.Sprintf(" lat=%d", u.completeCycle-c.cycle))
 		}
@@ -382,6 +416,7 @@ func (c *Core) issueStage() {
 		}
 		idx = next
 	}
+	return issued, stable
 }
 
 func (c *Core) operandsReady(u *uop) bool {
@@ -481,12 +516,15 @@ func (c *Core) execLatency(u *uop) int {
 // stale entries (for uops squashed after issue, possibly with their
 // sequence number since reassigned) are filtered by the in-flight /
 // issued / completeCycle guards.
-func (c *Core) writebackStage() {
+// It reports whether any wheel entries (live or stale) were drained
+// this cycle; the fast path treats a drained bucket as activity.
+func (c *Core) writebackStage() bool {
 	slot := c.cycle & c.wheelMask
 	bucket := c.wheel[slot]
 	if len(bucket) == 0 {
-		return
+		return false
 	}
+	c.wheelCount -= len(bucket)
 	// Insertion sort by sequence number: buckets are tiny and the age
 	// order must match the seed's oldest-first window scan.
 	for i := 1; i < len(bucket); i++ {
@@ -524,13 +562,13 @@ func (c *Core) writebackStage() {
 	if recoverU != nil {
 		c.recover(recoverU)
 	}
+	return true
 }
 
 // resolveCtrl resolves one control instruction; it returns true when the
 // instruction mispredicted and needs recovery.
 func (c *Core) resolveCtrl(u *uop) bool {
 	u.resolved = true
-	in := u.inst
 	if u.WrongPath {
 		// Wrong-path control confirms as predicted; it cannot trigger
 		// recovery (its true outcome is unknowable) but must release its
@@ -541,10 +579,10 @@ func (c *Core) resolveCtrl(u *uop) bool {
 		}
 		return false
 	}
-	if in.IsBranch() {
+	if u.isBranch {
 		c.bp.Resolve(u.pc, u.snap, u.actTaken)
 	}
-	if in.IsIndirect() {
+	if u.isIndirect {
 		c.bp.ResolveTarget(u.pc, u.actNext, u.predNext != u.actNext)
 	}
 	if u.predNext == u.actNext && u.predTaken == u.actTaken {
@@ -614,9 +652,9 @@ func (c *Core) recover(br *uop) {
 		br.checkpointed = false
 	}
 	// Predictor recovery.
-	if br.inst.IsBranch() {
+	if br.isBranch {
 		c.bp.Recover(br.snap, br.actTaken)
-	} else if br.inst.IsIndirect() {
+	} else if br.isIndirect {
 		c.bp.RecoverIndirect(br.inst, br.snap)
 	}
 	if c.tracer != nil {

@@ -39,7 +39,10 @@ func (f *FreeList) Alloc() (PhysReg, bool) {
 		return NoReg, false
 	}
 	p := f.ring[f.head]
-	f.head = (f.head + 1) % len(f.ring)
+	f.head++
+	if f.head == len(f.ring) {
+		f.head = 0
+	}
 	f.n--
 	return p, true
 }
@@ -50,7 +53,11 @@ func (f *FreeList) Free(p PhysReg) {
 	if f.n == len(f.ring) {
 		panic(fmt.Sprintf("rename: free list overflow freeing p%d", p))
 	}
-	f.ring[(f.head+f.n)%len(f.ring)] = p
+	i := f.head + f.n
+	if i >= len(f.ring) {
+		i -= len(f.ring)
+	}
+	f.ring[i] = p
 	f.n++
 }
 

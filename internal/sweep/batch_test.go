@@ -1,0 +1,152 @@
+package sweep
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// The engine-level batch suite pins the batched scheduler to the scalar
+// engine: same points, same order, byte-identical outcomes — including
+// error text — across the policy × ablation × machine-axis matrix and
+// the whole workload corpus, with checker points falling back to the
+// scalar path inside a batched run.
+
+// batchSweepPoints is the differential point list: the full corpus
+// crossed with policies, ablations and machine-axis variants, plus
+// per-point error cases and checker points. Groups are deliberately
+// ragged — lanes halt thousands of cycles apart.
+func batchSweepPoints() []Point {
+	g := Grid{
+		Policies: []string{"conv", "basic", "extended"},
+		IntRegs:  []int{40, 48},
+		Scale:    2_000,
+		ROSSizes: []int{0, 32},
+	}
+	pts := g.Expand() // all 16 workloads × 3 policies × 2 sizes × 2 windows
+	extra := []Point{
+		{Workload: "tomcatv", Policy: "extended", IntRegs: 48, FPRegs: 48, Scale: 2_000, Eager: true},
+		{Workload: "tomcatv", Policy: "extended", IntRegs: 48, FPRegs: 48, Scale: 2_000, NoReuse: true},
+		{Workload: "listwalk", Policy: "basic", IntRegs: 48, FPRegs: 48, Scale: 2_000, MemLat: 200, L1DKB: 8},
+		{Workload: "go", Policy: "conv", IntRegs: 48, FPRegs: 48, Scale: 2_000, IssueWidth: 2, FrontEnd: 8},
+		// Checker points: scalar fallback inside a batched run.
+		{Workload: "go", Policy: "extended", IntRegs: 44, FPRegs: 44, Scale: 2_000, Check: true},
+		{Workload: "tomcatv", Policy: "basic", IntRegs: 48, FPRegs: 48, Scale: 2_000, Check: true},
+		// Per-point failures mid-list: bad axis value and unknown workload.
+		{Workload: "tomcatv", Policy: "extended", IntRegs: 48, FPRegs: 48, Scale: 2_000, BPredBits: 31},
+		{Workload: "nosuch", Policy: "conv", IntRegs: 48, FPRegs: 48, Scale: 2_000},
+	}
+	return append(pts, extra...)
+}
+
+func TestBatchedSweepMatchesScalarEngine(t *testing.T) {
+	pts := batchSweepPoints()
+
+	scalar, err := (&Engine{Batch: 1, Cache: NewCache()}).RunPoints(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Width 7 forces ragged chunking of every shared-trace group.
+	batched, err := (&Engine{Batch: 7, Cache: NewCache()}).RunPoints(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(scalar.Outcomes) != len(batched.Outcomes) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(scalar.Outcomes), len(batched.Outcomes))
+	}
+	for i := range pts {
+		s, b := scalar.Outcomes[i], batched.Outcomes[i]
+		if s.Point != b.Point || s.Key != b.Key || s.Err != b.Err {
+			t.Errorf("%s: outcome metadata diverged\nscalar: %+v\nbatched: %+v", pts[i], s, b)
+			continue
+		}
+		if !reflect.DeepEqual(s.Result, b.Result) {
+			t.Errorf("%s: batched result diverged from scalar\n got: %+v\nwant: %+v",
+				pts[i], b.Result, s.Result)
+		}
+	}
+
+	if scalar.Stats.Batched != 0 || scalar.Stats.BatchGroups != 0 {
+		t.Errorf("scalar run reported batching: %+v", scalar.Stats)
+	}
+	if batched.Stats.Batched == 0 || batched.Stats.BatchGroups == 0 {
+		t.Errorf("batched run reported no batching: %+v", batched.Stats)
+	}
+	// Checker and error points must not ride the batch path.
+	wantBatched := 0
+	for _, pt := range pts {
+		if !pt.Check && pt.Workload != "nosuch" && pt.BPredBits != 31 {
+			wantBatched++
+		}
+	}
+	if batched.Stats.Batched != wantBatched {
+		t.Errorf("batched %d points, want %d (checker/error points must stay scalar)",
+			batched.Stats.Batched, wantBatched)
+	}
+	if batched.Stats.Errors != 2 || scalar.Stats.Errors != 2 {
+		t.Errorf("expected exactly the two injected errors, got scalar %d, batched %d",
+			scalar.Stats.Errors, batched.Stats.Errors)
+	}
+}
+
+// TestBatchedSweepWarmRerun reruns a batched sweep against its own
+// cache: every point must come back a cache hit with the stored result.
+func TestBatchedSweepWarmRerun(t *testing.T) {
+	g := Grid{
+		Workloads: []string{"tomcatv", "go"},
+		Policies:  []string{"conv", "extended"},
+		IntRegs:   []int{40, 48},
+		Scale:     2_000,
+	}
+	eng := &Engine{Batch: 4, Cache: NewCache()}
+	first, err := eng.Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.Simulated == 0 || first.Stats.Batched == 0 {
+		t.Fatalf("cold run did not simulate batched points: %+v", first.Stats)
+	}
+	second, err := eng.Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.CacheHits != second.Stats.Points || second.Stats.Simulated != 0 {
+		t.Fatalf("warm rerun missed the cache: %+v", second.Stats)
+	}
+	for i := range first.Outcomes {
+		if !reflect.DeepEqual(first.Outcomes[i].Result, second.Outcomes[i].Result) {
+			t.Errorf("%s: cached result differs from simulated", first.Outcomes[i].Point)
+		}
+	}
+}
+
+// TestResultsFindConcurrent hammers the lazily built point index from
+// many goroutines; under -race this pins the Find/Result lazy-init fix.
+func TestResultsFindConcurrent(t *testing.T) {
+	g := Grid{Workloads: []string{"go"}, Policies: []string{"conv", "extended"},
+		IntRegs: []int{40, 48}, Scale: 2_000}
+	res, err := (&Engine{}).Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := g.Expand()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, pt := range pts {
+				if o := res.Find(pt); o == nil {
+					t.Errorf("%s: not found", pt)
+					return
+				}
+				if r := res.Result(pt); r == nil {
+					t.Errorf("%s: no result", pt)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

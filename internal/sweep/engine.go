@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"earlyrelease/internal/pipeline"
+	"earlyrelease/internal/trace"
 	"earlyrelease/internal/workloads"
 )
 
@@ -19,7 +20,17 @@ type Engine struct {
 	// Cache holds results across Run calls. Nil means each Run gets a
 	// fresh in-memory cache.
 	Cache *Cache
+	// Batch is the lockstep batch width: cache-miss points sharing a
+	// (workload, scale) trace are grouped and simulated together on a
+	// pipeline.BatchCore, one shared trace pre-decode driving all of
+	// them (bit-identical to the scalar path). 0 = auto
+	// (DefaultBatchWidth), 1 = disable batching, >1 = group width cap.
+	// Checker points and singleton groups always take the scalar path.
+	Batch int
 }
+
+// DefaultBatchWidth is the lockstep group width Batch=0 resolves to.
+const DefaultBatchWidth = 16
 
 // Outcome is one point's final state after a sweep.
 type Outcome struct {
@@ -36,6 +47,10 @@ type RunStats struct {
 	Simulated int `json:"simulated"`  // points actually run
 	CacheHits int `json:"cache_hits"` // points served from the cache
 	Errors    int `json:"errors"`
+	// Batched counts simulated points that ran on the lockstep batch
+	// path, spread over BatchGroups shared-trace groups.
+	Batched     int `json:"batched,omitempty"`
+	BatchGroups int `json:"batch_groups,omitempty"`
 }
 
 // Progress is a snapshot of a running sweep, delivered to the progress
@@ -57,17 +72,25 @@ type Results struct {
 	// because its cache file could not be written.
 	SaveErr string `json:"save_err,omitempty"`
 
-	byPoint map[Point]*Outcome
+	// byPoint is built once under indexOnce: concurrent readers (the
+	// explorer probes results from several goroutines) must not race on
+	// a lazily grown map.
+	indexOnce sync.Once
+	byPoint   map[Point]*Outcome
 }
 
-// Find returns the outcome for a point, or nil.
+// Find returns the outcome for a point, or nil. Safe for concurrent
+// callers.
 func (r *Results) Find(p Point) *Outcome {
-	if r.byPoint == nil {
-		r.byPoint = make(map[Point]*Outcome, len(r.Outcomes))
+	r.indexOnce.Do(func() {
+		idx := make(map[Point]*Outcome, len(r.Outcomes))
 		for _, o := range r.Outcomes {
-			r.byPoint[o.Point] = o
+			if o != nil {
+				idx[o.Point] = o
+			}
 		}
-	}
+		r.byPoint = idx
+	})
 	return r.byPoint[p]
 }
 
@@ -139,11 +162,6 @@ func (e *Engine) RunPoints(points []Point, onProgress func(Progress)) (*Results,
 	}
 
 	// Resolve keys and serve cache hits synchronously; queue the rest.
-	type miss struct {
-		i   int
-		pt  Point
-		key string
-	}
 	var misses []miss
 	for i, pt := range points {
 		key, err := pt.Key()
@@ -158,36 +176,50 @@ func (e *Engine) RunPoints(points []Point, onProgress func(Progress)) (*Results,
 		misses = append(misses, miss{i, pt, key})
 	}
 
+	jobs := groupJobs(misses, e.batchWidth())
+	onBatched := func(lanes int) {
+		mu.Lock()
+		res.Stats.Batched += lanes
+		res.Stats.BatchGroups++
+		mu.Unlock()
+	}
+
 	nw := e.Parallel
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
 	}
-	if nw > len(misses) {
-		nw = len(misses)
+	if nw > len(jobs) {
+		nw = len(jobs)
 	}
-	ch := make(chan miss)
+	ch := make(chan []miss)
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			var core *pipeline.Core
-			for m := range ch {
-				var r *pipeline.Result
-				var err error
-				r, core, err = runPoint(core, m.pt)
-				o := &Outcome{Point: m.pt, Key: m.key, Result: r}
-				if err != nil {
-					o.Err = err.Error()
-				} else {
-					cache.PutPoint(m.pt, m.key, r)
+			var batch *pipeline.BatchCore
+			for j := range ch {
+				if len(j) == 1 {
+					m := j[0]
+					var r *pipeline.Result
+					var err error
+					r, core, err = runPoint(core, m.pt)
+					o := &Outcome{Point: m.pt, Key: m.key, Result: r}
+					if err != nil {
+						o.Err = err.Error()
+					} else {
+						cache.PutPoint(m.pt, m.key, r)
+					}
+					finish(m.i, o)
+					continue
 				}
-				finish(m.i, o)
+				batch = runBatchJob(batch, j, cache, finish, onBatched)
 			}
 		}()
 	}
-	for _, m := range misses {
-		ch <- m
+	for _, j := range jobs {
+		ch <- j
 	}
 	close(ch)
 	wg.Wait()
@@ -196,6 +228,124 @@ func (e *Engine) RunPoints(points []Point, onProgress func(Progress)) (*Results,
 		res.SaveErr = err.Error()
 	}
 	return res, nil
+}
+
+// miss is one cache-missing point awaiting simulation.
+type miss struct {
+	i   int
+	pt  Point
+	key string
+}
+
+// batchWidth resolves the Batch knob (0 = auto).
+func (e *Engine) batchWidth() int {
+	switch {
+	case e.Batch == 0:
+		return DefaultBatchWidth
+	case e.Batch < 1:
+		return 1
+	}
+	return e.Batch
+}
+
+// groupJobs turns the miss list into worker jobs: runs of points that
+// share a (workload, scale) trace become lockstep batch jobs of at
+// most width lanes, everything else (checker points, singleton groups,
+// width 1) stays a scalar job of one point. Job order follows each
+// group's first appearance, so scheduling is deterministic.
+func groupJobs(misses []miss, width int) [][]miss {
+	var jobs [][]miss
+	if width <= 1 {
+		for _, m := range misses {
+			jobs = append(jobs, []miss{m})
+		}
+		return jobs
+	}
+	type groupKey struct {
+		workload string
+		scale    int
+	}
+	groups := make(map[groupKey][]miss)
+	var order []groupKey
+	for _, m := range misses {
+		if m.pt.Check {
+			// The checker's extra verification stays on the reference
+			// path: it is the judge, batching is the defendant.
+			jobs = append(jobs, []miss{m})
+			continue
+		}
+		k := groupKey{m.pt.Workload, m.pt.Scale}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], m)
+	}
+	for _, k := range order {
+		g := groups[k]
+		for len(g) > 0 {
+			n := width
+			if n > len(g) {
+				n = len(g)
+			}
+			jobs = append(jobs, g[:n])
+			g = g[n:]
+		}
+	}
+	return jobs
+}
+
+// runBatchJob simulates one shared-trace group on the lockstep batch
+// path. Per-point setup failures (unknown workload, bad config) land on
+// their own outcomes without disturbing sibling lanes; the batch core
+// is recycled across jobs just as scalar workers recycle a Core.
+func runBatchJob(batch *pipeline.BatchCore, j []miss,
+	cache *Cache, finish func(int, *Outcome), onBatched func(int)) *pipeline.BatchCore {
+	w, err := workloads.ByName(j[0].pt.Workload)
+	var tr *trace.Trace
+	if err == nil {
+		tr, err = w.Trace(j[0].pt.Scale)
+	}
+	if err != nil {
+		for _, m := range j {
+			finish(m.i, &Outcome{Point: m.pt, Key: m.key, Err: err.Error()})
+		}
+		return batch
+	}
+
+	cfgs := make([]pipeline.Config, 0, len(j))
+	lanes := make([]miss, 0, len(j))
+	for _, m := range j {
+		cfg, err := m.pt.Config()
+		if err != nil {
+			finish(m.i, &Outcome{Point: m.pt, Key: m.key, Err: err.Error()})
+			continue
+		}
+		cfgs = append(cfgs, cfg)
+		lanes = append(lanes, m)
+	}
+	if len(lanes) == 0 {
+		return batch
+	}
+	onBatched(len(lanes))
+
+	if batch == nil {
+		batch = pipeline.NewBatch(tr)
+	} else {
+		batch.SetTrace(tr)
+	}
+	results, errs := batch.Run(cfgs)
+	for li, m := range lanes {
+		o := &Outcome{Point: m.pt, Key: m.key, Result: results[li]}
+		if errs[li] != nil {
+			// Same shape the scalar path gives a run error.
+			o.Result = nil
+			o.Err = fmt.Errorf("%s: %w", m.pt, errs[li]).Error()
+		} else {
+			cache.PutPoint(m.pt, m.key, results[li])
+		}
+		finish(m.i, o)
+	}
+	return batch
 }
 
 // runPoint performs the full job: trace (memoized per workload/scale),
