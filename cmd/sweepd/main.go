@@ -9,6 +9,16 @@
 //
 //	sweepd -addr :8080 -cache sweep-cache.json
 //	sweepd -role coordinator -local-workers 0        # pure coordinator
+//	sweepd -state /var/lib/sweepd                    # durable: survives restarts
+//
+// With -state the coordinator journals every queue transition (WAL +
+// periodic snapshots, DESIGN.md §4.3 "Durability") and a restart with
+// the same -state resumes every interrupted sweep and exploration
+// exactly where it was: completed shards are served from the recovered
+// state, never re-simulated, and the finished results are
+// byte-identical to an uninterrupted run. SIGINT/SIGTERM shut down
+// gracefully (final snapshot + cache save); even a hard kill loses
+// nothing but uncommitted simulation time, because the WAL replays.
 //
 //	curl -d '{"workloads":["tomcatv"],"int_regs":[40,48,64]}' localhost:8080/sweep
 //	curl localhost:8080/sweep/sw-1
@@ -29,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -41,7 +52,8 @@ func main() {
 	var (
 		role         = flag.String("role", "coordinator", "coordinator or worker")
 		addr         = flag.String("addr", ":8080", "coordinator listen address")
-		cachePath    = flag.String("cache", "", "persistent result-cache file (empty = in-memory)")
+		cachePath    = flag.String("cache", "", "persistent result-cache file (empty = in-memory, or <state>/cache.json with -state)")
+		stateDir     = flag.String("state", "", "coordinator state directory: journal + snapshots for crash-resume (empty = memory only)")
 		parallel     = flag.Int("parallel", 0, "simulations per worker engine (0 = GOMAXPROCS)")
 		batch        = flag.Int("batch", 0, "lockstep batch width for shard points sharing a trace (0 = auto, 1 = scalar)")
 		localWorkers = flag.Int("local-workers", 1, "embedded workers in the coordinator (0 = pure coordinator)")
@@ -56,13 +68,16 @@ func main() {
 	case "worker":
 		runWorker(*join, *name, *parallel, *batch)
 	case "coordinator":
-		runCoordinator(*addr, *cachePath, *parallel, *batch, *localWorkers, *leaseTTL, *shardPoints)
+		runCoordinator(*addr, *cachePath, *stateDir, *parallel, *batch, *localWorkers, *leaseTTL, *shardPoints)
 	default:
 		log.Fatalf("unknown role %q (want coordinator or worker)", *role)
 	}
 }
 
-func runCoordinator(addr, cachePath string, parallel, batch, localWorkers int, leaseTTL time.Duration, shardPoints int) {
+func runCoordinator(addr, cachePath, stateDir string, parallel, batch, localWorkers int, leaseTTL time.Duration, shardPoints int) {
+	if cachePath == "" && stateDir != "" {
+		cachePath = filepath.Join(stateDir, "cache.json")
+	}
 	cache := sweep.NewCache()
 	if cachePath != "" {
 		var err error
@@ -80,16 +95,43 @@ func runCoordinator(addr, cachePath string, parallel, batch, localWorkers int, l
 		LocalWorkers:   localWorkers,
 		LeaseTTL:       leaseTTL,
 		Planner:        sweep.ShardPlanner{MaxPoints: shardPoints},
+		StateDir:       stateDir,
 	}
 	if localWorkers <= 0 {
 		cfg.LocalWorkers = -1
 		log.Printf("pure coordinator: waiting for workers to join")
 	}
-	srv := NewServerWith(cfg)
-	defer srv.Close()
+	srv, err := OpenServerWith(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rj := range srv.Coordinator().Recovered() {
+		log.Printf("resuming %s: %d/%d points already done", rj.Label, rj.Done, rj.Total)
+	}
 	log.Printf("coordinator listening on %s (%d local workers, lease TTL %s)",
 		addr, max(localWorkers, 0), leaseTTL)
-	log.Fatal(http.ListenAndServe(addr, srv.Handler()))
+
+	// Serve until SIGINT/SIGTERM, then drain: in-flight handlers get a
+	// grace period, the coordinator writes its final snapshot (Close),
+	// and the cache persists — so the next -state start resumes from a
+	// clean snapshot without any WAL replay.
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx)
+	}()
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	srv.Close()
+	if err := cache.Save(); err != nil {
+		log.Printf("cache save: %v", err)
+	}
+	log.Printf("coordinator stopped; state saved")
 }
 
 func runWorker(join, name string, parallel, batch int) {

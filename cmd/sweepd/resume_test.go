@@ -1,0 +1,344 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"earlyrelease/internal/search"
+	"earlyrelease/internal/sweep"
+)
+
+// resumeConfig is the durable-coordinator config the restart tests
+// share: no embedded workers (all progress is test-controlled), small
+// shards, a short TTL so leases orphaned by the "crash" expire fast.
+func resumeConfig(dir string) ServerConfig {
+	return ServerConfig{
+		LocalWorkers: -1,
+		LeaseTTL:     time.Second,
+		Planner:      sweep.ShardPlanner{MaxPoints: 4},
+		StateDir:     dir,
+	}
+}
+
+// openResumeServer opens a durable server on dir with a fresh
+// in-memory cache — cold on purpose, so everything a restarted server
+// knows provably came out of the journal, not a surviving cache file.
+func openResumeServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := OpenServerWith(resumeConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// attachWorkers joins n HTTP workers (the sweepd -role worker path)
+// and returns a stop function that waits them out.
+func attachWorkers(t *testing.T, url, name string, n int) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := &sweep.Worker{
+			Source: sweep.NewClient(url),
+			Name:   name,
+			Engine: &sweep.Engine{Parallel: 2},
+			Poll:   2 * time.Millisecond,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	stop := func() { cancel(); wg.Wait() }
+	t.Cleanup(stop)
+	return stop
+}
+
+// completeGrant simulates a leased shard on eng and reports it — a
+// hand-cranked worker, so tests control exactly how much progress
+// exists at the moment of the crash.
+func completeGrant(t *testing.T, src sweep.WorkSource, eng *sweep.Engine, workerID string, grant *sweep.LeaseGrant) {
+	t.Helper()
+	pts := make([]sweep.Point, len(grant.Items))
+	for i, it := range grant.Items {
+		pts[i] = it.Point
+	}
+	res, err := eng.RunPoints(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &sweep.CompleteRequest{LeaseID: grant.LeaseID, WorkerID: workerID,
+		Outcomes: make([]sweep.WireOutcome, len(grant.Items))}
+	for i, it := range grant.Items {
+		o := sweep.WireOutcome{Key: it.Key}
+		if res.Outcomes[i].Err != "" {
+			o.Err = res.Outcomes[i].Err
+		} else {
+			o.Result = res.Outcomes[i].Result
+		}
+		req.Outcomes[i] = o
+	}
+	if err := src.CompleteShard(req); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fedStatus(t *testing.T, ts *httptest.Server) sweep.FederationStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/federation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st sweep.FederationStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// runResumeScenario drives the shared kill-and-resume script: submit
+// the 192-point acceptance grid, hand-complete nShards shards, crash
+// (the variant hook), reopen from the same state dir, finish on fresh
+// HTTP workers, and assert (a) the sweep resurfaced under its original
+// id with the pre-crash completions intact, (b) the final results are
+// byte-identical to an uninterrupted direct run, and (c) the fresh
+// workers simulated only the remainder — completed shards were served
+// from recovered state, not re-run.
+func runResumeScenario(t *testing.T, nShards int, crash func(srv *Server, ts *httptest.Server, dir string)) {
+	dir := t.TempDir()
+	g := acceptanceGrid(testScale)
+	total := len(g.Expand())
+
+	srv1, ts1 := openResumeServer(t, dir)
+	id := postGrid(t, ts1, g)
+	if id != "sw-1" {
+		t.Fatalf("sweep id %q, want sw-1", id)
+	}
+
+	client := sweep.NewClient(ts1.URL)
+	reg, err := client.RegisterWorker("manual")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &sweep.Engine{Cache: sweep.NewCache(), Parallel: 2}
+	for i := 0; i < nShards; i++ {
+		grant, err := client.LeaseShard(reg.WorkerID)
+		if err != nil || grant == nil {
+			t.Fatalf("lease %d: grant=%v err=%v", i, grant, err)
+		}
+		completeGrant(t, client, eng, reg.WorkerID, grant)
+	}
+	// One more shard leased but never completed: the crash strands it
+	// mid-flight and the restarted coordinator must requeue it via TTL.
+	if _, err := client.LeaseShard(reg.WorkerID); err != nil {
+		t.Fatal(err)
+	}
+	done := nShards * 4
+
+	crash(srv1, ts1, dir)
+
+	srv2, ts2 := openResumeServer(t, dir)
+	t.Cleanup(srv2.Close)
+	rec := srv2.Coordinator().Recovered()
+	if len(rec) != 1 || rec[0].Label != "sw-1" || rec[0].Total != total || rec[0].Done != done {
+		t.Fatalf("recovered jobs: %+v (want sw-1 %d/%d)", rec, done, total)
+	}
+	if n := srv2.Coordinator().Cache().Len(); n != done {
+		t.Fatalf("recovered cache holds %d results, want %d", n, done)
+	}
+
+	mid, ok := srv2.snapshot("sw-1")
+	if !ok || mid.State != "running" || mid.Progress.Done != done {
+		t.Fatalf("resurfaced job: ok=%v state=%s progress=%+v", ok, mid.State, mid.Progress)
+	}
+
+	attachWorkers(t, ts2.URL, "fresh", 2)
+	job := pollDone(t, ts2, "sw-1")
+	if job.Err != "" {
+		t.Fatalf("resumed sweep failed: %s", job.Err)
+	}
+	if job.Results.Stats.Simulated != total || job.Results.Stats.Errors != 0 {
+		t.Fatalf("resumed stats: %+v", job.Results.Stats)
+	}
+
+	direct, err := (&sweep.Engine{Cache: sweep.NewCache()}).Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(job.Results.Outcomes)
+	want, _ := json.Marshal(direct.Outcomes)
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed results are not byte-identical to an uninterrupted run")
+	}
+
+	// Zero re-simulation: everything the post-crash fleet executed is
+	// accounted under the fresh workers, and it is exactly the points
+	// that were not yet complete at the crash.
+	st := fedStatus(t, ts2)
+	fresh := 0
+	for _, w := range st.Workers {
+		fresh += w.PointsDone
+	}
+	if fresh != total-done {
+		t.Fatalf("fresh workers simulated %d points, want %d (completed shards re-ran?)",
+			fresh, total-done)
+	}
+	if st.JournalErr != "" {
+		t.Fatalf("journal degraded: %s", st.JournalErr)
+	}
+}
+
+// TestServerHardKillResume is the crash variant: the coordinator is
+// halted with no farewell snapshot (what SIGKILL leaves behind), the
+// WAL gets a torn garbage tail on top, and the restart must rebuild
+// the queue purely from snapshot + WAL replay.
+func TestServerHardKillResume(t *testing.T) {
+	runResumeScenario(t, 6, func(srv *Server, ts *httptest.Server, dir string) {
+		ts.Close()
+		srv.Halt()
+		f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("\x1fgarbage torn mid-record"))
+		f.Close()
+	})
+}
+
+// TestServerGracefulRestartResume is the SIGTERM variant: Close writes
+// a final snapshot and resets the WAL, so the restart resumes from the
+// snapshot alone.
+func TestServerGracefulRestartResume(t *testing.T) {
+	runResumeScenario(t, 3, func(srv *Server, ts *httptest.Server, dir string) {
+		ts.Close()
+		srv.Close()
+		if fi, err := os.Stat(filepath.Join(dir, "wal.log")); err != nil || fi.Size() != 0 {
+			t.Fatalf("after graceful close wal.log should be empty (fi=%v err=%v)", fi, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "snapshot.json")); err != nil {
+			t.Fatalf("graceful close left no snapshot: %v", err)
+		}
+	})
+}
+
+// TestExploreResumeAcrossRestart covers both exploration recovery
+// paths: a finished exploration reloads its persisted frontier
+// byte-identically, and one interrupted mid-run is deterministically
+// re-run against the recovered warm cache to the same frontier.
+func TestExploreResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ServerConfig{LocalWorkers: 2, StateDir: dir,
+		LeaseTTL: time.Second, Planner: sweep.ShardPlanner{MaxPoints: 4}}
+	srv1, err := OpenServerWith(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(srv1.Handler())
+
+	spec1 := exploreSpec("random")
+	id1 := postExplore(t, ts1, spec1)
+	before := pollExploreDone(t, ts1, id1)
+	if before.Err != "" || before.Frontier == nil {
+		t.Fatalf("exploration failed: %+v", before)
+	}
+
+	// Second exploration dies mid-run: submit, then crash immediately.
+	spec2 := exploreSpec("hillclimb")
+	spec2.Seed = 99
+	id2 := postExplore(t, ts1, spec2)
+	ts1.Close()
+	srv1.Halt()
+
+	srv2, err := OpenServerWith(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv2.Close)
+	ts2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(ts2.Close)
+
+	after := pollExploreDone(t, ts2, id1)
+	wantJSON, _ := json.Marshal(before.Frontier)
+	gotJSON, _ := json.Marshal(after.Frontier)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Fatalf("finished frontier changed across restart:\nwant %s\nhave %s", wantJSON, gotJSON)
+	}
+
+	redone := pollExploreDone(t, ts2, id2)
+	if redone.Err != "" || redone.Frontier == nil {
+		t.Fatalf("re-run exploration failed: %+v", redone)
+	}
+	// Same seed, same space ⇒ the same frontier as an uninterrupted
+	// run. Work accounting differs (the warm cache turns pre-crash
+	// simulations into hits), so compare the discovered evals.
+	direct, err := (&search.Explorer{}).Run(spec2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFr, _ := json.Marshal(direct.Frontier)
+	gotFr, _ := json.Marshal(redone.Frontier.Frontier)
+	if !bytes.Equal(wantFr, gotFr) {
+		t.Fatalf("re-run frontier diverged:\nwant %s\nhave %s", wantFr, gotFr)
+	}
+}
+
+// TestRenewWrongWorkerOverHTTP drives the lease-ownership check
+// through the HTTP layer: renewing someone else's lease is a 409 and
+// leaves the lease intact for its owner.
+func TestRenewWrongWorkerOverHTTP(t *testing.T) {
+	srv := NewServerWith(ServerConfig{LocalWorkers: -1,
+		LeaseTTL: 30 * time.Second, Planner: sweep.ShardPlanner{MaxPoints: 1}})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	client := sweep.NewClient(ts.URL)
+	holder, err := client.RegisterWorker("holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	impostor, err := client.RegisterWorker("impostor")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	postGrid(t, ts, sweep.Grid{Workloads: []string{"listwalk"},
+		Policies: []string{"conv"}, IntRegs: []int{40, 48}, Scale: 4000})
+	var grant *sweep.LeaseGrant
+	deadline := time.Now().Add(10 * time.Second)
+	for grant == nil && time.Now().Before(deadline) {
+		if grant, err = client.LeaseShard(holder.WorkerID); err != nil {
+			t.Fatal(err)
+		}
+		if grant == nil {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if grant == nil {
+		t.Fatal("no shard to lease")
+	}
+
+	body, _ := json.Marshal(map[string]string{
+		"worker_id": impostor.WorkerID, "lease_id": grant.LeaseID})
+	status, resp := postRaw(t, ts, "/work/renew", body)
+	if status != http.StatusConflict || !strings.Contains(resp, "different worker") {
+		t.Fatalf("impostor renew: status %d body %q, want 409 wrong-worker", status, resp)
+	}
+	if err := client.RenewLease(holder.WorkerID, grant.LeaseID); err != nil {
+		t.Fatalf("owner renew after impostor attempt: %v", err)
+	}
+}

@@ -60,8 +60,9 @@ import (
 // issue_widths, bpred_bits, ... — see GET /axes) exactly like the
 // register-file and policy axes; a 0 entry names the Table 2 baseline.
 type Server struct {
-	coord *sweep.Coordinator
-	cache *sweep.Cache
+	coord    *sweep.Coordinator
+	cache    *sweep.Cache
+	stateDir string
 
 	stopWorkers context.CancelFunc
 	workerWG    sync.WaitGroup
@@ -168,6 +169,12 @@ type ServerConfig struct {
 	LeaseTTL    time.Duration
 	MaxAttempts int
 	Planner     sweep.ShardPlanner
+	// StateDir makes the coordinator durable (DESIGN.md §4.3): queue
+	// state is journaled there and a restarted server resumes every
+	// interrupted sweep and exploration. Empty = memory only.
+	StateDir string
+	// SnapshotEvery tunes the WAL-compaction cadence (0 = default).
+	SnapshotEvery int
 }
 
 // NewServer builds a coordinator server with one embedded local worker
@@ -177,21 +184,48 @@ func NewServer(cache *sweep.Cache, parallel int) *Server {
 	return NewServerWith(ServerConfig{Cache: cache, WorkerParallel: parallel})
 }
 
-// NewServerWith builds a server from an explicit configuration.
+// NewServerWith builds a server from an explicit configuration. It is
+// OpenServerWith for configurations that cannot fail (no state dir).
 func NewServerWith(cfg ServerConfig) *Server {
+	s, err := OpenServerWith(cfg)
+	if err != nil {
+		panic(err) // unreachable without cfg.StateDir
+	}
+	return s
+}
+
+// OpenServerWith builds a server from an explicit configuration. With
+// cfg.StateDir set the coordinator replays its journal first, and every
+// interrupted sweep resurfaces under its original id — already carrying
+// its pre-crash completions — with a resume goroutine attached;
+// explorations are reloaded from the explores index (finished frontiers
+// fsck'd from disk, running ones deterministically re-run against the
+// recovered warm cache).
+func OpenServerWith(cfg ServerConfig) (*Server, error) {
 	cache := cfg.Cache
 	if cache == nil {
 		cache = sweep.NewCache()
 	}
+	coord, err := sweep.OpenCoordinator(cache, sweep.CoordConfig{
+		LeaseTTL:      cfg.LeaseTTL,
+		MaxAttempts:   cfg.MaxAttempts,
+		Planner:       cfg.Planner,
+		StateDir:      cfg.StateDir,
+		SnapshotEvery: cfg.SnapshotEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		coord: sweep.NewCoordinator(cache, sweep.CoordConfig{
-			LeaseTTL:    cfg.LeaseTTL,
-			MaxAttempts: cfg.MaxAttempts,
-			Planner:     cfg.Planner,
-		}),
+		coord:    coord,
 		cache:    cache,
+		stateDir: cfg.StateDir,
 		sweeps:   newJobStore("sw", func(j *sweepJob) bool { return j.State == "done" }),
 		explores: newJobStore("ex", func(j *exploreJob) bool { return j.State == "done" }),
+	}
+	s.recoverSweeps()
+	if err := s.recoverExplores(); err != nil {
+		return nil, err
 	}
 
 	n := cfg.LocalWorkers
@@ -213,7 +247,7 @@ func NewServerWith(cfg ServerConfig) *Server {
 			w.Run(ctx)
 		}()
 	}
-	return s
+	return s, nil
 }
 
 // Coordinator exposes the underlying federation coordinator (tests and
@@ -222,9 +256,21 @@ func (s *Server) Coordinator() *sweep.Coordinator { return s.coord }
 
 // Close shuts the federation down: embedded workers stop, queued jobs
 // abort with an error, and in-flight HTTP streams wind down on their
-// own contexts.
+// own contexts. With a state dir this is the graceful path — the
+// coordinator writes a final snapshot, so a restart resumes from it
+// without replaying any WAL.
 func (s *Server) Close() {
 	s.coord.Close()
+	s.stopWorkers()
+	s.workerWG.Wait()
+}
+
+// Halt is Close without the goodbye: the journal stops exactly where
+// it is — no final snapshot — so what lands on disk is what a hard
+// kill (SIGKILL, power loss) would leave. The resume tests restart
+// from this state to exercise WAL replay rather than snapshot loading.
+func (s *Server) Halt() {
+	s.coord.Halt()
 	s.stopWorkers()
 	s.workerWG.Wait()
 }
@@ -294,13 +340,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // runJob executes the sweep on the federation and publishes progress
 // under the lock. A grid whose points all fail still completes as
 // "done": per-point errors live in the outcomes, matching the engine's
-// contract.
+// contract. The job runs labeled with its sweep id and the grid as
+// journal metadata, so a durable coordinator can resurface it after a
+// restart (recoverSweeps).
 func (s *Server) runJob(job *sweepJob, g sweep.Grid) {
-	res, err := s.coord.Run(g, func(p sweep.Progress) {
+	meta, _ := json.Marshal(g)
+	res, err := s.coord.RunLabeled(job.ID, meta, g.Expand(), func(p sweep.Progress) {
 		s.mu.Lock()
 		job.Progress = p
 		s.mu.Unlock()
 	})
+	s.finishJob(job, res, err)
+}
+
+// finishJob publishes a sweep's terminal state, shared by the submit
+// and resume paths.
+func (s *Server) finishJob(job *sweepJob, res *sweep.Results, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	job.State = "done"
@@ -441,6 +496,7 @@ func (s *Server) handleExploreSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	job := &exploreJob{State: "running", Spec: spec}
 	job.ID = s.explores.put(job)
+	s.saveExploresLocked()
 	s.mu.Unlock()
 
 	go s.runExploreJob(job, spec)
@@ -454,12 +510,25 @@ func (s *Server) runExploreJob(job *exploreJob, spec search.Spec) {
 		job.Progress = p
 		s.mu.Unlock()
 	})
+	if err == nil && fr != nil && s.stateDir != "" {
+		// Persist the frontier before publishing "done": once the index
+		// marks the job finished, a restarted server must find the file.
+		if serr := search.SaveFrontier(s.frontierPath(job.ID), fr); serr != nil {
+			err = fmt.Errorf("persist frontier: %w", serr)
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	job.State = "done"
 	job.Frontier = fr
 	if err != nil {
 		job.Err = err.Error()
+	}
+	// A job that died because the coordinator shut down under it is not
+	// a terminal failure — leave the index saying "running" so the next
+	// start re-runs it (deterministically, against the warm cache).
+	if !errors.Is(err, sweep.ErrClosed) {
+		s.saveExploresLocked()
 	}
 }
 
@@ -597,11 +666,14 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	grant, err := s.coord.LeaseShard(in.WorkerID)
 	if err != nil {
-		if errors.Is(err, sweep.ErrUnknownWorker) {
+		switch {
+		case errors.Is(err, sweep.ErrUnknownWorker):
 			writeError(w, http.StatusNotFound, "%v", err)
-			return
+		case errors.Is(err, sweep.ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
 		}
-		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	if grant == nil {
@@ -619,17 +691,23 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 	var in struct {
-		LeaseID string `json:"lease_id"`
+		WorkerID string `json:"worker_id"`
+		LeaseID  string `json:"lease_id"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
 		writeError(w, http.StatusBadRequest, "bad renew request: %v", err)
 		return
 	}
-	if err := s.coord.RenewLease(in.LeaseID); err != nil {
+	switch err := s.coord.RenewLease(in.WorkerID, in.LeaseID); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	case errors.Is(err, sweep.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		// Stale lease or wrong worker: either way the caller must stop
+		// treating the lease as held.
 		writeError(w, http.StatusConflict, "%v", err)
-		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // maxCompleteBytes bounds a completion payload (a full shard of
@@ -668,6 +746,8 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 	case errors.Is(err, sweep.ErrStaleLease), errors.Is(err, sweep.ErrWrongWorker):
 		writeError(w, http.StatusConflict, "%v", err)
+	case errors.Is(err, sweep.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	default:
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}

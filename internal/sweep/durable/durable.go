@@ -1,0 +1,243 @@
+// Package durable provides the two storage primitives the sweep
+// coordinator's crash-resume is built on (DESIGN.md §4.3 "Durability"):
+// an append-only write-ahead log of checksummed records, and atomic
+// point-in-time snapshots. The package knows nothing about the
+// coordinator — records are (type, payload) pairs and snapshots are
+// opaque JSON values — so the same primitives can back other state
+// machines (the explore registry uses WriteSnapshot directly).
+//
+// The layering follows kubo's repo/datastore split: this package is
+// the datastore (bytes on disk, integrity, fsck on open), and
+// internal/sweep's journal is the repo (schema and replay semantics).
+//
+// WAL record framing, in file order:
+//
+//	uvarint  length of (type byte + payload)
+//	byte     record type (schema-defined, opaque here)
+//	[]byte   payload
+//	uint32   little-endian CRC-32 (IEEE) of the type byte + payload
+//
+// A record is only believed if its full frame is present and its
+// checksum matches. A crash mid-Append leaves a torn tail — a partial
+// frame, or a frame whose checksum was never completed — and OpenWAL
+// handles it the only safe way: every record up to the tear is
+// returned, the tear and everything after it is dropped, and the file
+// is truncated back to the last good record so subsequent appends
+// extend a clean log. Corruption is tolerated only at the tail;
+// a checksum failure is indistinguishable from a torn write, so the
+// scan stops there either way.
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Record is one WAL entry: an opaque payload under a schema-defined
+// type byte.
+type Record struct {
+	Type    byte
+	Payload []byte
+}
+
+// maxRecordBytes bounds a single decoded record (a planned shard or a
+// completed shard of results is well under 1 MiB; 64 MiB leaves room
+// without letting a corrupt length prefix allocate the address space).
+const maxRecordBytes = 64 << 20
+
+// WAL is an append-only record log. One writer at a time; Append is
+// not internally locked (the coordinator serializes under its own
+// mutex).
+type WAL struct {
+	f      *os.File
+	path   string
+	size   int64 // bytes of valid, believed records
+	closed bool
+}
+
+// OpenWAL opens (creating if absent) the log at path and scans it,
+// returning every intact record in append order. A torn or corrupt
+// tail is dropped and the file truncated back to the last good record;
+// corruption that cannot be explained as a tail tear is still handled
+// the same way — everything before it is preserved, nothing after it
+// is believed.
+func OpenWAL(path string) (*WAL, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: open wal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("durable: read wal: %w", err)
+	}
+
+	recs, good := scan(data)
+	if good < int64(len(data)) {
+		// Torn tail: truncate back to the last intact record so the
+		// next Append extends a clean log.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("durable: truncate torn wal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("durable: seek wal: %w", err)
+	}
+	return &WAL{f: f, path: path, size: good}, recs, nil
+}
+
+// scan walks the raw log and returns the intact records plus the byte
+// offset of the first tear (== len(data) when the log is clean).
+func scan(data []byte) ([]Record, int64) {
+	var recs []Record
+	off := int64(0)
+	for int(off) < len(data) {
+		rest := data[off:]
+		n, used := binary.Uvarint(rest)
+		if used <= 0 || n == 0 || n > maxRecordBytes {
+			break // torn or garbage length prefix
+		}
+		frame := int64(used) + int64(n) + 4 // len + body + crc
+		if int64(len(rest)) < frame {
+			break // body or checksum missing: torn tail
+		}
+		body := rest[used : int64(used)+int64(n)]
+		sum := binary.LittleEndian.Uint32(rest[int64(used)+int64(n):])
+		if crc32.ChecksumIEEE(body) != sum {
+			break // checksum mismatch: drop from here
+		}
+		recs = append(recs, Record{Type: body[0], Payload: append([]byte(nil), body[1:]...)})
+		off += frame
+	}
+	return recs, off
+}
+
+// Append writes one record. With sync set the frame is fsynced before
+// returning — the record survives a machine crash, not just a process
+// crash. Unsynced appends still reach the OS immediately (a process
+// kill cannot lose them) and are made durable by the next synced
+// append or snapshot.
+func (w *WAL) Append(typ byte, payload []byte, sync bool) error {
+	if w.closed {
+		return errors.New("durable: append to closed wal")
+	}
+	body := make([]byte, 0, 1+len(payload))
+	body = append(body, typ)
+	body = append(body, payload...)
+
+	frame := make([]byte, 0, binary.MaxVarintLen64+len(body)+4)
+	frame = binary.AppendUvarint(frame, uint64(len(body)))
+	frame = append(frame, body...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(body))
+
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("durable: append wal: %w", err)
+	}
+	w.size += int64(len(frame))
+	if sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("durable: sync wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// AppendJSON marshals v and appends it under typ.
+func (w *WAL) AppendJSON(typ byte, v any, sync bool) error {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("durable: encode wal record: %w", err)
+	}
+	return w.Append(typ, blob, sync)
+}
+
+// Reset truncates the log to empty — called right after a snapshot has
+// captured everything the log held, making the (snapshot, empty log)
+// pair the new recovery point.
+func (w *WAL) Reset() error {
+	if w.closed {
+		return errors.New("durable: reset closed wal")
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("durable: reset wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("durable: reset wal: %w", err)
+	}
+	w.size = 0
+	return w.f.Sync()
+}
+
+// Size reports the bytes of believed records currently in the log.
+func (w *WAL) Size() int64 { return w.size }
+
+// Close syncs and closes the log file. Further appends fail.
+func (w *WAL) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	serr := w.f.Sync()
+	cerr := w.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// WriteSnapshot atomically replaces path with the JSON encoding of v:
+// temp file in the same directory, fsync, rename. A crash at any point
+// leaves either the old snapshot or the new one, never a torn mix.
+func WriteSnapshot(path string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("durable: encode snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+"-*")
+	if err != nil {
+		return fmt.Errorf("durable: write snapshot: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("durable: write snapshot: %w", werr)
+	}
+	return nil
+}
+
+// ReadSnapshot decodes the snapshot at path into v. ok is false when
+// no snapshot exists (a fresh state dir); a corrupt snapshot is an
+// error — unlike a WAL tail, a half-written snapshot cannot happen
+// under WriteSnapshot's rename discipline, so corruption here means
+// the operator should intervene rather than silently lose state.
+func ReadSnapshot(path string, v any) (ok bool, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("durable: read snapshot: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return false, fmt.Errorf("durable: snapshot %s is corrupt: %w", path, err)
+	}
+	return true, nil
+}

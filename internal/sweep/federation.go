@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -52,6 +53,15 @@ type CoordConfig struct {
 	MaxAttempts int           // lease grants per shard before it fails (0 = 5)
 	Planner     ShardPlanner  // shard sizing/balancing (zero = defaults)
 
+	// StateDir enables durable crash-resume (OpenCoordinator): a WAL +
+	// snapshot pair under this directory journals every queue
+	// transition, and a restarted coordinator replays it to exactly
+	// the pre-crash queue. Empty = memory-only.
+	StateDir string
+	// SnapshotEvery is the WAL record count between automatic
+	// compactions (0 = 256).
+	SnapshotEvery int
+
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -80,6 +90,10 @@ type FederationStatus struct {
 	PendingPoints int            `json:"pending_points"`
 	ActiveLeases  int            `json:"active_leases"`
 	Workers       []WorkerStatus `json:"workers"`
+	// JournalErr surfaces a sticky state-dir persistence failure: the
+	// coordinator keeps serving (degraded to memory-only durability)
+	// but the operator should know resume is compromised.
+	JournalErr string `json:"journal_err,omitempty"`
 }
 
 // Coordinator owns the shared cache, the shard queue and the lease
@@ -100,6 +114,14 @@ type Coordinator struct {
 	seq       int
 	closed    bool
 	quit      chan struct{}
+
+	// Durability (journal.go). jrn is nil on a memory-only
+	// coordinator; jobs tracks journaled submissions until their
+	// waiters collect results; recovered lists what OpenCoordinator
+	// replayed from the state dir.
+	jrn       *journal
+	jobs      map[string]*fedJob
+	recovered []RecoveredJob
 }
 
 type fedJob struct {
@@ -108,6 +130,15 @@ type fedJob struct {
 	done   int
 	onProg func(Progress)
 	doneCh chan struct{}
+
+	// Journaled submissions keep their identity and full point list so
+	// snapshots are self-contained; all zero on a memory-only
+	// coordinator.
+	id     string
+	label  string
+	meta   json.RawMessage
+	points []Point
+	keys   []string
 }
 
 // workUnit binds a planned WorkItem to its slot in the submitting job.
@@ -154,6 +185,7 @@ func NewCoordinator(cache *Cache, cfg CoordConfig) *Coordinator {
 		cache:   cache,
 		leases:  make(map[string]*fedLease),
 		workers: make(map[string]*workerState),
+		jobs:    make(map[string]*fedJob),
 		quit:    make(chan struct{}),
 	}
 }
@@ -165,15 +197,34 @@ func (c *Coordinator) Cache() *Cache { return c.cache }
 // LeaseTTL reports the configured lease lifetime.
 func (c *Coordinator) LeaseTTL() time.Duration { return c.cfg.LeaseTTL }
 
-// Close aborts all queued work: blocked Run calls return ErrClosed.
-// Workers polling a closed coordinator see empty leases.
+// Close shuts the coordinator down: blocked Run calls return
+// ErrClosed, and LeaseShard/RenewLease/CompleteShard reject with
+// ErrClosed so workers really do stop getting work. On a durable
+// coordinator the full queue is snapshotted first — Close is the
+// graceful-shutdown path, and a reopened coordinator resumes exactly
+// this state.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.closed {
-		c.closed = true
-		close(c.quit)
+	if c.closed {
+		return
 	}
+	if c.jrn != nil {
+		c.snapshotLocked()
+		c.jrn.fail(c.jrn.wal.Close())
+	}
+	c.closeLocked()
+}
+
+// closeLocked marks the coordinator closed and empties the queue and
+// lease table, so no late CompleteShard or lease-strip can call
+// finishLocked again — a waiter that returned ErrClosed never races a
+// write to its job's results.
+func (c *Coordinator) closeLocked() {
+	c.closed = true
+	close(c.quit)
+	c.pending = nil
+	c.leases = make(map[string]*fedLease)
 }
 
 // Run plans the grid, queues its cache misses as shards and blocks
@@ -188,6 +239,19 @@ func (c *Coordinator) Run(g Grid, onProgress func(Progress)) (*Results, error) {
 
 // RunPoints is Run for an explicit point list.
 func (c *Coordinator) RunPoints(points []Point, onProgress func(Progress)) (*Results, error) {
+	return c.run("", nil, points, onProgress)
+}
+
+// RunLabeled is Run for a submission that must survive a coordinator
+// restart: the label (sweepd uses the sweep id) and meta blob (the
+// submitted grid) are journaled with the point list, and a reopened
+// coordinator reports the job under Recovered for ResumeRecovered to
+// pick up. On a memory-only coordinator it is exactly RunPoints.
+func (c *Coordinator) RunLabeled(label string, meta json.RawMessage, points []Point, onProgress func(Progress)) (*Results, error) {
+	return c.run(label, meta, points, onProgress)
+}
+
+func (c *Coordinator) run(label string, meta json.RawMessage, points []Point, onProgress func(Progress)) (*Results, error) {
 	job := &fedJob{
 		res:    &Results{Outcomes: make([]*Outcome, len(points))},
 		total:  len(points),
@@ -208,9 +272,18 @@ func (c *Coordinator) RunPoints(points []Point, onProgress func(Progress)) (*Res
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if c.jrn != nil {
+		c.seq++
+		job.id = fmt.Sprintf("job-%d", c.seq)
+		job.label, job.meta, job.points, job.keys = label, meta, points, keys
+		c.jobs[job.id] = job
+		c.journal(recTypeJob, jobRec{ID: job.id, Label: label, Meta: meta,
+			Points: points, Keys: keys})
+	}
 	var missIdx []int
 	for i, pt := range points {
 		if err := keyErrs[i]; err != nil {
+			keys[i] = ""
 			c.finishLocked(job, i, &Outcome{Point: pt, Err: err.Error()})
 			continue
 		}
@@ -219,6 +292,16 @@ func (c *Coordinator) RunPoints(points []Point, onProgress func(Progress)) (*Res
 			continue
 		}
 		missIdx = append(missIdx, i)
+	}
+	if c.jrn != nil && job.done > 0 {
+		rec := doneRec{Job: job.id}
+		for i, o := range job.res.Outcomes {
+			if o != nil {
+				rec.Entries = append(rec.Entries, doneEntry{Idx: i, Cached: o.Cached,
+					Err: o.Err, Result: o.Result})
+			}
+		}
+		c.journal(recTypeDone, rec)
 	}
 	if len(missIdx) > 0 {
 		missPts := make([]Point, len(missIdx))
@@ -229,6 +312,7 @@ func (c *Coordinator) RunPoints(points []Point, onProgress func(Progress)) (*Res
 		if n := len(c.workers); n > planner.MinShards {
 			planner.MinShards = n
 		}
+		var plan planRec
 		for _, group := range planner.Plan(missPts) {
 			c.seq++
 			sh := &fedShard{id: fmt.Sprintf("sh-%d", c.seq)}
@@ -238,8 +322,25 @@ func (c *Coordinator) RunPoints(points []Point, onProgress func(Progress)) (*Res
 					item: WorkItem{Point: points[i], Key: keys[i]}, jobIdx: i, job: job})
 			}
 			c.pending = append(c.pending, sh)
+			if c.jrn != nil {
+				plan.Shards = append(plan.Shards, shardState(sh))
+			}
+		}
+		if c.jrn != nil {
+			c.journal(recTypePlan, plan)
 		}
 	}
+	c.mu.Unlock()
+
+	return c.wait(job)
+}
+
+// wait blocks until the job completes or the coordinator closes. The
+// done channel is always preferred over the quit channel: a job whose
+// last point resolved in the same instant the coordinator shut down
+// returns its finished Results, never a spurious ErrClosed.
+func (c *Coordinator) wait(job *fedJob) (*Results, error) {
+	c.mu.Lock()
 	done := job.done == job.total
 	c.mu.Unlock()
 
@@ -256,7 +357,12 @@ func (c *Coordinator) RunPoints(points []Point, onProgress func(Progress)) (*Res
 			case <-job.doneCh:
 				waiting = false
 			case <-c.quit:
-				return nil, ErrClosed
+				select {
+				case <-job.doneCh:
+					waiting = false
+				default:
+					return nil, ErrClosed
+				}
 			case <-time.After(tick):
 				c.mu.Lock()
 				c.reapLocked(c.cfg.now())
@@ -264,6 +370,13 @@ func (c *Coordinator) RunPoints(points []Point, onProgress func(Progress)) (*Res
 			}
 		}
 	}
+
+	c.mu.Lock()
+	if c.jrn != nil && !c.closed && job.id != "" {
+		c.journal(recTypeJobDone, jobDoneRec{Job: job.id})
+		delete(c.jobs, job.id)
+	}
+	c.mu.Unlock()
 
 	if err := c.cache.Save(); err != nil {
 		job.res.SaveErr = err.Error()
@@ -305,6 +418,7 @@ func (c *Coordinator) reapLocked(now time.Time) {
 			continue
 		}
 		delete(c.leases, id)
+		c.journal(recTypeBurn, burnRec{ID: id})
 		if w := c.workers[ls.workerID]; w != nil {
 			w.ActiveLeases--
 			w.Expiries++
@@ -332,8 +446,14 @@ func (c *Coordinator) workerExpiry() time.Duration {
 func (c *Coordinator) abandonOrRequeueLocked(sh *fedShard) {
 	if sh.attempt >= c.cfg.MaxAttempts {
 		msg := fmt.Sprintf("sweep: shard %s abandoned after %d burned leases", sh.id, sh.attempt)
+		rec := doneRec{}
 		for _, u := range sh.units {
+			rec.Job = u.job.id
+			rec.Entries = append(rec.Entries, doneEntry{Idx: u.jobIdx, Err: msg})
 			c.finishLocked(u.job, u.jobIdx, &Outcome{Point: u.item.Point, Key: u.item.Key, Err: msg})
+		}
+		if c.jrn != nil && rec.Job != "" {
+			c.journal(recTypeDone, rec)
 		}
 		return
 	}
@@ -374,6 +494,11 @@ func (c *Coordinator) HeartbeatWorker(workerID string) error {
 func (c *Coordinator) LeaseShard(workerID string) (*LeaseGrant, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		// The Close contract: workers polling a closed coordinator get
+		// nothing, explicitly — not a silently still-live queue.
+		return nil, ErrClosed
+	}
 	now := c.cfg.now()
 	c.reapLocked(now)
 	w := c.workers[workerID]
@@ -387,8 +512,12 @@ func (c *Coordinator) LeaseShard(workerID string) (*LeaseGrant, error) {
 		c.pending = c.pending[1:]
 
 		kept := sh.units[:0]
+		var strips doneRec
 		for _, u := range sh.units {
 			if r, ok := c.cache.Get(u.item.Key); ok {
+				strips.Job = u.job.id
+				strips.Entries = append(strips.Entries,
+					doneEntry{Idx: u.jobIdx, Cached: true, Result: r})
 				c.finishLocked(u.job, u.jobIdx,
 					&Outcome{Point: u.item.Point, Key: u.item.Key, Cached: true, Result: r})
 				continue
@@ -396,6 +525,9 @@ func (c *Coordinator) LeaseShard(workerID string) (*LeaseGrant, error) {
 			kept = append(kept, u)
 		}
 		sh.units = kept
+		if c.jrn != nil && strips.Job != "" {
+			c.journal(recTypeDone, strips)
+		}
 		if len(sh.units) == 0 {
 			continue
 		}
@@ -409,6 +541,8 @@ func (c *Coordinator) LeaseShard(workerID string) (*LeaseGrant, error) {
 			deadline: now.Add(c.cfg.LeaseTTL),
 		}
 		c.leases[ls.id] = ls
+		c.journal(recTypeLease, leaseRec{ID: ls.id, Worker: workerID, Shard: sh.id,
+			Attempt: sh.attempt, Deadline: ls.deadline.UnixMilli()})
 		w.ActiveLeases++
 		grant := &LeaseGrant{
 			LeaseID: ls.id, ShardID: sh.id, Attempt: sh.attempt, TTL: c.cfg.LeaseTTL,
@@ -422,16 +556,26 @@ func (c *Coordinator) LeaseShard(workerID string) (*LeaseGrant, error) {
 	return nil, nil
 }
 
-// RenewLease extends a held lease by one TTL.
-func (c *Coordinator) RenewLease(leaseID string) error {
+// RenewLease extends a held lease by one TTL. Only the worker the
+// lease was granted to may renew it: a stray or malicious renewal from
+// another worker gets ErrWrongWorker instead of keeping somebody
+// else's lease alive.
+func (c *Coordinator) RenewLease(workerID, leaseID string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
 	c.reapLocked(c.cfg.now())
 	ls := c.leases[leaseID]
 	if ls == nil {
 		return ErrStaleLease
 	}
+	if ls.workerID != workerID {
+		return ErrWrongWorker
+	}
 	ls.deadline = c.cfg.now().Add(c.cfg.LeaseTTL)
+	c.journal(recTypeRenew, renewRec{ID: ls.id, Deadline: ls.deadline.UnixMilli()})
 	return nil
 }
 
@@ -446,6 +590,9 @@ func (c *Coordinator) RenewLease(leaseID string) error {
 func (c *Coordinator) CompleteShard(req *CompleteRequest) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
 	c.reapLocked(c.cfg.now())
 	ls := c.leases[req.LeaseID]
 	if ls == nil {
@@ -479,6 +626,7 @@ func (c *Coordinator) CompleteShard(req *CompleteRequest) error {
 		// MaxAttempts budget as expiry, so a worker that persistently
 		// reports garbage cannot cycle the shard forever.
 		delete(c.leases, req.LeaseID)
+		c.journal(recTypeBurn, burnRec{ID: req.LeaseID})
 		if w := c.workers[ls.workerID]; w != nil {
 			w.ActiveLeases--
 		}
@@ -487,18 +635,28 @@ func (c *Coordinator) CompleteShard(req *CompleteRequest) error {
 	}
 
 	delete(c.leases, req.LeaseID)
+	// In the journal a completion is a burn (the lease is gone, the
+	// shard notionally requeued) followed by its outcomes resolving —
+	// which empties the shard out of the queue again on replay.
+	c.journal(recTypeBurn, burnRec{ID: req.LeaseID})
 	if w := c.workers[ls.workerID]; w != nil {
 		w.ActiveLeases--
 		w.ShardsDone++
 		w.PointsDone += len(sh.units)
 	}
+	rec := doneRec{}
 	for i, u := range sh.units {
 		o := req.Outcomes[i]
 		if o.Err == "" {
 			c.cache.Put(u.item.Key, o.Result)
 		}
+		rec.Job = u.job.id
+		rec.Entries = append(rec.Entries, doneEntry{Idx: u.jobIdx, Err: o.Err, Result: o.Result})
 		c.finishLocked(u.job, u.jobIdx,
 			&Outcome{Point: u.item.Point, Key: u.item.Key, Result: o.Result, Err: o.Err})
+	}
+	if c.jrn != nil && rec.Job != "" {
+		c.journal(recTypeDone, rec)
 	}
 	return nil
 }
@@ -511,6 +669,9 @@ func (c *Coordinator) Status() FederationStatus {
 	st := FederationStatus{
 		PendingShards: len(c.pending),
 		ActiveLeases:  len(c.leases),
+	}
+	if c.jrn != nil && c.jrn.err != nil {
+		st.JournalErr = c.jrn.err.Error()
 	}
 	for _, sh := range c.pending {
 		st.PendingPoints += len(sh.units)

@@ -154,9 +154,13 @@ func TestLeaseExpiryRequeues(t *testing.T) {
 		t.Fatalf("second worker got a duplicate lease: %+v", g2)
 	}
 
-	// Renewal holds the lease across a TTL boundary.
+	// Renewal holds the lease across a TTL boundary — but only for the
+	// worker that holds it: anybody else is rejected outright.
 	clk.advance(45 * time.Second)
-	if err := c.RenewLease(grant.LeaseID); err != nil {
+	if err := c.RenewLease(live.WorkerID, grant.LeaseID); !errors.Is(err, ErrWrongWorker) {
+		t.Fatalf("foreign renewal: %v", err)
+	}
+	if err := c.RenewLease(dead.WorkerID, grant.LeaseID); err != nil {
 		t.Fatal(err)
 	}
 	clk.advance(45 * time.Second)

@@ -187,9 +187,11 @@ func (c *Client) LeaseShard(workerID string) (*LeaseGrant, error) {
 	return grant, nil
 }
 
-// RenewLease implements WorkSource.
-func (c *Client) RenewLease(leaseID string) error {
-	return c.postJSON("/work/renew", map[string]string{"lease_id": leaseID}, nil)
+// RenewLease implements WorkSource. The worker id travels with the
+// lease id so the coordinator can verify ownership.
+func (c *Client) RenewLease(workerID, leaseID string) error {
+	return c.postJSON("/work/renew",
+		map[string]string{"worker_id": workerID, "lease_id": leaseID}, nil)
 }
 
 // CompleteShard implements WorkSource, posting the wire-codec frame.

@@ -16,7 +16,9 @@ type WorkSource interface {
 	HeartbeatWorker(workerID string) error
 	// LeaseShard returns the next shard, or nil when the queue is empty.
 	LeaseShard(workerID string) (*LeaseGrant, error)
-	RenewLease(leaseID string) error
+	// RenewLease extends a lease this worker holds; the coordinator
+	// verifies ownership (ErrWrongWorker otherwise).
+	RenewLease(workerID, leaseID string) error
 	CompleteShard(req *CompleteRequest) error
 }
 
@@ -110,7 +112,7 @@ func (w *Worker) runShard(ctx context.Context, eng *Engine, workerID string, ttl
 	if ttl > 0 {
 		go func() {
 			for sleepCtx(renewCtx, ttl/3) {
-				w.Source.RenewLease(grant.LeaseID)
+				w.Source.RenewLease(workerID, grant.LeaseID)
 			}
 		}()
 	}
