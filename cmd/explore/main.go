@@ -69,7 +69,7 @@ func main() {
 		intRegsF   = flag.String("int-regs", "", "integer file size dimension (empty = Figure 11 sizes)")
 		fpRegsF    = flag.String("fp-regs", "", "FP size dimension (empty = tied to int)")
 		parallel   = flag.Int("parallel", 0, "local simulation workers (0 = GOMAXPROCS)")
-		cachePath  = flag.String("cache", "", "persistent result-cache file")
+		cachePath  = flag.String("cache", "", "persistent result cache: a JSON file, or a directory for the segment-log store")
 		remote     = flag.String("remote", "", "sweepd coordinator URL: run the job on its /explore routes")
 		remoteC    = flag.String("remote-cache", "", "sweepd coordinator URL: search locally over its shared cache")
 		jsonPath   = flag.String("json", "", "write the frontier JSON to this file (\"-\" = stdout)")
@@ -168,6 +168,9 @@ func main() {
 		})
 		if eng.Cache != nil {
 			cacheStats = eng.Cache.Stats()
+			if cerr := eng.Cache.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
 		}
 	}
 	stopProf()

@@ -30,12 +30,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"earlyrelease/internal/experiments"
 	"earlyrelease/internal/stats"
@@ -64,7 +67,7 @@ func main() {
 		scale   = flag.Int("scale", 300_000, "dynamic instructions per workload")
 		quick   = flag.Bool("quick", false, "smaller scale and size axis")
 		check   = flag.Bool("check", false, "enable invariant checking")
-		cache   = flag.String("cache", "", "persistent sweep-result cache file (repeated runs only simulate new points)")
+		cache   = flag.String("cache", "", "persistent sweep-result cache — a JSON file or a store directory (repeated runs only simulate new points)")
 		remote  = flag.String("remote", "", "sweepd coordinator URL: farm every driver grid out for federated execution")
 		remoteC = flag.String("remote-cache", "", "sweepd coordinator URL: run locally over its shared result cache")
 		statsJ  = flag.String("stats-json", "", "write cache statistics to this file")
@@ -75,6 +78,12 @@ func main() {
 	opt.Scale = *scale
 	opt.Check = *check
 	opt.Remote = *remote
+
+	// Ctrl-C abandons a federated wait cleanly; local runs finish the
+	// point in flight as before.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	opt.Context = ctx
 	if *remote != "" && (*cache != "" || *remoteC != "") {
 		log.Fatal("-remote farms grids out to the coordinator (which owns the cache); " +
 			"it cannot be combined with -cache or -remote-cache")
@@ -170,6 +179,11 @@ func main() {
 	}
 
 	cs := experiments.CacheStats(opt)
+	if opt.Cache != nil {
+		if err := opt.Cache.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if cs.Hits+cs.Misses > 0 {
 		log.Printf("sweep cache: %d entries, %d hits / %d lookups (%.1f%% hit rate)",
 			cs.Entries, cs.Hits, cs.Hits+cs.Misses, 100*cs.HitRate)

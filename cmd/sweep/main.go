@@ -7,6 +7,19 @@
 //	sweep -workloads tomcatv,swim -policies conv,extended -int-regs 40,48,64
 //	sweep -cache sweep-cache.json -scale 300000        # incremental reruns
 //
+// A -cache that names a directory (existing, or with a trailing slash)
+// selects the sharded segment-log store (DESIGN.md §4.7) instead of the
+// monolithic JSON file — same results, but saves append instead of
+// rewriting the corpus. Cache maintenance verbs run against either
+// format and exit: -export streams the corpus as NDJSON, -import merges
+// an export (skipping present keys unless -import-overwrite), -compact
+// rewrites store segments that have decayed below the live-ratio
+// threshold:
+//
+//	sweep -cache results/ -export corpus.ndjson
+//	sweep -cache results/ -import corpus.ndjson
+//	sweep -cache results/ -compact
+//
 // Machine-model axes are swept with repeatable -axis flags (0 names
 // the Table 2 baseline, so "variants plus default" grids are easy);
 // -axes lists the available axes:
@@ -36,12 +49,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"earlyrelease/internal/prof"
 	"earlyrelease/internal/search"
@@ -79,7 +95,11 @@ func main() {
 		batch      = flag.Int("batch", 0, "lockstep batch width for points sharing a trace (0 = auto, 1 = scalar)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf    = flag.String("memprofile", "", "write an allocation profile after the run to this file")
-		cachePath  = flag.String("cache", "", "persistent result-cache file")
+		cachePath  = flag.String("cache", "", "persistent result cache: a JSON file, or a directory for the segment-log store")
+		exportF    = flag.String("export", "", "write the -cache corpus as NDJSON to FILE (\"-\" = stdout) and exit")
+		importF    = flag.String("import", "", "merge an NDJSON export from FILE (\"-\" = stdin) into the -cache and exit")
+		importOver = flag.Bool("import-overwrite", false, "with -import, replace existing entries instead of skipping them")
+		compactF   = flag.Bool("compact", false, "compact the -cache store's stale segments and exit")
 		remote     = flag.String("remote", "", "sweepd coordinator URL: submit the grid for federated execution")
 		remoteC    = flag.String("remote-cache", "", "sweepd coordinator URL: run locally but read-through/write-back its shared cache")
 		jsonOut    = flag.Bool("json", false, "print full outcomes as JSON")
@@ -146,12 +166,30 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+
+	// Cache maintenance verbs operate on the opened cache and exit.
+	if *importF != "" || *exportF != "" || *compactF {
+		if eng.Cache == nil {
+			log.Fatal("-export, -import and -compact need -cache")
+		}
+		if err := cacheOps(eng.Cache, *exportF, *importF, *importOver, *compactF); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	if *remoteC != "" {
 		if eng.Cache == nil {
 			eng.Cache = sweep.NewCache()
 		}
 		eng.Cache.SetRemote(sweep.NewRemoteCache(*remoteC))
 	}
+
+	// Ctrl-C (or a SIGTERM) abandons a federated wait cleanly — the
+	// sweep keeps running on the coordinator and a rerun reattaches to
+	// its cached results.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	stopProf, err := prof.Start(*cpuProf)
 	if err != nil {
@@ -168,7 +206,7 @@ func main() {
 	if *remote != "" {
 		// Federated execution: the coordinator plans the grid into
 		// leased shards and its workers do the simulating.
-		res, err = sweep.NewClient(*remote).RunGrid(g, progress)
+		res, err = sweep.NewClient(*remote).RunGrid(ctx, g, progress)
 	} else {
 		res, err = eng.Run(g, progress)
 	}
@@ -222,6 +260,9 @@ func main() {
 	cs := sweep.CacheStats{}
 	if eng.Cache != nil {
 		cs = eng.Cache.Stats()
+		if err := eng.Cache.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	log.Printf("%d points: %d simulated, %d cached, %d errors",
 		res.Stats.Points, res.Stats.Simulated, res.Stats.CacheHits, res.Stats.Errors)
@@ -237,4 +278,60 @@ func main() {
 	if res.Stats.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// cacheOps runs the maintenance verbs against an opened cache, in
+// import → compact → export order so one invocation can seed, shrink,
+// and re-dump a corpus in a single pass.
+func cacheOps(c *sweep.Cache, exportPath, importPath string, overwrite, compact bool) error {
+	if importPath != "" {
+		in := os.Stdin
+		if importPath != "-" {
+			f, err := os.Open(importPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		added, skipped, err := c.Import(in, overwrite)
+		if err != nil {
+			return err
+		}
+		log.Printf("imported %d results (%d already present)", added, skipped)
+	}
+	if compact {
+		cs, err := c.Compact(false)
+		if err != nil {
+			return err
+		}
+		st := c.Stats()
+		log.Printf("compacted %d segments: %d results carried, %d bytes reclaimed",
+			cs.Segments, cs.CopiedKey, cs.Reclaimed)
+		if st.Store != nil {
+			blob, _ := json.Marshal(st.Store)
+			log.Printf("store: %s", blob)
+		}
+	}
+	if exportPath != "" {
+		out := os.Stdout
+		if exportPath != "-" {
+			f, err := os.Create(exportPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := c.Export(out); err != nil {
+			return err
+		}
+		if out != os.Stdout {
+			if err := out.Sync(); err != nil {
+				return err
+			}
+		}
+		log.Printf("exported %d results", c.Len())
+	}
+	return c.Close()
 }

@@ -52,7 +52,7 @@ func main() {
 	var (
 		role         = flag.String("role", "coordinator", "coordinator or worker")
 		addr         = flag.String("addr", ":8080", "coordinator listen address")
-		cachePath    = flag.String("cache", "", "persistent result-cache file (empty = in-memory, or <state>/cache.json with -state)")
+		cachePath    = flag.String("cache", "", "persistent result cache: a JSON file or a store directory (empty = in-memory, or <state>/cache with -state)")
 		stateDir     = flag.String("state", "", "coordinator state directory: journal + snapshots for crash-resume (empty = memory only)")
 		parallel     = flag.Int("parallel", 0, "simulations per worker engine (0 = GOMAXPROCS)")
 		batch        = flag.Int("batch", 0, "lockstep batch width for shard points sharing a trace (0 = auto, 1 = scalar)")
@@ -76,7 +76,10 @@ func main() {
 
 func runCoordinator(addr, cachePath, stateDir string, parallel, batch, localWorkers int, leaseTTL time.Duration, shardPoints int) {
 	if cachePath == "" && stateDir != "" {
-		cachePath = filepath.Join(stateDir, "cache.json")
+		// The state dir's cache defaults to the segment-log store.
+		// OpenCache's migration picks up the pre-store layout (a
+		// <state>/cache.json beside the directory) on first open.
+		cachePath = filepath.Join(stateDir, "cache") + string(filepath.Separator)
 	}
 	cache := sweep.NewCache()
 	if cachePath != "" {
@@ -128,7 +131,7 @@ func runCoordinator(addr, cachePath, stateDir string, parallel, batch, localWork
 		log.Fatal(err)
 	}
 	srv.Close()
-	if err := cache.Save(); err != nil {
+	if err := cache.Close(); err != nil {
 		log.Printf("cache save: %v", err)
 	}
 	log.Printf("coordinator stopped; state saved")

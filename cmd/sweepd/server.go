@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"sync"
 	"time"
@@ -295,6 +296,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /work/lease", s.handleLease)
 	mux.HandleFunc("POST /work/renew", s.handleRenew)
 	mux.HandleFunc("POST /work/complete", s.handleComplete)
+	mux.HandleFunc("GET /cache/export", s.handleCacheExport)
+	mux.HandleFunc("POST /cache/gc", s.handleCacheGC)
 	mux.HandleFunc("GET /cache/{key}", s.handleCacheGet)
 	mux.HandleFunc("PUT /cache/{key}", s.handleCachePut)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -470,6 +473,70 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.cache.Stats())
+}
+
+// handleCacheExport streams the whole shared cache as NDJSON — one
+// {"key":…,"result":…} line per result, in sorted key order. Workers
+// and fresh coordinators seed themselves with `sweep -cache DIR
+// -import` from this stream.
+func (s *Server) handleCacheExport(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.cache.Export(w); err != nil {
+		// Headers are gone; all we can do is cut the stream short so
+		// the client's decoder sees a torn line rather than a clean EOF.
+		log.Printf("cache export: %v", err)
+	}
+}
+
+// handleCacheGC drops every cached result no retained job references:
+// the keep-set is the union of each retained sweep's point keys and
+// each retained exploration's frontier evaluations. Results evicted
+// from the job stores age out of the cache here rather than
+// accumulating forever.
+func (s *Server) handleCacheGC(w http.ResponseWriter, r *http.Request) {
+	keep := make(map[string]struct{})
+	s.mu.Lock()
+	for _, job := range s.sweeps.all() {
+		if job.Results != nil {
+			for _, o := range job.Results.Outcomes {
+				keep[o.Key] = struct{}{}
+			}
+			continue
+		}
+		// A still-running sweep has no outcomes yet — keep everything
+		// its grid will ask for.
+		for _, pt := range job.Grid.Expand() {
+			if key, err := pt.Key(); err == nil {
+				keep[key] = struct{}{}
+			}
+		}
+	}
+	for _, job := range s.explores.all() {
+		if fr := job.Frontier; fr != nil && fr.Spec.Space != nil {
+			for _, e := range fr.Frontier {
+				for _, pt := range fr.Spec.Space.Points(e.Candidate, fr.Spec.Workloads,
+					fr.Spec.Scale, fr.Spec.Check) {
+					if key, err := pt.Key(); err == nil {
+						keep[key] = struct{}{}
+					}
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	before := s.cache.Len()
+	removed, err := s.cache.GC(func(key string) bool {
+		_, ok := keep[key]
+		return ok
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "cache gc: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{
+		"removed": removed, "kept": before - removed, "entries": s.cache.Len(),
+	})
 }
 
 // --- design-space exploration -------------------------------------------

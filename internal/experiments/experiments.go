@@ -9,6 +9,8 @@
 package experiments
 
 import (
+	"context"
+
 	"earlyrelease/internal/pipeline"
 	"earlyrelease/internal/release"
 	"earlyrelease/internal/stats"
@@ -33,6 +35,11 @@ type Options struct {
 	// running in-process; results are byte-identical either way, so
 	// figures and tables don't care where the cycles were spent.
 	Remote string
+
+	// Context cancels the wait on a federated run (Remote mode) — the
+	// CLIs thread a signal-bound context here so Ctrl-C abandons the
+	// poll cleanly. Nil means context.Background().
+	Context context.Context
 }
 
 // DefaultOptions is a good compromise for regenerating all figures in a
@@ -97,7 +104,11 @@ func runGrid(g sweep.Grid, opt Options) (*sweep.Results, error) {
 	var res *sweep.Results
 	var err error
 	if opt.Remote != "" {
-		res, err = sweep.NewClient(opt.Remote).RunGrid(g, nil)
+		ctx := opt.Context
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		res, err = sweep.NewClient(opt.Remote).RunGrid(ctx, g, nil)
 	} else {
 		cache := opt.Cache
 		if cache == nil {

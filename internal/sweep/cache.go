@@ -1,13 +1,19 @@
 package sweep
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"earlyrelease/internal/pipeline"
+	"earlyrelease/internal/sweep/store"
 )
 
 // Cache is the content-addressed result store shared by every sweep
@@ -22,8 +28,16 @@ import (
 type Cache struct {
 	mu    sync.Mutex
 	mem   map[string]*pipeline.Result
-	path  string // "" = in-memory only
+	path  string // "" = in-memory only (or store-backed)
 	dirty bool
+
+	// store is the sharded segment-log tier selected by pointing
+	// OpenCache at a directory. With a store, mem is only a decode
+	// cache for results already on disk — every Put appends to the
+	// store immediately and Save is one fsync per dirty shard instead
+	// of a full-corpus rewrite.
+	store     *store.Store
+	storeErrs uint64
 
 	hits, misses uint64
 
@@ -63,9 +77,17 @@ func NewCache() *Cache {
 }
 
 // OpenCache loads a persistent cache from path, which may not exist yet
-// (Save creates it). The on-disk format is a JSON object mapping content
-// keys to Results.
+// (Save creates it). A path that is (or, by a trailing separator, is
+// asked to become) a directory selects the sharded segment-log store;
+// any other path is the legacy format — a single JSON object mapping
+// content keys to Results.
 func OpenCache(path string) (*Cache, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return OpenStoreCache(path)
+	}
+	if trimmed := strings.TrimRight(path, "/"+string(os.PathSeparator)); trimmed != path {
+		return OpenStoreCache(trimmed)
+	}
 	c := NewCache()
 	c.path = path
 	data, err := os.ReadFile(path)
@@ -81,10 +103,78 @@ func OpenCache(path string) (*Cache, error) {
 	return c, nil
 }
 
-// Get returns the cached result for key, if any. A local miss with a
-// remote tier configured reads through: a remote hit is stored locally
-// (off the lookup lock, so concurrent Gets never stall behind HTTP)
-// and counted as a hit.
+// OpenStoreCache opens (creating if absent) a cache backed by the
+// sharded segment-log store rooted at dir. An empty store auto-imports
+// a legacy cache.json found inside the directory or sitting beside it
+// as "<dir>.json" — the one-shot migration path off the monolithic
+// format. SWEEP_STORE_SEG_BYTES overrides the segment roll size
+// (a CI/test hook for forcing many small segments).
+func OpenStoreCache(dir string) (*Cache, error) {
+	var opts store.Options
+	if v := os.Getenv("SWEEP_STORE_SEG_BYTES"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
+			opts.MaxSegmentBytes = n
+		}
+	}
+	st, err := store.Open(dir, opts)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open cache: %w", err)
+	}
+	c := NewCache()
+	c.store = st
+	if st.Len() == 0 {
+		if err := c.migrateLegacy(dir); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// migrateLegacy imports a monolithic cache.json into an empty store,
+// preserving each result's bytes exactly (no decode/re-encode). The
+// legacy file is left in place as a fallback; delete it once the store
+// has proven itself.
+func (c *Cache) migrateLegacy(dir string) error {
+	for _, legacy := range []string{filepath.Join(dir, "cache.json"), dir + ".json"} {
+		data, err := os.ReadFile(legacy)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("sweep: migrate %s: %w", legacy, err)
+		}
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal(data, &raw); err != nil {
+			return fmt.Errorf("sweep: migrate %s: %w", legacy, err)
+		}
+		keys := make([]string, 0, len(raw))
+		for k := range raw {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := c.store.Put(k, raw[k]); err != nil {
+				return fmt.Errorf("sweep: migrate %s: %w", legacy, err)
+			}
+		}
+		if len(keys) > 0 {
+			if err := c.store.Sync(); err != nil {
+				return fmt.Errorf("sweep: migrate %s: %w", legacy, err)
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// Get returns the cached result for key, if any. A memory miss probes
+// the segment store (directory mode), then a remote tier if one is
+// configured — both off the lookup lock, so concurrent Gets never
+// stall behind disk or HTTP. A hit from a lower tier is cached in
+// memory and counted as a hit. Every miss path re-checks memory before
+// answering: a concurrent Put may have landed during the probe, and
+// reporting it as a miss would trigger a redundant re-simulation.
 func (c *Cache) Get(key string) (*pipeline.Result, bool) {
 	c.mu.Lock()
 	if r, ok := c.mem[key]; ok {
@@ -92,8 +182,26 @@ func (c *Cache) Get(key string) (*pipeline.Result, bool) {
 		c.mu.Unlock()
 		return r, true
 	}
-	rc := c.remote
+	st, rc := c.store, c.remote
 	c.mu.Unlock()
+
+	if st != nil {
+		if raw, ok, err := st.Get(key); err == nil && ok {
+			r := new(pipeline.Result)
+			if err := json.Unmarshal(raw, r); err == nil {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				c.hits++
+				if have, exists := c.mem[key]; exists {
+					return have, true // a concurrent Put won the race
+				}
+				c.mem[key] = r // decode cache only — already durable
+				return r, true
+			}
+		}
+		// A store miss (or an unreadable record) falls through to the
+		// remote tier, and failing that to a re-simulation.
+	}
 
 	if rc != nil {
 		r, ok, err := rc.Get(key)
@@ -109,10 +217,14 @@ func (c *Cache) Get(key string) (*pipeline.Result, bool) {
 				return have, true // a concurrent Put won the race
 			}
 			c.mem[key] = r
-			c.dirty = true
+			c.persist(key, r)
 			return r, true
 		default:
 			c.rstats.Misses++
+		}
+		if have, exists := c.mem[key]; exists {
+			c.hits++
+			return have, true // a concurrent Put landed during the round-trip
 		}
 		c.misses++
 		return nil, false
@@ -120,8 +232,42 @@ func (c *Cache) Get(key string) (*pipeline.Result, bool) {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if r, ok := c.mem[key]; ok {
+		c.hits++
+		return r, true // a concurrent Put landed during the store probe
+	}
 	c.misses++
 	return nil, false
+}
+
+// persist makes a freshly added result durable-on-Save: in store mode
+// it appends to the segment log immediately (the next Save fsyncs), in
+// JSON mode it marks the map dirty for the next full rewrite. Failures
+// to append are counted, not surfaced — the result still serves from
+// memory, exactly like the remote tier's best-effort contract. Called
+// with c.mu held.
+func (c *Cache) persist(key string, r *pipeline.Result) {
+	if c.store == nil {
+		c.dirty = true
+		return
+	}
+	raw, err := json.Marshal(r)
+	if err != nil {
+		c.storeErrs++
+		return
+	}
+	if err := c.store.Put(key, raw); err != nil {
+		c.storeErrs++
+	}
+}
+
+// has reports whether key is present in memory or the store. Called
+// with c.mu held.
+func (c *Cache) has(key string) bool {
+	if _, ok := c.mem[key]; ok {
+		return true
+	}
+	return c.store != nil && c.store.Has(key)
 }
 
 // Put stores a result. Only successful simulations are ever stored, so
@@ -132,9 +278,9 @@ func (c *Cache) Put(key string, r *pipeline.Result) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, exists := c.mem[key]; !exists {
+	if !c.has(key) {
 		c.mem[key] = r
-		c.dirty = true
+		c.persist(key, r)
 	}
 }
 
@@ -148,9 +294,9 @@ func (c *Cache) PutPoint(pt Point, key string, r *pipeline.Result) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, exists := c.mem[key]; !exists {
+	if !c.has(key) {
 		c.mem[key] = r
-		c.dirty = true
+		c.persist(key, r)
 		if c.remote != nil {
 			c.pendingRemote = append(c.pendingRemote, remotePut{pt, key, r})
 		}
@@ -161,15 +307,21 @@ func (c *Cache) PutPoint(pt Point, key string, r *pipeline.Result) {
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.store != nil {
+		return c.store.Len()
+	}
 	return len(c.mem)
 }
 
 // Save persists the cache: queued remote write-backs are flushed
 // first (best-effort — failures are counted in Stats, never returned,
-// and never block the file write), then the backing file is rewritten
-// if it has one and new entries were added since the last save. The
-// write is atomic (temp file + rename) so concurrent readers never see
-// a torn file, and the encode happens on a snapshot outside the lookup
+// and never block the file write), then the local tier is made
+// durable. In store mode every Put already appended its record, so
+// Save is one fsync per dirty shard — O(new data) however large the
+// corpus. In legacy JSON mode the backing file is rewritten in full if
+// it has one and new entries were added since the last save; the write
+// is atomic (temp file + rename) so concurrent readers never see a
+// torn file, and the encode happens on a snapshot outside the lookup
 // lock so concurrent sweeps' Get/Put never stall behind file I/O.
 func (c *Cache) Save() error {
 	c.saveMu.Lock()
@@ -193,6 +345,13 @@ func (c *Cache) Save() error {
 	}
 
 	c.mu.Lock()
+	if st := c.store; st != nil {
+		c.mu.Unlock()
+		if err := st.Sync(); err != nil {
+			return fmt.Errorf("sweep: save cache: %w", err)
+		}
+		return nil
+	}
 	if c.path == "" || !c.dirty {
 		c.mu.Unlock()
 		return nil
@@ -242,6 +401,12 @@ type CacheStats struct {
 
 	// Remote reports the remote tier's traffic when one is configured.
 	Remote *RemoteCacheStats `json:"remote,omitempty"`
+
+	// Store reports the segment store's on-disk shape in directory
+	// mode, plus any write-through append failures (best-effort, like
+	// the remote tier).
+	Store       *store.Stats `json:"store,omitempty"`
+	StoreErrors uint64       `json:"store_errors,omitempty"`
 }
 
 // RemoteCacheStats counts remote-tier traffic: read-through lookups
@@ -267,5 +432,174 @@ func (c *Cache) Stats() CacheStats {
 		rs := c.rstats
 		s.Remote = &rs
 	}
+	if c.store != nil {
+		ss := c.store.Stats()
+		s.Entries = ss.Keys
+		s.Store = &ss
+		s.StoreErrors = c.storeErrs
+	}
 	return s
+}
+
+// exportRecord is one NDJSON line of a cache export: the content key
+// and the result's exact stored bytes.
+type exportRecord struct {
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// Export streams every cached result to w as NDJSON — one
+// {"key":…,"result":…} object per line, in sorted key order so equal
+// corpora export byte-identically. Store-backed caches stream straight
+// from disk without materializing the corpus in memory.
+func (c *Cache) Export(w io.Writer) error {
+	c.mu.Lock()
+	st := c.store
+	var keys []string
+	if st == nil {
+		keys = make([]string, 0, len(c.mem))
+		for k := range c.mem {
+			keys = append(keys, k)
+		}
+	}
+	c.mu.Unlock()
+	if st != nil {
+		keys = st.Keys()
+	}
+	sort.Strings(keys)
+
+	bw := bufio.NewWriter(w)
+	for _, k := range keys {
+		var raw json.RawMessage
+		if st != nil {
+			v, ok, err := st.Get(k)
+			if err != nil {
+				return fmt.Errorf("sweep: export: %w", err)
+			}
+			if !ok {
+				continue // deleted between listing and read
+			}
+			raw = v
+		} else {
+			c.mu.Lock()
+			r, ok := c.mem[k]
+			c.mu.Unlock()
+			if !ok {
+				continue
+			}
+			v, err := json.Marshal(r)
+			if err != nil {
+				return fmt.Errorf("sweep: export: %w", err)
+			}
+			raw = v
+		}
+		line, err := json.Marshal(exportRecord{Key: k, Result: raw})
+		if err != nil {
+			return fmt.Errorf("sweep: export: %w", err)
+		}
+		bw.Write(line)
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("sweep: export: %w", err)
+	}
+	return nil
+}
+
+// Import reads an NDJSON export from r, storing each record under its
+// key. Existing keys are skipped unless overwrite is set (counted in
+// skipped). Store-backed caches take the result bytes verbatim, so an
+// export/import round-trip is byte-preserving; call Save afterwards to
+// make the batch durable.
+func (c *Cache) Import(r io.Reader, overwrite bool) (added, skipped int, err error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var rec exportRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return added, skipped, fmt.Errorf("sweep: import: %w", err)
+		}
+		if rec.Key == "" || len(rec.Result) == 0 {
+			return added, skipped, fmt.Errorf("sweep: import: record missing key or result")
+		}
+		c.mu.Lock()
+		if !overwrite && c.has(rec.Key) {
+			skipped++
+			c.mu.Unlock()
+			continue
+		}
+		if c.store != nil {
+			err := c.store.Put(rec.Key, rec.Result)
+			delete(c.mem, rec.Key) // drop any stale decode-cache copy
+			c.mu.Unlock()
+			if err != nil {
+				return added, skipped, fmt.Errorf("sweep: import: %w", err)
+			}
+		} else {
+			res := new(pipeline.Result)
+			if err := json.Unmarshal(rec.Result, res); err != nil {
+				c.mu.Unlock()
+				return added, skipped, fmt.Errorf("sweep: import %s: %w", rec.Key, err)
+			}
+			c.mem[rec.Key] = res
+			c.dirty = true
+			c.mu.Unlock()
+		}
+		added++
+	}
+	return added, skipped, nil
+}
+
+// GC removes every cached result whose key the live predicate rejects.
+// In store mode the dead keys are tombstoned and their segments
+// compacted; either way the matching in-memory entries go too. Returns
+// the number of keys removed from the authoritative tier.
+func (c *Cache) GC(live func(key string) bool) (int, error) {
+	c.mu.Lock()
+	st := c.store
+	removed := 0
+	for k := range c.mem {
+		if !live(k) {
+			delete(c.mem, k)
+			if st == nil {
+				c.dirty = true
+				removed++
+			}
+		}
+	}
+	c.mu.Unlock()
+	if st != nil {
+		return st.GC(live)
+	}
+	return removed, nil
+}
+
+// Compact runs a compaction pass over the segment store (every sealed
+// segment when force is set, otherwise only those below the live-ratio
+// threshold). A no-op without a store.
+func (c *Cache) Compact(force bool) (store.CompactStats, error) {
+	c.mu.Lock()
+	st := c.store
+	c.mu.Unlock()
+	if st == nil {
+		return store.CompactStats{}, nil
+	}
+	return st.Compact(force)
+}
+
+// Close saves the cache and releases its backing store. Safe on caches
+// without one; the cache must not be used afterwards.
+func (c *Cache) Close() error {
+	err := c.Save()
+	c.mu.Lock()
+	st := c.store
+	c.store = nil
+	c.mu.Unlock()
+	if st != nil {
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

@@ -51,6 +51,41 @@ type Record struct {
 // without letting a corrupt length prefix allocate the address space).
 const maxRecordBytes = 64 << 20
 
+// EncodeFrame builds the on-disk frame for one record — the framing
+// every durable file in the system shares (the coordinator WAL here,
+// the result store's segment logs in internal/sweep/store):
+// uvarint length, type byte + payload body, little-endian CRC-32.
+func EncodeFrame(typ byte, payload []byte) []byte {
+	body := make([]byte, 0, 1+len(payload))
+	body = append(body, typ)
+	body = append(body, payload...)
+	frame := make([]byte, 0, binary.MaxVarintLen64+len(body)+4)
+	frame = binary.AppendUvarint(frame, uint64(len(body)))
+	frame = append(frame, body...)
+	return binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(body))
+}
+
+// DecodeFrame parses the frame at the start of data. ok is false when
+// the frame is torn, its length prefix is garbage, or its checksum
+// does not match — the scanner's cue to stop believing the file. The
+// returned payload aliases data; callers that outlive data must copy.
+func DecodeFrame(data []byte) (rec Record, frameLen int64, ok bool) {
+	n, used := binary.Uvarint(data)
+	if used <= 0 || n == 0 || n > maxRecordBytes {
+		return Record{}, 0, false
+	}
+	frameLen = int64(used) + int64(n) + 4 // len + body + crc
+	if int64(len(data)) < frameLen {
+		return Record{}, 0, false
+	}
+	body := data[used : int64(used)+int64(n)]
+	sum := binary.LittleEndian.Uint32(data[int64(used)+int64(n):])
+	if crc32.ChecksumIEEE(body) != sum {
+		return Record{}, 0, false
+	}
+	return Record{Type: body[0], Payload: body[1:]}, frameLen, true
+}
+
 // WAL is an append-only record log. One writer at a time; Append is
 // not internally locked (the coordinator serializes under its own
 // mutex).
@@ -100,21 +135,12 @@ func scan(data []byte) ([]Record, int64) {
 	var recs []Record
 	off := int64(0)
 	for int(off) < len(data) {
-		rest := data[off:]
-		n, used := binary.Uvarint(rest)
-		if used <= 0 || n == 0 || n > maxRecordBytes {
-			break // torn or garbage length prefix
+		rec, frame, ok := DecodeFrame(data[off:])
+		if !ok {
+			break // torn, garbage length, or checksum mismatch: drop from here
 		}
-		frame := int64(used) + int64(n) + 4 // len + body + crc
-		if int64(len(rest)) < frame {
-			break // body or checksum missing: torn tail
-		}
-		body := rest[used : int64(used)+int64(n)]
-		sum := binary.LittleEndian.Uint32(rest[int64(used)+int64(n):])
-		if crc32.ChecksumIEEE(body) != sum {
-			break // checksum mismatch: drop from here
-		}
-		recs = append(recs, Record{Type: body[0], Payload: append([]byte(nil), body[1:]...)})
+		rec.Payload = append([]byte(nil), rec.Payload...)
+		recs = append(recs, rec)
 		off += frame
 	}
 	return recs, off
@@ -129,15 +155,7 @@ func (w *WAL) Append(typ byte, payload []byte, sync bool) error {
 	if w.closed {
 		return errors.New("durable: append to closed wal")
 	}
-	body := make([]byte, 0, 1+len(payload))
-	body = append(body, typ)
-	body = append(body, payload...)
-
-	frame := make([]byte, 0, binary.MaxVarintLen64+len(body)+4)
-	frame = binary.AppendUvarint(frame, uint64(len(body)))
-	frame = append(frame, body...)
-	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(body))
-
+	frame := EncodeFrame(typ, payload)
 	if _, err := w.f.Write(frame); err != nil {
 		return fmt.Errorf("durable: append wal: %w", err)
 	}

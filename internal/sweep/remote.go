@@ -2,7 +2,9 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -77,30 +79,62 @@ func (c *Client) SubmitGrid(g Grid) (string, error) {
 	return out.ID, nil
 }
 
+// waitRetry bounds WaitSweep's tolerance for transient poll failures:
+// up to waitMaxRetries consecutive transport (or decode) errors are
+// retried with exponential backoff from waitBackoffMin, capped at
+// waitBackoffMax; a successful poll resets the count. An HTTP error
+// status is not transient — the coordinator answered, and it said no.
+const waitMaxRetries = 6
+
+var (
+	waitBackoffMin = 100 * time.Millisecond
+	waitBackoffMax = 2 * time.Second
+	waitPollEvery  = 50 * time.Millisecond
+)
+
 // WaitSweep polls a submitted sweep until it completes, forwarding
-// progress snapshots to onProgress as they change.
-func (c *Client) WaitSweep(id string, onProgress func(Progress)) (*Results, error) {
+// progress snapshots to onProgress as they change. Transient transport
+// errors are retried with bounded exponential backoff rather than
+// abandoning the whole federated sweep; cancelling ctx abandons the
+// wait cleanly (the sweep keeps running on the coordinator).
+func (c *Client) WaitSweep(ctx context.Context, id string, onProgress func(Progress)) (*Results, error) {
 	var last Progress
 	last.Done = -1
+	retries := 0
+	backoff := waitBackoffMin
+	sleep := func(d time.Duration) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("sweep: wait for sweep %s: %w", id, ctx.Err())
+		case <-t.C:
+			return nil
+		}
+	}
 	for {
-		resp, err := c.hc.Get(c.base + "/sweep/" + id)
+		job, err := c.pollSweep(ctx, id)
 		if err != nil {
-			return nil, err
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("sweep: wait for sweep %s: %w", id, ctx.Err())
+			}
+			var httpErr *statusError
+			if errors.As(err, &httpErr) {
+				return nil, err // the coordinator answered; don't retry
+			}
+			if retries++; retries > waitMaxRetries {
+				return nil, fmt.Errorf("sweep: wait for sweep %s: giving up after %d retries: %w",
+					id, waitMaxRetries, err)
+			}
+			if err := sleep(backoff); err != nil {
+				return nil, err
+			}
+			if backoff *= 2; backoff > waitBackoffMax {
+				backoff = waitBackoffMax
+			}
+			continue
 		}
-		if resp.StatusCode != http.StatusOK {
-			return nil, apiError(resp)
-		}
-		var job struct {
-			State    string   `json:"state"`
-			Progress Progress `json:"progress"`
-			Results  *Results `json:"results"`
-			Err      string   `json:"err"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&job)
-		resp.Body.Close()
-		if err != nil {
-			return nil, err
-		}
+		retries, backoff = 0, waitBackoffMin
 		if onProgress != nil && job.Progress != last {
 			last = job.Progress
 			onProgress(job.Progress)
@@ -114,20 +148,59 @@ func (c *Client) WaitSweep(id string, onProgress func(Progress)) (*Results, erro
 			}
 			return job.Results, nil
 		}
-		time.Sleep(50 * time.Millisecond)
+		if err := sleep(waitPollEvery); err != nil {
+			return nil, err
+		}
 	}
+}
+
+// sweepStatus is one poll's decoded job document.
+type sweepStatus struct {
+	State    string   `json:"state"`
+	Progress Progress `json:"progress"`
+	Results  *Results `json:"results"`
+	Err      string   `json:"err"`
+}
+
+// statusError marks a non-2xx coordinator answer — a definitive
+// rejection, never retried.
+type statusError struct{ err error }
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+// pollSweep performs one GET /sweep/{id} round-trip.
+func (c *Client) pollSweep(ctx context.Context, id string) (*sweepStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/sweep/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &statusError{apiError(resp)}
+	}
+	var job sweepStatus
+	err = json.NewDecoder(resp.Body).Decode(&job)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err // treated as transient — a torn proxy response
+	}
+	return &job, nil
 }
 
 // RunGrid submits the grid for federated execution and waits for the
 // results — a drop-in remote counterpart of Engine.Run. Results decode
 // from the same JSON the cache persists, so they are byte-identical to
-// a local run of the same points.
-func (c *Client) RunGrid(g Grid, onProgress func(Progress)) (*Results, error) {
+// a local run of the same points. Cancelling ctx abandons the wait.
+func (c *Client) RunGrid(ctx context.Context, g Grid, onProgress func(Progress)) (*Results, error) {
 	id, err := c.SubmitGrid(g)
 	if err != nil {
 		return nil, err
 	}
-	return c.WaitSweep(id, onProgress)
+	return c.WaitSweep(ctx, id, onProgress)
 }
 
 // --- WorkSource over HTTP ----------------------------------------------
@@ -227,6 +300,12 @@ func NewRemoteCache(base string) *RemoteCache {
 	return rc
 }
 
+// maxResultBytes bounds one cache response body on the client,
+// mirroring the request cap the server enforces (sweepd's
+// maxCompleteBytes) — a misbehaving coordinator must not be able to
+// balloon a worker's memory with an endless body.
+const maxResultBytes = 64 << 20
+
 // Get fetches one result by content key; ok=false on a clean 404.
 func (rc *RemoteCache) Get(key string) (*pipeline.Result, bool, error) {
 	resp, err := rc.c.hc.Get(rc.c.base + "/cache/" + key)
@@ -239,8 +318,15 @@ func (rc *RemoteCache) Get(key string) (*pipeline.Result, bool, error) {
 		io.Copy(io.Discard, resp.Body)
 		return nil, false, nil
 	case http.StatusOK:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxResultBytes+1))
+		if err != nil {
+			return nil, false, err
+		}
+		if len(data) > maxResultBytes {
+			return nil, false, fmt.Errorf("sweep: cache response for %s exceeds %d bytes", key, maxResultBytes)
+		}
 		r := &pipeline.Result{}
-		if err := json.NewDecoder(resp.Body).Decode(r); err != nil {
+		if err := json.Unmarshal(data, r); err != nil {
 			return nil, false, err
 		}
 		return r, true, nil
