@@ -1,0 +1,570 @@
+// Command loadgen drives a sweepd coordinator with a mixed population
+// of well-behaved and abusive tenants and grades the service against
+// its admission SLOs (DESIGN.md §4.8):
+//
+//   - every accepted sweep (202) runs to completion — zero dropped jobs;
+//   - with -verify, accepted results are byte-identical to a direct
+//     in-process engine run of the same grid;
+//   - every rate/quota rejection (429) carries a Retry-After header;
+//   - abusive oversized grids are rejected 413 and never reach the queue;
+//   - the p99 submit latency stays under -slo-p99 despite the abuse;
+//   - with -reconcile, the coordinator's /metrics admission totals match
+//     loadgen's own client-side counts exactly.
+//
+// Typical soak (the CI recipe):
+//
+//	loadgen -addr http://127.0.0.1:8080 -clients 1000 -abusive 100 \
+//	  -requests 3 -token gold-token -abusive-token abuse-token \
+//	  -scale 2000 -verify -reconcile -json SOAK.json
+//
+// Exit status is 0 only if every SLO holds; the JSON summary names the
+// violations otherwise.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"earlyrelease/internal/sweep"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "coordinator base URL")
+		clients  = flag.Int("clients", 100, "well-behaved concurrent clients")
+		abusive  = flag.Int("abusive", 10, "abusive concurrent clients")
+		requests = flag.Int("requests", 3, "submissions per client")
+		token    = flag.String("token", "", "API token for well-behaved clients (empty = anonymous)")
+		abuseTok = flag.String("abusive-token", "", "API token for abusive clients (empty = anonymous)")
+
+		workloads = flag.String("workloads", "tomcatv,go", "grid pool workloads (comma-separated)")
+		policies  = flag.String("policies", "conv,extended", "grid pool policies")
+		intRegs   = flag.String("int-regs", "40,48", "grid pool register axis")
+		scale     = flag.Int("scale", 2000, "instruction budget per trace")
+		abusePts  = flag.Int("abuse-points", 10000, "points in the abusive oversized grid")
+
+		sloP99    = flag.Duration("slo-p99", 2*time.Second, "p99 submit-latency SLO")
+		verify    = flag.Bool("verify", false, "check accepted results against a direct engine run")
+		reconcile = flag.Bool("reconcile", false, "check /metrics admission totals against client counts")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "overall deadline for the run")
+		jsonOut   = flag.String("json", "", "write the JSON summary to this file (always printed to stdout)")
+	)
+	flag.Parse()
+
+	lg := &loadgen{
+		base:     strings.TrimRight(*addr, "/"),
+		scale:    *scale,
+		abusePts: *abusePts,
+		deadline: time.Now().Add(*timeout),
+	}
+	lg.pool = gridPool(splitList(*workloads), splitList(*policies), splitInts(*intRegs), *scale)
+	// One shared transport sized for the client population: the default
+	// two idle conns per host would make 1000 clients thrash TCP.
+	lg.hc = &http.Client{
+		Timeout: 60 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        4 * (*clients + *abusive),
+			MaxIdleConnsPerHost: 4 * (*clients + *abusive),
+		},
+	}
+
+	if *verify {
+		if err := lg.computeReferences(); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: reference run: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lg.wellBehaved(id, *token, *requests)
+		}(i)
+	}
+	for i := 0; i < *abusive; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			lg.abuser(id, *abuseTok, *requests)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sum := lg.summarize(wall, *sloP99, *verify)
+	if *reconcile {
+		lg.reconcile(&sum)
+	}
+
+	blob, _ := json.MarshalIndent(sum, "", "  ")
+	fmt.Println(string(blob))
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		}
+	}
+	if len(sum.Violations) > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: SLO violations: %s\n", strings.Join(sum.Violations, "; "))
+		os.Exit(1)
+	}
+}
+
+// loadgen carries the shared state of one run. Counters are atomics;
+// the latency slices and reference table take the mutex.
+type loadgen struct {
+	base     string
+	hc       *http.Client
+	pool     []sweep.Grid
+	refs     [][]byte // canonical outcome JSON per pool grid (with -verify)
+	scale    int
+	abusePts int
+	deadline time.Time
+
+	accepted      atomic.Uint64 // 202s (well-behaved + abusive)
+	completed     atomic.Uint64 // accepted jobs that reached state "done" cleanly
+	rejected429   atomic.Uint64
+	rejected413   atomic.Uint64
+	missingRetry  atomic.Uint64 // 429s without a usable Retry-After
+	badStatus     atomic.Uint64 // anything outside {202, 429, 413}
+	transportErrs atomic.Uint64
+	mismatches    atomic.Uint64 // -verify result drift
+	neverDone     atomic.Uint64 // accepted but not done by the deadline
+	evicted       atomic.Uint64 // accepted but evicted before the result was read
+
+	mu        sync.Mutex
+	latencies []time.Duration // submit round-trips, well-behaved only
+}
+
+// gridPool builds the well-behaved submission pool: one single-
+// workload, single-policy grid per (workload, policy) pair so distinct
+// clients exercise distinct traces while the coordinator cache keeps
+// repeats cheap.
+func gridPool(workloads, policies []string, regs []int, scale int) []sweep.Grid {
+	var pool []sweep.Grid
+	for _, w := range workloads {
+		for _, p := range policies {
+			pool = append(pool, sweep.Grid{Workloads: []string{w}, Policies: []string{p},
+				IntRegs: regs, Scale: scale})
+		}
+	}
+	return pool
+}
+
+// computeReferences runs every pool grid on a local engine (shared
+// cache, so overlapping points simulate once) and stores the canonical
+// outcome JSON the coordinator must reproduce byte for byte.
+func (lg *loadgen) computeReferences() error {
+	eng := &sweep.Engine{Cache: sweep.NewCache()}
+	lg.refs = make([][]byte, len(lg.pool))
+	for i, g := range lg.pool {
+		res, err := eng.Run(g, nil)
+		if err != nil {
+			return err
+		}
+		if res.Stats.Errors != 0 {
+			return fmt.Errorf("reference grid %d has %d errors", i, res.Stats.Errors)
+		}
+		lg.refs[i] = canonicalOutcomes(res)
+	}
+	return nil
+}
+
+// canonicalOutcomes strips the cache provenance bit (a point is the
+// same result whether it was simulated or replayed) and marshals the
+// rest deterministically.
+func canonicalOutcomes(res *sweep.Results) []byte {
+	type flat struct {
+		Point  sweep.Point     `json:"point"`
+		Key    string          `json:"key"`
+		Err    string          `json:"err,omitempty"`
+		Result json.RawMessage `json:"result,omitempty"`
+	}
+	out := make([]flat, len(res.Outcomes))
+	for i, o := range res.Outcomes {
+		var r json.RawMessage
+		if o.Result != nil {
+			r, _ = json.Marshal(o.Result)
+		}
+		out[i] = flat{Point: o.Point, Key: o.Key, Err: o.Err, Result: r}
+	}
+	blob, _ := json.Marshal(out)
+	return blob
+}
+
+// wellBehaved submits pool grids, honors Retry-After on 429, polls
+// accepted jobs to completion and verifies their results.
+func (lg *loadgen) wellBehaved(id int, token string, requests int) {
+	for r := 0; r < requests && time.Now().Before(lg.deadline); r++ {
+		gi := (id + r) % len(lg.pool)
+		lg.submitAndWait(gi, token)
+	}
+}
+
+// submitAndWait pushes one grid through the full lifecycle. A 429 is
+// retried after the advertised Retry-After until the deadline; 413 for
+// a well-behaved pool grid is recorded as a bad status (the pool is
+// sized to fit any sane quota).
+func (lg *loadgen) submitAndWait(gi int, token string) {
+	for time.Now().Before(lg.deadline) {
+		status, hdr, body, took, err := lg.post("/sweep", token, lg.pool[gi])
+		if err != nil {
+			lg.transportErrs.Add(1)
+			return
+		}
+		lg.mu.Lock()
+		lg.latencies = append(lg.latencies, took)
+		lg.mu.Unlock()
+		switch status {
+		case http.StatusAccepted:
+			lg.accepted.Add(1)
+			var out struct {
+				ID string `json:"id"`
+			}
+			if json.Unmarshal(body, &out) != nil || out.ID == "" {
+				lg.badStatus.Add(1)
+				return
+			}
+			lg.await(out.ID, gi, token)
+			return
+		case http.StatusTooManyRequests:
+			lg.rejected429.Add(1)
+			delay, ok := retryAfter(hdr)
+			if !ok {
+				lg.missingRetry.Add(1)
+				delay = time.Second
+			}
+			time.Sleep(delay)
+		default:
+			lg.badStatus.Add(1)
+			return
+		}
+	}
+}
+
+// await polls one accepted sweep until it reports done, then verifies
+// the outcomes against the local reference. The poll interval backs
+// off exponentially: with a thousand concurrent waiters, a fixed tight
+// interval would make the status polls themselves the denial of
+// service the admission layer exists to prevent.
+func (lg *loadgen) await(id string, gi int, token string) {
+	delay := 200 * time.Millisecond
+	for time.Now().Before(lg.deadline) {
+		time.Sleep(delay)
+		if delay < 3*time.Second {
+			delay = delay * 8 / 5
+		}
+		status, _, body, _, err := lg.get("/sweep/"+id, token)
+		if status == http.StatusNotFound {
+			// The job record was evicted from the coordinator's bounded
+			// history before we read it — the work happened (reconcile
+			// proves it against /metrics) but the result is gone for
+			// this client. Counted separately: the fix is sizing sweepd
+			// -retain above the client population, not retrying.
+			lg.evicted.Add(1)
+			return
+		}
+		if err != nil || status != http.StatusOK {
+			continue // transient; the deadline bounds us
+		}
+		var job struct {
+			State   string         `json:"state"`
+			Err     string         `json:"err"`
+			Results *sweep.Results `json:"results"`
+		}
+		if json.Unmarshal(body, &job) != nil {
+			continue
+		}
+		if job.State != "done" {
+			continue
+		}
+		if job.Err != "" || job.Results == nil {
+			lg.neverDone.Add(1)
+			return
+		}
+		lg.completed.Add(1)
+		if lg.refs != nil && !bytes.Equal(canonicalOutcomes(job.Results), lg.refs[gi]) {
+			lg.mismatches.Add(1)
+		}
+		return
+	}
+	lg.neverDone.Add(1)
+}
+
+// abuser alternates two attack shapes and never backs off: oversized
+// grids that must bounce 413 at admission, and rapid-fire submissions
+// that must bounce 429 once the tenant's burst is spent. Whatever does
+// get accepted is left to run — its completion is the coordinator's
+// problem, which is the point.
+func (lg *loadgen) abuser(id int, token string, requests int) {
+	// points = len(IntRegs): a synthetic register axis inflates the
+	// expansion without inflating the body past the 1 MiB bound.
+	regs := make([]int, lg.abusePts)
+	for i := range regs {
+		regs[i] = 16 + i
+	}
+	oversized := sweep.Grid{Workloads: []string{"go"}, Policies: []string{"conv"},
+		IntRegs: regs, Scale: lg.scale}
+	tiny := sweep.Grid{Workloads: []string{"go"}, Policies: []string{"conv"},
+		IntRegs: []int{48}, Scale: lg.scale}
+
+	for r := 0; r < 2*requests && time.Now().Before(lg.deadline); r++ {
+		g := tiny
+		if r%2 == 0 {
+			g = oversized
+		}
+		status, hdr, _, _, err := lg.post("/sweep", token, g)
+		if err != nil {
+			lg.transportErrs.Add(1)
+			continue
+		}
+		switch status {
+		case http.StatusRequestEntityTooLarge:
+			lg.rejected413.Add(1)
+		case http.StatusTooManyRequests:
+			lg.rejected429.Add(1)
+			if _, ok := retryAfter(hdr); !ok {
+				lg.missingRetry.Add(1)
+			}
+		case http.StatusAccepted:
+			if r%2 == 0 {
+				lg.badStatus.Add(1) // an oversized grid must never be admitted
+			} else {
+				lg.accepted.Add(1)
+				lg.completed.Add(1) // not polled; excluded from the drop check below
+			}
+		default:
+			lg.badStatus.Add(1)
+		}
+	}
+}
+
+// --- HTTP plumbing -----------------------------------------------------
+
+func (lg *loadgen) post(path, token string, v any) (int, http.Header, []byte, time.Duration, error) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, nil, 0, err
+	}
+	req, err := http.NewRequest(http.MethodPost, lg.base+path, bytes.NewReader(blob))
+	if err != nil {
+		return 0, nil, nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return lg.do(req, token)
+}
+
+func (lg *loadgen) get(path, token string) (int, http.Header, []byte, time.Duration, error) {
+	req, err := http.NewRequest(http.MethodGet, lg.base+path, nil)
+	if err != nil {
+		return 0, nil, nil, 0, err
+	}
+	return lg.do(req, token)
+}
+
+func (lg *loadgen) do(req *http.Request, token string) (int, http.Header, []byte, time.Duration, error) {
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	t0 := time.Now()
+	resp, err := lg.hc.Do(req)
+	took := time.Since(t0)
+	if err != nil {
+		return 0, nil, nil, took, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, nil, nil, took, err
+	}
+	return resp.StatusCode, resp.Header, body, took, nil
+}
+
+// retryAfter parses a delay-seconds Retry-After header.
+func retryAfter(h http.Header) (time.Duration, bool) {
+	secs, err := strconv.Atoi(h.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// --- grading -----------------------------------------------------------
+
+// Summary is the machine-readable verdict of one loadgen run.
+type Summary struct {
+	WallSeconds   float64 `json:"wall_seconds"`
+	Submissions   int     `json:"submissions"`
+	Accepted      uint64  `json:"accepted"`
+	Completed     uint64  `json:"completed"`
+	Rejected429   uint64  `json:"rejected_429"`
+	Rejected413   uint64  `json:"rejected_413"`
+	MissingRetry  uint64  `json:"missing_retry_after"`
+	BadStatus     uint64  `json:"bad_status"`
+	TransportErrs uint64  `json:"transport_errors"`
+	NeverDone     uint64  `json:"never_done"`
+	Evicted       uint64  `json:"evicted"`
+	Mismatches    uint64  `json:"result_mismatches"`
+
+	P50Ms float64 `json:"submit_p50_ms"`
+	P95Ms float64 `json:"submit_p95_ms"`
+	P99Ms float64 `json:"submit_p99_ms"`
+
+	Reconciled *Reconciled `json:"reconciled,omitempty"`
+	Violations []string    `json:"violations"`
+}
+
+// Reconciled pairs loadgen's client-side admission counts with the
+// coordinator's /metrics totals.
+type Reconciled struct {
+	MetricsAccepted float64 `json:"metrics_accepted"`
+	MetricsRejected float64 `json:"metrics_rejected"`
+	ClientAccepted  uint64  `json:"client_accepted"`
+	ClientRejected  uint64  `json:"client_rejected"`
+	Match           bool    `json:"match"`
+}
+
+func (lg *loadgen) summarize(wall time.Duration, sloP99 time.Duration, verified bool) Summary {
+	lg.mu.Lock()
+	lats := append([]time.Duration(nil), lg.latencies...)
+	lg.mu.Unlock()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i]) / float64(time.Millisecond)
+	}
+
+	s := Summary{
+		WallSeconds:   wall.Seconds(),
+		Submissions:   len(lats),
+		Accepted:      lg.accepted.Load(),
+		Completed:     lg.completed.Load(),
+		Rejected429:   lg.rejected429.Load(),
+		Rejected413:   lg.rejected413.Load(),
+		MissingRetry:  lg.missingRetry.Load(),
+		BadStatus:     lg.badStatus.Load(),
+		TransportErrs: lg.transportErrs.Load(),
+		NeverDone:     lg.neverDone.Load(),
+		Evicted:       lg.evicted.Load(),
+		Mismatches:    lg.mismatches.Load(),
+		P50Ms:         pct(0.50),
+		P95Ms:         pct(0.95),
+		P99Ms:         pct(0.99),
+		Violations:    []string{},
+	}
+	if s.Accepted != s.Completed || s.NeverDone > 0 {
+		s.Violations = append(s.Violations, fmt.Sprintf(
+			"dropped jobs: %d accepted, %d completed, %d never done",
+			s.Accepted, s.Completed, s.NeverDone))
+	}
+	if s.Evicted > 0 {
+		s.Violations = append(s.Violations, fmt.Sprintf(
+			"%d accepted jobs evicted before their results were read (raise sweepd -retain)",
+			s.Evicted))
+	}
+	if s.MissingRetry > 0 {
+		s.Violations = append(s.Violations, fmt.Sprintf(
+			"%d rate rejections without Retry-After", s.MissingRetry))
+	}
+	if s.BadStatus > 0 {
+		s.Violations = append(s.Violations, fmt.Sprintf("%d unexpected statuses", s.BadStatus))
+	}
+	if s.TransportErrs > 0 {
+		s.Violations = append(s.Violations, fmt.Sprintf("%d transport errors", s.TransportErrs))
+	}
+	if verified && s.Mismatches > 0 {
+		s.Violations = append(s.Violations, fmt.Sprintf(
+			"%d accepted sweeps diverged from the direct engine run", s.Mismatches))
+	}
+	if p99 := time.Duration(s.P99Ms * float64(time.Millisecond)); p99 > sloP99 {
+		s.Violations = append(s.Violations, fmt.Sprintf(
+			"submit p99 %.0fms exceeds SLO %s", s.P99Ms, sloP99))
+	}
+	return s
+}
+
+// reconcile scrapes /metrics and checks the coordinator's per-tenant
+// admission totals sum to exactly what the clients observed.
+func (lg *loadgen) reconcile(s *Summary) {
+	status, _, body, _, err := lg.get("/metrics", "")
+	if err != nil || status != http.StatusOK {
+		s.Violations = append(s.Violations, fmt.Sprintf("metrics scrape failed: status %d err %v", status, err))
+		return
+	}
+	rec := &Reconciled{
+		MetricsAccepted: sumMetric(string(body), "sweepd_tenant_accepted_total"),
+		MetricsRejected: sumMetric(string(body), "sweepd_tenant_rejected_total"),
+		ClientAccepted:  s.Accepted,
+		ClientRejected:  s.Rejected429 + s.Rejected413,
+	}
+	rec.Match = rec.MetricsAccepted == float64(rec.ClientAccepted) &&
+		rec.MetricsRejected == float64(rec.ClientRejected)
+	s.Reconciled = rec
+	if !rec.Match {
+		s.Violations = append(s.Violations, fmt.Sprintf(
+			"metrics totals disagree with client counts: accepted %v vs %d, rejected %v vs %d",
+			rec.MetricsAccepted, rec.ClientAccepted, rec.MetricsRejected, rec.ClientRejected))
+	}
+}
+
+// sumMetric totals every sample of a counter across its label sets.
+func sumMetric(text, name string) float64 {
+	var total float64
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if !strings.HasPrefix(rest, "{") && !strings.HasPrefix(rest, " ") {
+			continue // a longer metric name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err == nil {
+			total += v
+		}
+	}
+	return total
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) []int {
+	var out []int
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: bad integer %q in list\n", f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}

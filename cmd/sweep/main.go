@@ -101,6 +101,7 @@ func main() {
 		importOver = flag.Bool("import-overwrite", false, "with -import, replace existing entries instead of skipping them")
 		compactF   = flag.Bool("compact", false, "compact the -cache store's stale segments and exit")
 		remote     = flag.String("remote", "", "sweepd coordinator URL: submit the grid for federated execution")
+		remoteTok  = flag.String("remote-token", "", "tenant API token for -remote submission (sweepd -tokens)")
 		remoteC    = flag.String("remote-cache", "", "sweepd coordinator URL: run locally but read-through/write-back its shared cache")
 		jsonOut    = flag.Bool("json", false, "print full outcomes as JSON")
 		statsPath  = flag.String("stats-json", "", "write run + cache statistics to this file")
@@ -206,7 +207,7 @@ func main() {
 	if *remote != "" {
 		// Federated execution: the coordinator plans the grid into
 		// leased shards and its workers do the simulating.
-		res, err = sweep.NewClient(*remote).RunGrid(ctx, g, progress)
+		res, err = sweep.NewClient(*remote).SetToken(*remoteTok).RunGrid(ctx, g, progress)
 	} else {
 		res, err = eng.Run(g, progress)
 	}

@@ -411,6 +411,81 @@ func TestFederationChaos(t *testing.T) {
 	}
 }
 
+// TestFederationChaosDrain is the drained-worker case: an HTTP worker
+// is context-canceled (the SIGTERM path) partway through a leased
+// shard. The cancellation must stop the engine at point granularity,
+// the partial completion must never be reported, and the lapsed lease
+// must requeue the shard for a healthy worker — with final results
+// identical to a direct local run.
+func TestFederationChaosDrain(t *testing.T) {
+	srv := NewServerWith(ServerConfig{
+		LocalWorkers: -1,
+		LeaseTTL:     300 * time.Millisecond,
+		MaxAttempts:  10,
+		Planner:      sweep.ShardPlanner{MaxPoints: 8},
+	})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// One shard of points slow enough (tens of ms each on one core)
+	// that the drain reliably lands mid-shard.
+	g := sweep.Grid{Workloads: []string{"tomcatv", "go"}, Policies: []string{"conv", "extended"},
+		IntRegs: []int{40, 48}, Scale: testScale}
+	id := postGrid(t, ts, g)
+
+	drainCtx, drain := context.WithCancel(context.Background())
+	drained := &sweep.Worker{Source: sweep.NewClient(ts.URL), Name: "draining",
+		Engine: &sweep.Engine{Parallel: 1, Batch: 1}, Poll: 2 * time.Millisecond}
+	drainedDone := make(chan struct{})
+	go func() { defer close(drainedDone); drained.Run(drainCtx) }()
+
+	// Wait for the lease to be visibly held, then drain mid-shard.
+	for end := time.Now().Add(5 * time.Second); srv.Coordinator().Status().ActiveLeases == 0; {
+		if time.Now().After(end) {
+			t.Fatal("draining worker never leased the shard")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	drain()
+	select {
+	case <-drainedDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drained worker did not exit promptly")
+	}
+	if job, ok := srv.snapshot(id); !ok || job.State != "running" {
+		t.Fatalf("sweep state %+v after drain; want still running", job)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	healthy := &sweep.Worker{Source: sweep.NewClient(ts.URL), Name: "healthy",
+		Engine: &sweep.Engine{Parallel: 2}, Poll: 2 * time.Millisecond}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); healthy.Run(ctx) }()
+	t.Cleanup(func() { cancel(); wg.Wait() })
+
+	job := pollDone(t, ts, id)
+	if job.Err != "" || job.Results.Stats.Errors != 0 {
+		t.Fatalf("post-drain sweep: err=%q stats=%+v", job.Err, job.Results.Stats)
+	}
+	if n := srv.Coordinator().Counters().LeaseExpiries; n == 0 {
+		t.Error("drained worker's lease never expired")
+	}
+	direct, err := (&sweep.Engine{Cache: sweep.NewCache()}).Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range job.Results.Outcomes {
+		a, _ := json.Marshal(o.Result)
+		b, _ := json.Marshal(direct.Outcomes[i].Result)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: post-drain result drifted from direct run", o.Point)
+		}
+	}
+}
+
 func postRaw(t *testing.T, ts *httptest.Server, path string, body []byte) (int, string) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+path, "application/octet-stream", bytes.NewReader(body))

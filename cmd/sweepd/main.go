@@ -36,6 +36,7 @@ import (
 	"context"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,6 +45,7 @@ import (
 	"time"
 
 	"earlyrelease/internal/sweep"
+	"earlyrelease/internal/tenant"
 )
 
 func main() {
@@ -61,20 +63,58 @@ func main() {
 		shardPoints  = flag.Int("shard-points", 0, "max points per shard (0 = default)")
 		join         = flag.String("join", "", "coordinator URL to join (worker role)")
 		name         = flag.String("name", "", "worker name in the coordinator registry (default: hostname)")
+		retainJobs   = flag.Int("retain", 0, "finished jobs retained for polling (0 = default 128); size above the concurrent client population")
+		tokens       = flag.String("tokens", "", "tenant token file (JSON, see DESIGN.md §4.8); empty = open anonymous access")
+		enablePprof  = flag.Bool("pprof", false, "expose /debug/pprof/* on the coordinator")
+		logRequests  = flag.Bool("log-requests", true, "structured per-request logging (method, route, tenant, status, latency)")
 	)
+	var tenantSpecs []string
+	flag.Func("tenant", "provision one tenant, name:token[:rate=R][:burst=B][:grid=N][:pending=N][:jobs=N] (repeatable; implies enforcement)",
+		func(s string) error { tenantSpecs = append(tenantSpecs, s); return nil })
 	flag.Parse()
 
 	switch *role {
 	case "worker":
 		runWorker(*join, *name, *parallel, *batch)
 	case "coordinator":
-		runCoordinator(*addr, *cachePath, *stateDir, *parallel, *batch, *localWorkers, *leaseTTL, *shardPoints)
+		registry := loadRegistry(*tokens, tenantSpecs)
+		runCoordinator(*addr, *cachePath, *stateDir, *parallel, *batch, *localWorkers,
+			*leaseTTL, *shardPoints, *retainJobs, registry, *enablePprof, *logRequests)
 	default:
 		log.Fatalf("unknown role %q (want coordinator or worker)", *role)
 	}
 }
 
-func runCoordinator(addr, cachePath, stateDir string, parallel, batch, localWorkers int, leaseTTL time.Duration, shardPoints int) {
+// loadRegistry assembles the tenant registry from the -tokens file and
+// any -tenant flags. With neither, the registry is open: unlimited
+// anonymous access, exactly the pre-tenancy behavior.
+func loadRegistry(tokensPath string, specs []string) *tenant.Registry {
+	registry := tenant.Open()
+	if tokensPath != "" {
+		var err error
+		registry, err = tenant.Load(tokensPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, spec := range specs {
+		t, err := tenant.ParseSpec(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := registry.Add(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if registry.Enforcing() {
+		log.Printf("tenancy enforced: %d tenants", len(registry.Snapshot()))
+	}
+	return registry
+}
+
+func runCoordinator(addr, cachePath, stateDir string, parallel, batch, localWorkers int,
+	leaseTTL time.Duration, shardPoints, retainJobs int, registry *tenant.Registry,
+	enablePprof, logRequests bool) {
 	if cachePath == "" && stateDir != "" {
 		// The state dir's cache defaults to the segment-log store.
 		// OpenCache's migration picks up the pre-store layout (a
@@ -99,6 +139,12 @@ func runCoordinator(addr, cachePath, stateDir string, parallel, batch, localWork
 		LeaseTTL:       leaseTTL,
 		Planner:        sweep.ShardPlanner{MaxPoints: shardPoints},
 		StateDir:       stateDir,
+		Tenants:        registry,
+		RetainJobs:     retainJobs,
+		EnablePprof:    enablePprof,
+	}
+	if logRequests {
+		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	if localWorkers <= 0 {
 		cfg.LocalWorkers = -1

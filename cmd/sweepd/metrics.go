@@ -1,0 +1,324 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"earlyrelease/internal/tenant"
+)
+
+// This file is sweepd's operability surface (DESIGN.md §4.8): tenancy
+// admission glue for the submit handlers, the instrument middleware
+// (per-request structured logging + HTTP metrics), and GET /metrics in
+// Prometheus text exposition format. Everything is hand-rolled on the
+// standard library — the counters live in the coordinator, cache and
+// tenant registry, and this file only formats them.
+
+// requestToken extracts the client's API token: "Authorization:
+// Bearer <token>" or the X-Api-Token header. Empty = anonymous.
+func requestToken(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if tok, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(tok)
+		}
+	}
+	return r.Header.Get("X-Api-Token")
+}
+
+// admit runs tenancy admission for a submission of n expanded points
+// and writes the full HTTP rejection itself when admission fails:
+// 401 missing token, 403 unknown token, 413 oversized grid, 429 with
+// Retry-After for rate or quota exhaustion. ok=false means the
+// handler must return without doing anything.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, n int) (*tenant.Admission, bool) {
+	adm, err := s.tenants.Admit(requestToken(r), n)
+	if err == nil {
+		return adm, true
+	}
+	var le *tenant.LimitError
+	switch {
+	case errors.Is(err, tenant.ErrNoToken):
+		writeError(w, http.StatusUnauthorized, "%v", err)
+	case errors.Is(err, tenant.ErrUnknownToken):
+		writeError(w, http.StatusForbidden, "%v", err)
+	case errors.As(err, &le) && le.Transient():
+		w.Header().Set("Retry-After", retryAfterSeconds(le.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.As(err, &le):
+		writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+	return nil, false
+}
+
+// retryAfterSeconds renders a back-off hint as the integer-seconds
+// form of the Retry-After header, never below 1s.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// statusWriter captures the response code for logging/metrics. It
+// forwards Flush so the NDJSON stream handlers (which type-assert
+// http.Flusher) keep streaming through the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// routeLabel normalizes a request path to its route pattern so metric
+// label cardinality stays bounded no matter how many sweep ids or
+// cache keys clients touch.
+func routeLabel(r *http.Request) string {
+	seg := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	route := "/" + seg[0]
+	switch seg[0] {
+	case "sweep", "explore":
+		if len(seg) >= 2 {
+			route += "/{id}"
+		}
+		if len(seg) >= 3 {
+			route += "/" + seg[2]
+		}
+	case "cache":
+		if len(seg) >= 2 {
+			switch seg[1] {
+			case "export", "gc":
+				route += "/" + seg[1]
+			default:
+				route += "/{key}"
+			}
+		}
+	case "workers", "work":
+		if len(seg) >= 2 {
+			route += "/" + seg[1]
+		}
+	case "debug":
+		route = "/debug/pprof"
+	}
+	return r.Method + " " + route
+}
+
+// httpStats aggregates request counts and latencies per route.
+type httpStats struct {
+	mu       sync.Mutex
+	requests map[string]uint64 // "route|code" → count
+	latSum   map[string]float64
+	latCount map[string]uint64
+}
+
+func (h *httpStats) record(route string, code int, elapsed time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.requests == nil {
+		h.requests = make(map[string]uint64)
+		h.latSum = make(map[string]float64)
+		h.latCount = make(map[string]uint64)
+	}
+	h.requests[route+"|"+strconv.Itoa(code)]++
+	h.latSum[route] += elapsed.Seconds()
+	h.latCount[route]++
+}
+
+// instrument wraps the route table with per-request accounting: every
+// response's route/status/latency lands in httpStats, and with a
+// logger configured each request emits one structured line.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		route := routeLabel(r)
+		elapsed := time.Since(start)
+		s.httpStats.record(route, sw.status, elapsed)
+		if s.logger != nil {
+			name, _ := s.tenants.Resolve(requestToken(r))
+			s.logger.Info("request",
+				"method", r.Method,
+				"route", route,
+				"tenant", name,
+				"status", sw.status,
+				"latency_ms", float64(elapsed.Microseconds())/1000)
+		}
+	})
+}
+
+// promWriter accumulates Prometheus text-format exposition lines.
+type promWriter struct{ b strings.Builder }
+
+func (p *promWriter) header(name, help, typ string) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func labels(kv ...string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, kv[i], escapeLabel(kv[i+1])))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func (p *promWriter) sample(name, labelSet string, v float64) {
+	fmt.Fprintf(&p.b, "%s%s %s\n", name, labelSet, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func (p *promWriter) counter(name, help string, v uint64) {
+	p.header(name, help, "counter")
+	p.sample(name, "", float64(v))
+}
+
+func (p *promWriter) gauge(name, help string, v float64) {
+	p.header(name, help, "gauge")
+	p.sample(name, "", v)
+}
+
+// handleMetrics serves GET /metrics: coordinator queue/lease gauges
+// and lifetime counters, cache traffic, per-tenant admission totals,
+// and the HTTP request table — everything an operator needs to see
+// overload, lease churn or a misbehaving tenant at a glance.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	p := &promWriter{}
+
+	st := s.coord.Status()
+	p.gauge("sweepd_pending_shards", "Shards waiting in the coordinator queue.", float64(st.PendingShards))
+	p.gauge("sweepd_pending_points", "Points waiting in the coordinator queue.", float64(st.PendingPoints))
+	p.gauge("sweepd_active_leases", "Work leases currently held by workers.", float64(st.ActiveLeases))
+	p.gauge("sweepd_workers", "Workers in the registry.", float64(len(st.Workers)))
+
+	cc := s.coord.Counters()
+	p.counter("sweepd_jobs_submitted_total", "Jobs accepted by the coordinator.", cc.JobsSubmitted)
+	p.counter("sweepd_jobs_done_total", "Jobs fully resolved.", cc.JobsDone)
+	p.counter("sweepd_points_submitted_total", "Points accepted by the coordinator.", cc.PointsSubmitted)
+	p.counter("sweepd_points_done_total", "Points resolved (simulated, cached or failed).", cc.PointsDone)
+	p.counter("sweepd_points_simulated_total", "Points resolved by fresh simulation.", cc.PointsSimulated)
+	p.counter("sweepd_points_cached_total", "Points served from the shared cache.", cc.PointsCached)
+	p.counter("sweepd_points_failed_total", "Points resolved with an error outcome.", cc.PointsFailed)
+	p.counter("sweepd_leases_granted_total", "Work leases granted.", cc.LeasesGranted)
+	p.counter("sweepd_lease_renewals_total", "Lease renewals accepted.", cc.LeaseRenewals)
+	p.counter("sweepd_lease_expiries_total", "Leases lost to TTL expiry.", cc.LeaseExpiries)
+	p.counter("sweepd_shards_completed_total", "Shards completed and verified.", cc.ShardsCompleted)
+	p.counter("sweepd_shards_requeued_total", "Shards requeued after expiry or rejection.", cc.ShardsRequeued)
+	p.counter("sweepd_shards_abandoned_total", "Shards failed after exhausting lease attempts.", cc.ShardsAbandoned)
+	p.counter("sweepd_completions_rejected_total", "Shard completions that failed verification.", cc.CompletionsRejected)
+
+	uptime := time.Since(s.started).Seconds()
+	p.gauge("sweepd_uptime_seconds", "Seconds since this server started.", uptime)
+	rate := 0.0
+	if uptime > 0 {
+		rate = float64(cc.PointsSimulated) / uptime
+	}
+	p.gauge("sweepd_points_simulated_per_sec", "Lifetime average simulation throughput.", rate)
+
+	cs := s.cache.Stats()
+	p.gauge("sweepd_cache_entries", "Results in the shared cache.", float64(cs.Entries))
+	p.counter("sweepd_cache_hits_total", "Cache lookups served locally.", uint64(cs.Hits))
+	p.counter("sweepd_cache_misses_total", "Cache lookups that missed.", uint64(cs.Misses))
+	if cs.Remote != nil {
+		p.counter("sweepd_cache_remote_hits_total", "Remote-tier lookups that hit.", uint64(cs.Remote.Hits))
+		p.counter("sweepd_cache_remote_misses_total", "Remote-tier lookups that missed.", uint64(cs.Remote.Misses))
+		p.counter("sweepd_cache_remote_puts_total", "Results published to the remote tier.", uint64(cs.Remote.Puts))
+	}
+
+	tenants := s.tenants.Snapshot()
+	p.header("sweepd_tenant_accepted_total", "Submissions admitted, per tenant.", "counter")
+	for _, t := range tenants {
+		p.sample("sweepd_tenant_accepted_total", labels("tenant", t.Name), float64(t.Counters.Accepted))
+	}
+	p.header("sweepd_tenant_accepted_points_total", "Expanded points admitted, per tenant.", "counter")
+	for _, t := range tenants {
+		p.sample("sweepd_tenant_accepted_points_total", labels("tenant", t.Name), float64(t.Counters.AcceptedPoints))
+	}
+	p.header("sweepd_tenant_rejected_total", "Submissions rejected, per tenant and reason.", "counter")
+	for _, t := range tenants {
+		for _, rc := range []struct {
+			reason string
+			n      uint64
+		}{
+			{tenant.KindGridPoints, t.Counters.RejectedSize},
+			{tenant.KindRate, t.Counters.RejectedRate},
+			{"quota", t.Counters.RejectedQuota},
+		} {
+			p.sample("sweepd_tenant_rejected_total",
+				labels("tenant", t.Name, "reason", rc.reason), float64(rc.n))
+		}
+	}
+	p.header("sweepd_tenant_pending_points", "Admitted-but-unfinished points, per tenant.", "gauge")
+	for _, t := range tenants {
+		p.sample("sweepd_tenant_pending_points", labels("tenant", t.Name), float64(t.PendingPoints))
+	}
+	p.header("sweepd_tenant_running_jobs", "Jobs in flight, per tenant.", "gauge")
+	for _, t := range tenants {
+		p.sample("sweepd_tenant_running_jobs", labels("tenant", t.Name), float64(t.RunningJobs))
+	}
+
+	s.httpStats.mu.Lock()
+	reqKeys := make([]string, 0, len(s.httpStats.requests))
+	for k := range s.httpStats.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Strings(reqKeys)
+	p.header("sweepd_http_requests_total", "HTTP requests served, per route and status.", "counter")
+	for _, k := range reqKeys {
+		route, code, _ := strings.Cut(k, "|")
+		p.sample("sweepd_http_requests_total",
+			labels("route", route, "code", code), float64(s.httpStats.requests[k]))
+	}
+	latKeys := make([]string, 0, len(s.httpStats.latCount))
+	for k := range s.httpStats.latCount {
+		latKeys = append(latKeys, k)
+	}
+	sort.Strings(latKeys)
+	p.header("sweepd_http_request_seconds", "Request latency sum/count, per route.", "summary")
+	for _, k := range latKeys {
+		p.sample("sweepd_http_request_seconds_sum", labels("route", k), s.httpStats.latSum[k])
+		p.sample("sweepd_http_request_seconds_count", labels("route", k), float64(s.httpStats.latCount[k]))
+	}
+	s.httpStats.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(p.b.String()))
+}

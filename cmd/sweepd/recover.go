@@ -144,7 +144,9 @@ func (s *Server) recoverExplores() error {
 		}
 		if job.State != "done" {
 			job.State = "running"
-			go s.runExploreJob(job, job.Spec)
+			// nil admission: the crashed submission was admitted before
+			// the restart, and quotas track live in-flight work only.
+			go s.runExploreJob(job, job.Spec, nil)
 		}
 	}
 	s.mu.Lock()

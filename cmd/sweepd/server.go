@@ -8,13 +8,16 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
 	"earlyrelease/internal/pipeline"
 	"earlyrelease/internal/search"
 	"earlyrelease/internal/sweep"
+	"earlyrelease/internal/tenant"
 )
 
 // Server is the sweepd HTTP API. Clients submit grids, poll or stream
@@ -65,6 +68,16 @@ type Server struct {
 	cache    *sweep.Cache
 	stateDir string
 
+	// Tenancy & operability (DESIGN.md §4.8): tenants admits every
+	// submission, httpStats and started feed GET /metrics, logger (if
+	// set) emits one structured line per request, enablePprof exposes
+	// /debug/pprof.
+	tenants     *tenant.Registry
+	logger      *slog.Logger
+	enablePprof bool
+	started     time.Time
+	httpStats   httpStats
+
 	stopWorkers context.CancelFunc
 	workerWG    sync.WaitGroup
 
@@ -79,14 +92,18 @@ type Server struct {
 // server's lock.
 type jobStore[J any] struct {
 	prefix string
+	retain int // finished-job retention cap
 	done   func(*J) bool
 	jobs   map[string]*J
 	next   int
 	min    int // oldest id that may still be retained
 }
 
-func newJobStore[J any](prefix string, done func(*J) bool) *jobStore[J] {
-	return &jobStore[J]{prefix: prefix, done: done, jobs: map[string]*J{}}
+func newJobStore[J any](prefix string, retain int, done func(*J) bool) *jobStore[J] {
+	if retain <= 0 {
+		retain = maxRetainedSweeps
+	}
+	return &jobStore[J]{prefix: prefix, retain: retain, done: done, jobs: map[string]*J{}}
 }
 
 // put registers a job, returns its new id, and evicts beyond the cap.
@@ -94,7 +111,7 @@ func (st *jobStore[J]) put(j *J) string {
 	st.next++
 	id := fmt.Sprintf("%s-%d", st.prefix, st.next)
 	st.jobs[id] = j
-	for i := st.min; i <= st.next && len(st.jobs) > maxRetainedSweeps; i++ {
+	for i := st.min; i <= st.next && len(st.jobs) > st.retain; i++ {
 		oid := fmt.Sprintf("%s-%d", st.prefix, i)
 		if old, ok := st.jobs[oid]; ok {
 			if !st.done(old) {
@@ -123,16 +140,21 @@ func (st *jobStore[J]) all() []*J {
 	return out
 }
 
-// maxRetainedSweeps bounds sweepd's job history: finished sweeps beyond
-// this count are evicted oldest-first (their results stay in the shared
-// cache — only the per-job record goes away). Running sweeps are never
-// evicted.
+// maxRetainedSweeps is the default bound on sweepd's job history:
+// finished sweeps beyond this count are evicted oldest-first (their
+// results stay in the shared cache — only the per-job record goes
+// away). Running sweeps are never evicted. ServerConfig.RetainJobs
+// raises it for deployments whose client population can outrun the
+// default between submit and first poll.
 const maxRetainedSweeps = 128
 
-// sweepJob tracks one submitted grid through its lifecycle.
+// sweepJob tracks one submitted grid through its lifecycle. Tenant is
+// set only when a token registry is enforcing, so the no-token job
+// document stays byte-identical to the pre-tenancy API.
 type sweepJob struct {
 	ID       string         `json:"id"`
 	State    string         `json:"state"` // "running" or "done"
+	Tenant   string         `json:"tenant,omitempty"`
 	Grid     sweep.Grid     `json:"grid"`
 	Progress sweep.Progress `json:"progress"`
 	Results  *sweep.Results `json:"results,omitempty"`
@@ -145,6 +167,7 @@ type sweepJob struct {
 type exploreJob struct {
 	ID       string           `json:"id"`
 	State    string           `json:"state"` // "running" or "done"
+	Tenant   string           `json:"tenant,omitempty"`
 	Spec     search.Spec      `json:"spec"`
 	Progress search.Progress  `json:"progress"`
 	Frontier *search.Frontier `json:"frontier,omitempty"`
@@ -176,6 +199,21 @@ type ServerConfig struct {
 	StateDir string
 	// SnapshotEvery tunes the WAL-compaction cadence (0 = default).
 	SnapshotEvery int
+
+	// Tenants is the admission registry (DESIGN.md §4.8). Nil = the
+	// open registry: unlimited anonymous access, byte-identical to the
+	// pre-tenancy server.
+	Tenants *tenant.Registry
+	// RetainJobs overrides the finished-job retention cap (0 = the
+	// maxRetainedSweeps default). Size it above the expected concurrent
+	// client population, or finished jobs can be evicted before their
+	// submitters poll the results.
+	RetainJobs int
+	// EnablePprof mounts /debug/pprof/* on the handler.
+	EnablePprof bool
+	// Logger, when set, emits one structured line per HTTP request
+	// (method, route, tenant, status, latency).
+	Logger *slog.Logger
 }
 
 // NewServer builds a coordinator server with one embedded local worker
@@ -217,12 +255,20 @@ func OpenServerWith(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	tenants := cfg.Tenants
+	if tenants == nil {
+		tenants = tenant.Open()
+	}
 	s := &Server{
-		coord:    coord,
-		cache:    cache,
-		stateDir: cfg.StateDir,
-		sweeps:   newJobStore("sw", func(j *sweepJob) bool { return j.State == "done" }),
-		explores: newJobStore("ex", func(j *exploreJob) bool { return j.State == "done" }),
+		coord:       coord,
+		cache:       cache,
+		stateDir:    cfg.StateDir,
+		tenants:     tenants,
+		logger:      cfg.Logger,
+		enablePprof: cfg.EnablePprof,
+		started:     time.Now(),
+		sweeps:      newJobStore("sw", cfg.RetainJobs, func(j *sweepJob) bool { return j.State == "done" }),
+		explores:    newJobStore("ex", cfg.RetainJobs, func(j *exploreJob) bool { return j.State == "done" }),
 	}
 	s.recoverSweeps()
 	if err := s.recoverExplores(); err != nil {
@@ -303,7 +349,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.enablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -318,25 +372,59 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var g sweep.Grid
+// maxGridBytes bounds a grid or exploration-spec submission body. Real
+// grids are a few hundred bytes of axis lists; 1 MiB is three orders
+// of magnitude of headroom while still refusing an unbounded body
+// before json.Decode buffers it.
+const maxGridBytes = 1 << 20
+
+// decodeBounded decodes a JSON request body under the submission size
+// cap, distinguishing an over-long body (413) from malformed JSON
+// (400). It writes the rejection itself; ok=false means the handler
+// must return.
+func decodeBounded(w http.ResponseWriter, r *http.Request, what string, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxGridBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&g); err != nil {
-		writeError(w, http.StatusBadRequest, "bad grid: %v", err)
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"%s body exceeds %d bytes", what, maxGridBytes)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "bad %s: %v", what, err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var g sweep.Grid
+	if !decodeBounded(w, r, "grid", &g) {
 		return
 	}
-	if n := len(g.Expand()); n == 0 {
+	// Expand exactly once: the same slice validates the grid, prices
+	// the admission decision, and (pre-expanded) feeds RunLabeled.
+	points := g.Expand()
+	if len(points) == 0 {
 		writeError(w, http.StatusBadRequest, "grid expands to no points")
+		return
+	}
+	adm, ok := s.admit(w, r, len(points))
+	if !ok {
 		return
 	}
 
 	s.mu.Lock()
 	job := &sweepJob{State: "running", Grid: g}
+	if s.tenants.Enforcing() {
+		job.Tenant = adm.Tenant()
+	}
 	job.ID = s.sweeps.put(job)
 	s.mu.Unlock()
 
-	go s.runJob(job, g)
+	go s.runJob(job, g, points, adm)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": job.ID})
 }
 
@@ -345,10 +433,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // "done": per-point errors live in the outcomes, matching the engine's
 // contract. The job runs labeled with its sweep id and the grid as
 // journal metadata, so a durable coordinator can resurface it after a
-// restart (recoverSweeps).
-func (s *Server) runJob(job *sweepJob, g sweep.Grid) {
+// restart (recoverSweeps). The admission is released when the job
+// reaches a terminal state, success or not — quota tracks genuinely
+// in-flight work.
+func (s *Server) runJob(job *sweepJob, g sweep.Grid, points []sweep.Point, adm *tenant.Admission) {
+	defer adm.Done()
 	meta, _ := json.Marshal(g)
-	res, err := s.coord.RunLabeled(job.ID, meta, g.Expand(), func(p sweep.Progress) {
+	res, err := s.coord.RunLabeled(job.ID, meta, points, func(p sweep.Progress) {
 		s.mu.Lock()
 		job.Progress = p
 		s.mu.Unlock()
@@ -549,28 +640,39 @@ func (s *Server) handleCacheGC(w http.ResponseWriter, r *http.Request) {
 // a bad spec is a synchronous 400 rather than a failed job.
 func (s *Server) handleExploreSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec search.Spec
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "bad exploration spec: %v", err)
+	if !decodeBounded(w, r, "exploration spec", &spec) {
 		return
 	}
 	if err := spec.Normalize(); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// An exploration's admission price is its worst case: every one of
+	// the budgeted candidate evaluations costs one point per workload
+	// (the normalized spec has both fields resolved).
+	adm, ok := s.admit(w, r, spec.Budget*len(spec.Workloads))
+	if !ok {
+		return
+	}
 
 	s.mu.Lock()
 	job := &exploreJob{State: "running", Spec: spec}
+	if s.tenants.Enforcing() {
+		job.Tenant = adm.Tenant()
+	}
 	job.ID = s.explores.put(job)
 	s.saveExploresLocked()
 	s.mu.Unlock()
 
-	go s.runExploreJob(job, spec)
+	go s.runExploreJob(job, spec, adm)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": job.ID})
 }
 
-func (s *Server) runExploreJob(job *exploreJob, spec search.Spec) {
+// runExploreJob executes the exploration; adm is nil on the recovery
+// path (the crashed submission was already admitted, and quotas track
+// live in-flight work only).
+func (s *Server) runExploreJob(job *exploreJob, spec search.Spec, adm *tenant.Admission) {
+	defer adm.Done()
 	ex := &search.Explorer{Eval: s.coord}
 	fr, err := ex.Run(spec, func(p search.Progress) {
 		s.mu.Lock()
@@ -842,8 +944,19 @@ func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
 		Point  sweep.Point      `json:"point"`
 		Result *json.RawMessage `json:"result"`
 	}
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxCompleteBytes))
-	if err := dec.Decode(&in); err != nil {
+	// Read-then-check, like handleComplete: a LimitReader alone would
+	// truncate an oversized body and surface it as a JSON syntax error
+	// (400) when the honest answer is 413.
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxCompleteBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read cache put: %v", err)
+		return
+	}
+	if len(data) > maxCompleteBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "cache put exceeds %d bytes", maxCompleteBytes)
+		return
+	}
+	if err := json.Unmarshal(data, &in); err != nil {
 		writeError(w, http.StatusBadRequest, "bad cache put: %v", err)
 		return
 	}

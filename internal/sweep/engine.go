@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -131,6 +132,18 @@ func (e *Engine) Run(g Grid, onProgress func(Progress)) (*Results, error) {
 // match Run exactly (same cache, pool, progress and error contracts);
 // outcomes are returned in input order.
 func (e *Engine) RunPoints(points []Point, onProgress func(Progress)) (*Results, error) {
+	return e.RunPointsCtx(context.Background(), points, onProgress)
+}
+
+// RunPointsCtx is RunPoints under a cancellation context. A canceled
+// ctx stops the pool between jobs: scalar points cancel at point
+// granularity, lockstep groups (at most Batch lanes) at group
+// granularity. Points never started get an Outcome carrying the
+// context error, everything finished before the cancel keeps its real
+// result (and stays in the cache), and the call returns the partial
+// Results alongside ctx.Err() — a drained worker can account for what
+// it completed without pretending the rest ran.
+func (e *Engine) RunPointsCtx(ctx context.Context, points []Point, onProgress func(Progress)) (*Results, error) {
 	cache := e.Cache
 	if cache == nil {
 		cache = NewCache()
@@ -200,6 +213,12 @@ func (e *Engine) RunPoints(points []Point, onProgress func(Progress)) (*Results,
 			var core *pipeline.Core
 			var batch *pipeline.BatchCore
 			for j := range ch {
+				if err := ctx.Err(); err != nil {
+					for _, m := range j {
+						finish(m.i, &Outcome{Point: m.pt, Key: m.key, Err: err.Error()})
+					}
+					continue
+				}
 				if len(j) == 1 {
 					m := j[0]
 					var r *pipeline.Result
@@ -226,6 +245,9 @@ func (e *Engine) RunPoints(points []Point, onProgress func(Progress)) (*Results,
 
 	if err := cache.Save(); err != nil {
 		res.SaveErr = err.Error()
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
 	}
 	return res, nil
 }

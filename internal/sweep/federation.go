@@ -84,6 +84,29 @@ type RegisterReply struct {
 	LeaseTTL time.Duration `json:"lease_ttl"`
 }
 
+// CoordCounters are the coordinator's lifetime totals, the substrate
+// of sweepd's /metrics endpoint. They are in-memory only (monotonic
+// within one process, reset on restart — exactly what a Prometheus
+// counter expects across process restarts).
+type CoordCounters struct {
+	JobsSubmitted   uint64 `json:"jobs_submitted"`
+	JobsDone        uint64 `json:"jobs_done"`
+	PointsSubmitted uint64 `json:"points_submitted"`
+	PointsDone      uint64 `json:"points_done"`
+	PointsSimulated uint64 `json:"points_simulated"`
+	PointsCached    uint64 `json:"points_cached"`
+	PointsFailed    uint64 `json:"points_failed"`
+	LeasesGranted   uint64 `json:"leases_granted"`
+	LeaseRenewals   uint64 `json:"lease_renewals"`
+	LeaseExpiries   uint64 `json:"lease_expiries"`
+	ShardsCompleted uint64 `json:"shards_completed"`
+	ShardsRequeued  uint64 `json:"shards_requeued"`
+	ShardsAbandoned uint64 `json:"shards_abandoned"`
+	// CompletionsRejected counts CompleteShard payloads that failed
+	// verification (ErrBadPayload).
+	CompletionsRejected uint64 `json:"completions_rejected"`
+}
+
 // FederationStatus is the coordinator's queue/registry snapshot.
 type FederationStatus struct {
 	PendingShards int            `json:"pending_shards"`
@@ -114,6 +137,7 @@ type Coordinator struct {
 	seq       int
 	closed    bool
 	quit      chan struct{}
+	counters  CoordCounters
 
 	// Durability (journal.go). jrn is nil on a memory-only
 	// coordinator; jobs tracks journaled submissions until their
@@ -272,6 +296,8 @@ func (c *Coordinator) run(label string, meta json.RawMessage, points []Point, on
 		c.mu.Unlock()
 		return nil, ErrClosed
 	}
+	c.counters.JobsSubmitted++
+	c.counters.PointsSubmitted += uint64(len(points))
 	if c.jrn != nil {
 		c.seq++
 		job.id = fmt.Sprintf("job-%d", c.seq)
@@ -390,20 +416,25 @@ func (c *Coordinator) wait(job *fedJob) (*Results, error) {
 func (c *Coordinator) finishLocked(job *fedJob, idx int, o *Outcome) {
 	job.res.Outcomes[idx] = o
 	job.done++
+	c.counters.PointsDone++
 	st := &job.res.Stats
 	if o.Cached {
 		st.CacheHits++
+		c.counters.PointsCached++
 	}
 	if o.Err != "" {
 		st.Errors++
+		c.counters.PointsFailed++
 	} else if !o.Cached {
 		st.Simulated++
+		c.counters.PointsSimulated++
 	}
 	if job.onProg != nil {
 		job.onProg(Progress{Total: job.total, Done: job.done,
 			CacheHits: st.CacheHits, Errors: st.Errors, Last: o.Point.String()})
 	}
 	if job.done == job.total {
+		c.counters.JobsDone++
 		close(job.doneCh)
 	}
 }
@@ -418,6 +449,7 @@ func (c *Coordinator) reapLocked(now time.Time) {
 			continue
 		}
 		delete(c.leases, id)
+		c.counters.LeaseExpiries++
 		c.journal(recTypeBurn, burnRec{ID: id})
 		if w := c.workers[ls.workerID]; w != nil {
 			w.ActiveLeases--
@@ -445,6 +477,7 @@ func (c *Coordinator) workerExpiry() time.Duration {
 // fails its points once MaxAttempts lease grants have been burned.
 func (c *Coordinator) abandonOrRequeueLocked(sh *fedShard) {
 	if sh.attempt >= c.cfg.MaxAttempts {
+		c.counters.ShardsAbandoned++
 		msg := fmt.Sprintf("sweep: shard %s abandoned after %d burned leases", sh.id, sh.attempt)
 		rec := doneRec{}
 		for _, u := range sh.units {
@@ -457,6 +490,7 @@ func (c *Coordinator) abandonOrRequeueLocked(sh *fedShard) {
 		}
 		return
 	}
+	c.counters.ShardsRequeued++
 	c.pending = append([]*fedShard{sh}, c.pending...)
 }
 
@@ -541,6 +575,7 @@ func (c *Coordinator) LeaseShard(workerID string) (*LeaseGrant, error) {
 			deadline: now.Add(c.cfg.LeaseTTL),
 		}
 		c.leases[ls.id] = ls
+		c.counters.LeasesGranted++
 		c.journal(recTypeLease, leaseRec{ID: ls.id, Worker: workerID, Shard: sh.id,
 			Attempt: sh.attempt, Deadline: ls.deadline.UnixMilli()})
 		w.ActiveLeases++
@@ -575,6 +610,7 @@ func (c *Coordinator) RenewLease(workerID, leaseID string) error {
 		return ErrWrongWorker
 	}
 	ls.deadline = c.cfg.now().Add(c.cfg.LeaseTTL)
+	c.counters.LeaseRenewals++
 	c.journal(recTypeRenew, renewRec{ID: ls.id, Deadline: ls.deadline.UnixMilli()})
 	return nil
 }
@@ -625,6 +661,7 @@ func (c *Coordinator) CompleteShard(req *CompleteRequest) error {
 		// retries without waiting out the TTL — under the same
 		// MaxAttempts budget as expiry, so a worker that persistently
 		// reports garbage cannot cycle the shard forever.
+		c.counters.CompletionsRejected++
 		delete(c.leases, req.LeaseID)
 		c.journal(recTypeBurn, burnRec{ID: req.LeaseID})
 		if w := c.workers[ls.workerID]; w != nil {
@@ -635,6 +672,7 @@ func (c *Coordinator) CompleteShard(req *CompleteRequest) error {
 	}
 
 	delete(c.leases, req.LeaseID)
+	c.counters.ShardsCompleted++
 	// In the journal a completion is a burn (the lease is gone, the
 	// shard notionally requeued) followed by its outcomes resolving —
 	// which empties the shard out of the queue again on replay.
@@ -659,6 +697,13 @@ func (c *Coordinator) CompleteShard(req *CompleteRequest) error {
 		c.journal(recTypeDone, rec)
 	}
 	return nil
+}
+
+// Counters snapshots the coordinator's lifetime totals.
+func (c *Coordinator) Counters() CoordCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters
 }
 
 // Status snapshots the queue and worker registry.

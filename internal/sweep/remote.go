@@ -30,6 +30,38 @@ func NewClient(base string) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{Timeout: 60 * time.Second}}
 }
 
+// SetToken attaches a tenant API token to every request this client
+// makes (sweepd's multi-tenant admission, DESIGN.md §4.8). Empty
+// clears it. Returns the client for chaining.
+func (c *Client) SetToken(token string) *Client {
+	base := c.hc.Transport
+	if t, ok := base.(*tokenTransport); ok {
+		base = t.base
+	}
+	if token == "" {
+		c.hc.Transport = base
+		return c
+	}
+	c.hc.Transport = &tokenTransport{base: base, token: token}
+	return c
+}
+
+// tokenTransport adds the Authorization header on every round trip.
+type tokenTransport struct {
+	base  http.RoundTripper
+	token string
+}
+
+func (t *tokenTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	req = req.Clone(req.Context())
+	req.Header.Set("Authorization", "Bearer "+t.token)
+	base := t.base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}
+
 // apiError decodes sweepd's {"error": ...} body into a Go error.
 func apiError(resp *http.Response) error {
 	defer resp.Body.Close()

@@ -121,7 +121,16 @@ func (w *Worker) runShard(ctx context.Context, eng *Engine, workerID string, ttl
 	for i, it := range grant.Items {
 		points[i] = it.Point
 	}
-	res, err := eng.RunPoints(points, nil)
+	res, err := eng.RunPointsCtx(ctx, points, nil)
+	if ctx.Err() != nil {
+		// Drained mid-shard: report nothing. The unstarted points carry
+		// synthetic context errors the coordinator must never believe, so
+		// the whole completion is dropped — the lease simply lapses and
+		// the coordinator requeues the shard for a live worker. Finished
+		// points stayed in this engine's cache, so nothing is lost when
+		// that cache is shared.
+		return
+	}
 
 	req := &CompleteRequest{LeaseID: grant.LeaseID, WorkerID: workerID,
 		Outcomes: make([]WireOutcome, len(grant.Items))}

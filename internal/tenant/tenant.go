@@ -1,0 +1,460 @@
+// Package tenant is sweepd's multi-tenancy and admission-control layer
+// (DESIGN.md §4.8). A Registry maps API tokens to tenants, each with a
+// Quota bounding how much work it may have in flight (pending points,
+// concurrent jobs), how large one submission may be (expanded grid
+// points), and how fast it may submit (a token-bucket rate limit).
+// Admission happens on the expanded point count *before* anything is
+// enqueued, so an over-quota client is turned away at the door — the
+// coordinator's queue only ever holds admitted work.
+//
+// The zero-configuration path is an Open registry: one anonymous
+// tenant with no limits, so a sweepd started without a token file
+// behaves exactly as it always has. Loading a token file switches to
+// enforcing mode: tokens are required (unless the file provisions an
+// anonymous quota), unknown tokens are rejected, and every tenant is
+// held to its own quota — one tenant's abuse can exhaust only its own
+// budget, never delay another tenant's admitted work.
+package tenant
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrNoToken rejects a tokenless request when the registry has no
+	// anonymous tenant (HTTP 401).
+	ErrNoToken = errors.New("tenant: missing API token")
+	// ErrUnknownToken rejects a token the registry does not know
+	// (HTTP 403).
+	ErrUnknownToken = errors.New("tenant: unknown API token")
+)
+
+// LimitError is an admission rejection with enough structure for the
+// HTTP layer to answer properly: size violations are permanent for the
+// submission (413), rate and quota violations are transient (429) and
+// carry a Retry-After hint.
+type LimitError struct {
+	// Kind names the exceeded limit: "grid_points", "rate",
+	// "pending_points" or "concurrent_jobs".
+	Kind string
+	// RetryAfter is the client's back-off hint; zero means the
+	// rejection is not retryable as submitted (oversized grid).
+	RetryAfter time.Duration
+	msg        string
+}
+
+func (e *LimitError) Error() string { return e.msg }
+
+// Transient reports whether retrying the identical submission later
+// can succeed (rate/quota exhaustion) or not (an oversized grid).
+func (e *LimitError) Transient() bool { return e.Kind != KindGridPoints }
+
+// Limit kinds, also used as the rejection-reason metric label.
+const (
+	KindGridPoints     = "grid_points"
+	KindRate           = "rate"
+	KindPendingPoints  = "pending_points"
+	KindConcurrentJobs = "concurrent_jobs"
+)
+
+// Quota bounds one tenant's admission. Zero fields are unlimited, so
+// the zero Quota admits everything (the Open registry's anonymous
+// tenant).
+type Quota struct {
+	// MaxGridPoints caps one submission's expanded point count.
+	MaxGridPoints int `json:"max_grid_points,omitempty"`
+	// MaxPendingPoints caps the tenant's admitted-but-unfinished
+	// points summed over its running jobs.
+	MaxPendingPoints int `json:"max_pending_points,omitempty"`
+	// MaxConcurrentJobs caps simultaneously running jobs.
+	MaxConcurrentJobs int `json:"max_concurrent_jobs,omitempty"`
+	// RatePerSec refills the submission token bucket (accepted or
+	// rejected, every admission attempt past the size check costs one
+	// token). Zero = unlimited.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket depth (0 = max(1, ceil(RatePerSec))).
+	Burst int `json:"burst,omitempty"`
+}
+
+// burst resolves the bucket depth default.
+func (q Quota) burst() float64 {
+	if q.Burst > 0 {
+		return float64(q.Burst)
+	}
+	if b := math.Ceil(q.RatePerSec); b > 1 {
+		return b
+	}
+	return 1
+}
+
+// Tenant is one named principal with its token and quota.
+type Tenant struct {
+	Name  string `json:"name"`
+	Token string `json:"token"`
+	Quota Quota  `json:"quota"`
+}
+
+// Config is the token file schema (sweepd -tokens FILE).
+type Config struct {
+	// Anonymous, when present, admits tokenless requests under this
+	// quota as tenant "anonymous". Absent = tokenless requests get 401.
+	Anonymous *Quota `json:"anonymous,omitempty"`
+	// Tenants are the token-bearing principals.
+	Tenants []Tenant `json:"tenants,omitempty"`
+}
+
+// AnonymousName is the reserved tenant name for tokenless access.
+const AnonymousName = "anonymous"
+
+// Counters are one tenant's lifetime admission statistics.
+type Counters struct {
+	Accepted       uint64 `json:"accepted"`
+	AcceptedPoints uint64 `json:"accepted_points"`
+	Rejected       uint64 `json:"rejected"`
+	RejectedSize   uint64 `json:"rejected_size"`
+	RejectedRate   uint64 `json:"rejected_rate"`
+	RejectedQuota  uint64 `json:"rejected_quota"`
+	CompletedJobs  uint64 `json:"completed_jobs"`
+}
+
+// state is one tenant's live accounting: the token bucket and the
+// in-flight admission totals.
+type state struct {
+	Tenant
+
+	tokens     float64 // current bucket level
+	lastRefill time.Time
+
+	pendingPoints int
+	runningJobs   int
+	c             Counters
+}
+
+// Registry resolves tokens to tenants and enforces their quotas. Safe
+// for concurrent use.
+type Registry struct {
+	mu        sync.Mutex
+	byToken   map[string]*state
+	byName    map[string]*state
+	anon      *state // nil = anonymous access rejected
+	enforcing bool   // false for Open registries
+	now       func() time.Time
+}
+
+// Open returns the zero-configuration registry: a single unlimited
+// anonymous tenant. A sweepd without a token file runs on this, so
+// every pre-tenancy client flow is untouched.
+func Open() *Registry {
+	r, err := New(Config{Anonymous: &Quota{}})
+	if err != nil {
+		panic(err) // unreachable: the open config is statically valid
+	}
+	r.enforcing = false
+	return r
+}
+
+// New builds an enforcing registry from a configuration.
+func New(cfg Config) (*Registry, error) {
+	r := &Registry{
+		byToken:   make(map[string]*state),
+		byName:    make(map[string]*state),
+		enforcing: true,
+		now:       time.Now,
+	}
+	if cfg.Anonymous != nil {
+		r.anon = &state{Tenant: Tenant{Name: AnonymousName, Quota: *cfg.Anonymous}}
+		r.anon.tokens = r.anon.Quota.burst()
+		r.byName[AnonymousName] = r.anon
+	}
+	for _, t := range cfg.Tenants {
+		if t.Name == "" || t.Token == "" {
+			return nil, fmt.Errorf("tenant: tenant needs both a name and a token (got name=%q)", t.Name)
+		}
+		if t.Name == AnonymousName {
+			return nil, fmt.Errorf("tenant: %q is reserved for tokenless access (use the anonymous quota)", AnonymousName)
+		}
+		if _, dup := r.byName[t.Name]; dup {
+			return nil, fmt.Errorf("tenant: duplicate tenant name %q", t.Name)
+		}
+		if _, dup := r.byToken[t.Token]; dup {
+			return nil, fmt.Errorf("tenant: duplicate token (tenant %q)", t.Name)
+		}
+		st := &state{Tenant: t, tokens: t.Quota.burst()}
+		r.byToken[t.Token] = st
+		r.byName[t.Name] = st
+	}
+	return r, nil
+}
+
+// Load reads a Config from a JSON token file and builds the registry.
+func Load(path string) (*Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: read token file: %w", err)
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("tenant: token file %s: %w", path, err)
+	}
+	r, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: token file %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// ParseSpec parses one flag-provisioned tenant of the form
+//
+//	name:token[:key=value...]
+//
+// with keys rate (float/sec), burst, grid, pending and jobs — e.g.
+// "alice:s3cret:rate=10:burst=20:grid=5000:pending=20000:jobs=4".
+func ParseSpec(spec string) (Tenant, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
+		return Tenant{}, fmt.Errorf("tenant: spec %q is not name:token[:key=value...]", spec)
+	}
+	t := Tenant{Name: parts[0], Token: parts[1]}
+	for _, kv := range parts[2:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Tenant{}, fmt.Errorf("tenant: spec %q: %q is not key=value", spec, kv)
+		}
+		switch k {
+		case "rate":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 {
+				return Tenant{}, fmt.Errorf("tenant: spec %q: bad rate %q", spec, v)
+			}
+			t.Quota.RatePerSec = f
+		case "burst", "grid", "pending", "jobs":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return Tenant{}, fmt.Errorf("tenant: spec %q: bad %s %q", spec, k, v)
+			}
+			switch k {
+			case "burst":
+				t.Quota.Burst = n
+			case "grid":
+				t.Quota.MaxGridPoints = n
+			case "pending":
+				t.Quota.MaxPendingPoints = n
+			case "jobs":
+				t.Quota.MaxConcurrentJobs = n
+			}
+		default:
+			return Tenant{}, fmt.Errorf("tenant: spec %q: unknown key %q (want rate, burst, grid, pending or jobs)", spec, k)
+		}
+	}
+	return t, nil
+}
+
+// Add provisions one more tenant on an existing registry (the -tenant
+// flag path). Adding to an Open registry switches it to enforcing.
+func (r *Registry) Add(t Tenant) error {
+	if t.Name == "" || t.Token == "" {
+		return fmt.Errorf("tenant: tenant needs both a name and a token")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t.Name == AnonymousName {
+		return fmt.Errorf("tenant: %q is reserved for tokenless access", AnonymousName)
+	}
+	if _, dup := r.byName[t.Name]; dup {
+		return fmt.Errorf("tenant: duplicate tenant name %q", t.Name)
+	}
+	if _, dup := r.byToken[t.Token]; dup {
+		return fmt.Errorf("tenant: duplicate token (tenant %q)", t.Name)
+	}
+	if !r.enforcing {
+		// Flag-provisioned tenants imply enforcement: drop the Open
+		// registry's unlimited anonymous pass-through.
+		r.enforcing = true
+		r.anon = nil
+		delete(r.byName, AnonymousName)
+	}
+	st := &state{Tenant: t, tokens: t.Quota.burst()}
+	r.byToken[t.Token] = st
+	r.byName[t.Name] = st
+	return nil
+}
+
+// Enforcing reports whether the registry actually restricts anyone
+// (false only for the zero-configuration Open registry).
+func (r *Registry) Enforcing() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.enforcing
+}
+
+// SetClock overrides the rate limiter's clock (tests).
+func (r *Registry) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.now = now
+}
+
+// resolveLocked maps a token to its tenant state.
+func (r *Registry) resolveLocked(token string) (*state, error) {
+	if token == "" {
+		if r.anon == nil {
+			return nil, ErrNoToken
+		}
+		return r.anon, nil
+	}
+	st := r.byToken[token]
+	if st == nil {
+		return nil, ErrUnknownToken
+	}
+	return st, nil
+}
+
+// Resolve maps a token to its tenant name without charging anything —
+// the request logger's lookup.
+func (r *Registry) Resolve(token string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, err := r.resolveLocked(token)
+	if err != nil {
+		return "", err
+	}
+	return st.Name, nil
+}
+
+// refillLocked advances st's token bucket to now.
+func (st *state) refillLocked(now time.Time) {
+	if st.Quota.RatePerSec <= 0 {
+		return
+	}
+	if st.lastRefill.IsZero() {
+		st.lastRefill = now
+		return
+	}
+	dt := now.Sub(st.lastRefill).Seconds()
+	if dt <= 0 {
+		return
+	}
+	st.tokens = math.Min(st.Quota.burst(), st.tokens+dt*st.Quota.RatePerSec)
+	st.lastRefill = now
+}
+
+// Admission is one accepted submission's hold on its tenant's quota.
+// Done releases it when the job finishes (success or failure); calling
+// Done more than once is safe.
+type Admission struct {
+	r      *Registry
+	st     *state
+	points int
+	once   sync.Once
+}
+
+// Tenant names the admitted tenant ("" on a nil Admission).
+func (a *Admission) Tenant() string {
+	if a == nil {
+		return ""
+	}
+	return a.st.Name
+}
+
+// Done releases the admission's pending points and job slot.
+func (a *Admission) Done() {
+	if a == nil {
+		return
+	}
+	a.once.Do(func() {
+		a.r.mu.Lock()
+		defer a.r.mu.Unlock()
+		a.st.pendingPoints -= a.points
+		a.st.runningJobs--
+		a.st.c.CompletedJobs++
+	})
+}
+
+// Admit decides one submission of `points` expanded points: token
+// resolution, then the per-submission size cap (a deterministic
+// rejection that costs no rate tokens), then the rate limit, then the
+// in-flight quotas. On success the returned Admission holds the
+// tenant's budget until Done. On failure the error is ErrNoToken,
+// ErrUnknownToken or a *LimitError.
+func (r *Registry) Admit(token string, points int) (*Admission, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, err := r.resolveLocked(token)
+	if err != nil {
+		return nil, err
+	}
+	q := st.Quota
+
+	if q.MaxGridPoints > 0 && points > q.MaxGridPoints {
+		st.c.Rejected++
+		st.c.RejectedSize++
+		return nil, &LimitError{Kind: KindGridPoints, msg: fmt.Sprintf(
+			"tenant %s: grid expands to %d points, over the %d-point submission cap",
+			st.Name, points, q.MaxGridPoints)}
+	}
+
+	if q.RatePerSec > 0 {
+		now := r.now()
+		st.refillLocked(now)
+		if st.tokens < 1 {
+			st.c.Rejected++
+			st.c.RejectedRate++
+			wait := time.Duration((1 - st.tokens) / q.RatePerSec * float64(time.Second))
+			return nil, &LimitError{Kind: KindRate, RetryAfter: wait, msg: fmt.Sprintf(
+				"tenant %s: submission rate over %.3g/s", st.Name, q.RatePerSec)}
+		}
+		st.tokens--
+	}
+
+	if q.MaxConcurrentJobs > 0 && st.runningJobs+1 > q.MaxConcurrentJobs {
+		st.c.Rejected++
+		st.c.RejectedQuota++
+		return nil, &LimitError{Kind: KindConcurrentJobs, RetryAfter: time.Second, msg: fmt.Sprintf(
+			"tenant %s: %d jobs already running (cap %d)", st.Name, st.runningJobs, q.MaxConcurrentJobs)}
+	}
+	if q.MaxPendingPoints > 0 && st.pendingPoints+points > q.MaxPendingPoints {
+		st.c.Rejected++
+		st.c.RejectedQuota++
+		return nil, &LimitError{Kind: KindPendingPoints, RetryAfter: time.Second, msg: fmt.Sprintf(
+			"tenant %s: %d points pending + %d submitted over the %d-point quota",
+			st.Name, st.pendingPoints, points, q.MaxPendingPoints)}
+	}
+
+	st.pendingPoints += points
+	st.runningJobs++
+	st.c.Accepted++
+	st.c.AcceptedPoints += uint64(points)
+	return &Admission{r: r, st: st, points: points}, nil
+}
+
+// Stats is one tenant's public snapshot.
+type Stats struct {
+	Name          string   `json:"name"`
+	PendingPoints int      `json:"pending_points"`
+	RunningJobs   int      `json:"running_jobs"`
+	Counters      Counters `json:"counters"`
+}
+
+// Snapshot lists every tenant's live accounting, sorted by name (the
+// /metrics exposition order).
+func (r *Registry) Snapshot() []Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Stats, 0, len(r.byName))
+	for _, st := range r.byName {
+		out = append(out, Stats{Name: st.Name, PendingPoints: st.pendingPoints,
+			RunningJobs: st.runningJobs, Counters: st.c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,315 @@
+package tenant
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fixedClock is a hand-advanced clock for deterministic rate tests.
+type fixedClock struct{ t time.Time }
+
+func (c *fixedClock) now() time.Time          { return c.t }
+func (c *fixedClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClock() *fixedClock                   { return &fixedClock{t: time.Unix(1_000_000, 0)} }
+func limitErr(t *testing.T, err error) *LimitError {
+	t.Helper()
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *LimitError, got %v", err)
+	}
+	return le
+}
+
+func TestOpenRegistryAdmitsEverything(t *testing.T) {
+	r := Open()
+	if r.Enforcing() {
+		t.Fatal("Open registry must not enforce")
+	}
+	for i := 0; i < 100; i++ {
+		adm, err := r.Admit("", 1_000_000)
+		if err != nil {
+			t.Fatalf("open registry rejected: %v", err)
+		}
+		if adm.Tenant() != AnonymousName {
+			t.Fatalf("tenant = %q, want %q", adm.Tenant(), AnonymousName)
+		}
+	}
+	// Arbitrary tokens are unknown even on an open registry.
+	if _, err := r.Admit("whatever", 1); !errors.Is(err, ErrUnknownToken) {
+		t.Fatalf("want ErrUnknownToken, got %v", err)
+	}
+}
+
+func TestTokenResolution(t *testing.T) {
+	r, err := New(Config{Tenants: []Tenant{{Name: "alice", Token: "tok-a"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Admit("", 1); !errors.Is(err, ErrNoToken) {
+		t.Fatalf("tokenless on enforcing registry: want ErrNoToken, got %v", err)
+	}
+	if _, err := r.Admit("nope", 1); !errors.Is(err, ErrUnknownToken) {
+		t.Fatalf("unknown token: want ErrUnknownToken, got %v", err)
+	}
+	adm, err := r.Admit("tok-a", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.Tenant() != "alice" {
+		t.Fatalf("tenant = %q, want alice", adm.Tenant())
+	}
+	if name, err := r.Resolve("tok-a"); err != nil || name != "alice" {
+		t.Fatalf("Resolve = %q, %v", name, err)
+	}
+}
+
+func TestGridPointCap(t *testing.T) {
+	r, err := New(Config{Tenants: []Tenant{
+		{Name: "a", Token: "t", Quota: Quota{MaxGridPoints: 100}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Admit("t", 100); err != nil {
+		t.Fatalf("at the cap: %v", err)
+	}
+	le := limitErr(t, mustErr(t, r, "t", 101))
+	if le.Kind != KindGridPoints || le.Transient() {
+		t.Fatalf("kind=%s transient=%v, want grid_points/permanent", le.Kind, le.Transient())
+	}
+	if le.RetryAfter != 0 {
+		t.Fatalf("size rejection must not carry Retry-After, got %v", le.RetryAfter)
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	clk := newClock()
+	r, err := New(Config{Tenants: []Tenant{
+		{Name: "a", Token: "t", Quota: Quota{RatePerSec: 2, Burst: 2}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetClock(clk.now)
+
+	// Burst of 2, then dry.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Admit("t", 1); err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+	}
+	le := limitErr(t, mustErr(t, r, "t", 1))
+	if le.Kind != KindRate || !le.Transient() {
+		t.Fatalf("kind=%s transient=%v, want rate/transient", le.Kind, le.Transient())
+	}
+	if le.RetryAfter <= 0 || le.RetryAfter > time.Second {
+		t.Fatalf("RetryAfter = %v, want (0, 1s] at 2/s", le.RetryAfter)
+	}
+
+	// Refill: 500ms buys one token at 2/s.
+	clk.advance(500 * time.Millisecond)
+	if _, err := r.Admit("t", 1); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	if _, err := r.Admit("t", 1); err == nil {
+		t.Fatal("bucket should be dry again")
+	}
+
+	// A long idle period caps at the burst, not unbounded credit.
+	clk.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if _, err := r.Admit("t", 1); err != nil {
+			t.Fatalf("post-idle submit %d: %v", i, err)
+		}
+	}
+	if _, err := r.Admit("t", 1); err == nil {
+		t.Fatal("burst cap must bound idle credit")
+	}
+}
+
+func TestPendingPointsQuotaAndDone(t *testing.T) {
+	r, err := New(Config{Tenants: []Tenant{
+		{Name: "a", Token: "t", Quota: Quota{MaxPendingPoints: 100}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm1, err := r.Admit("t", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	le := limitErr(t, mustErr(t, r, "t", 50))
+	if le.Kind != KindPendingPoints || le.RetryAfter <= 0 {
+		t.Fatalf("kind=%s retryAfter=%v, want pending_points with hint", le.Kind, le.RetryAfter)
+	}
+	if _, err := r.Admit("t", 40); err != nil {
+		t.Fatalf("exactly filling the quota: %v", err)
+	}
+	adm1.Done()
+	adm1.Done() // idempotent
+	if _, err := r.Admit("t", 60); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	st := r.Snapshot()
+	if len(st) != 1 || st[0].PendingPoints != 100 || st[0].RunningJobs != 2 {
+		t.Fatalf("snapshot = %+v, want pending=100 running=2", st)
+	}
+	if st[0].Counters.Accepted != 3 || st[0].Counters.Rejected != 1 || st[0].Counters.CompletedJobs != 1 {
+		t.Fatalf("counters = %+v", st[0].Counters)
+	}
+}
+
+func TestConcurrentJobsQuota(t *testing.T) {
+	r, err := New(Config{Tenants: []Tenant{
+		{Name: "a", Token: "t", Quota: Quota{MaxConcurrentJobs: 2}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _ := r.Admit("t", 1)
+	if _, err := r.Admit("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	le := limitErr(t, mustErr(t, r, "t", 1))
+	if le.Kind != KindConcurrentJobs {
+		t.Fatalf("kind = %s, want concurrent_jobs", le.Kind)
+	}
+	a1.Done()
+	if _, err := r.Admit("t", 1); err != nil {
+		t.Fatalf("slot freed: %v", err)
+	}
+}
+
+func TestTenantIsolation(t *testing.T) {
+	r, err := New(Config{Tenants: []Tenant{
+		{Name: "a", Token: "ta", Quota: Quota{MaxPendingPoints: 10}},
+		{Name: "b", Token: "tb", Quota: Quota{MaxPendingPoints: 10}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Admit("ta", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Admit("ta", 1); err == nil {
+		t.Fatal("a should be saturated")
+	}
+	// a's saturation must not cost b anything.
+	if _, err := r.Admit("tb", 10); err != nil {
+		t.Fatalf("b rejected by a's quota: %v", err)
+	}
+}
+
+func TestAnonymousQuota(t *testing.T) {
+	r, err := New(Config{Anonymous: &Quota{MaxGridPoints: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Admit("", 5); err != nil {
+		t.Fatal(err)
+	}
+	le := limitErr(t, mustErr(t, r, "", 6))
+	if le.Kind != KindGridPoints {
+		t.Fatalf("kind = %s", le.Kind)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Tenants: []Tenant{{Name: "", Token: "t"}}},
+		{Tenants: []Tenant{{Name: "a", Token: ""}}},
+		{Tenants: []Tenant{{Name: AnonymousName, Token: "t"}}},
+		{Tenants: []Tenant{{Name: "a", Token: "t"}, {Name: "a", Token: "u"}}},
+		{Tenants: []Tenant{{Name: "a", Token: "t"}, {Name: "b", Token: "t"}}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d: want error", i)
+		}
+	}
+}
+
+func TestLoadTokenFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tokens.json")
+	blob := `{
+		"anonymous": {"max_grid_points": 10},
+		"tenants": [
+			{"name": "gold", "token": "g", "quota": {"rate_per_sec": 100, "max_pending_points": 100000}},
+			{"name": "free", "token": "f", "quota": {"rate_per_sec": 1, "burst": 1, "max_grid_points": 50}}
+		]
+	}`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Enforcing() {
+		t.Fatal("loaded registry must enforce")
+	}
+	if _, err := r.Admit("g", 50_000); err != nil {
+		t.Fatalf("gold: %v", err)
+	}
+	if _, err := r.Admit("f", 51); err == nil {
+		t.Fatal("free grid cap")
+	}
+	if _, err := r.Admit("", 10); err != nil {
+		t.Fatalf("anonymous quota: %v", err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	tn, err := ParseSpec("alice:s3cret:rate=10:burst=20:grid=5000:pending=20000:jobs=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Tenant{Name: "alice", Token: "s3cret", Quota: Quota{
+		RatePerSec: 10, Burst: 20, MaxGridPoints: 5000, MaxPendingPoints: 20000, MaxConcurrentJobs: 4}}
+	if tn != want {
+		t.Fatalf("got %+v, want %+v", tn, want)
+	}
+	if tn, err := ParseSpec("bob:tok"); err != nil || tn.Name != "bob" || tn.Token != "tok" {
+		t.Fatalf("minimal spec: %+v, %v", tn, err)
+	}
+	for _, bad := range []string{"", "alice", ":tok", "a:", "a:t:rate=x", "a:t:nope=1", "a:t:grid"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}
+
+func TestAddSwitchesOpenToEnforcing(t *testing.T) {
+	r := Open()
+	if err := r.Add(Tenant{Name: "a", Token: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Enforcing() {
+		t.Fatal("Add must switch an Open registry to enforcing")
+	}
+	if _, err := r.Admit("", 1); !errors.Is(err, ErrNoToken) {
+		t.Fatalf("anonymous after Add: want ErrNoToken, got %v", err)
+	}
+	if _, err := r.Admit("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(Tenant{Name: "a", Token: "u"}); err == nil {
+		t.Fatal("duplicate name must error")
+	}
+}
+
+// mustErr runs an admission that must fail and returns its error.
+func mustErr(t *testing.T, r *Registry, token string, points int) error {
+	t.Helper()
+	if _, err := r.Admit(token, points); err != nil {
+		return err
+	}
+	t.Fatal("admission unexpectedly succeeded")
+	return nil
+}
