@@ -5,6 +5,9 @@
 //   - every accepted sweep (202) runs to completion — zero dropped jobs;
 //   - with -verify, accepted results are byte-identical to a direct
 //     in-process engine run of the same grid;
+//   - with -trace-verify, every accepted job's /trace timeline is
+//     complete (submit → plan → every shard completed → done) and its
+//     spans are monotonically ordered;
 //   - every rate/quota rejection (429) carries a Retry-After header;
 //   - abusive oversized grids are rejected 413 and never reach the queue;
 //   - the p99 submit latency stays under -slo-p99 despite the abuse;
@@ -36,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"earlyrelease/internal/obs"
 	"earlyrelease/internal/sweep"
 )
 
@@ -56,6 +60,7 @@ func main() {
 
 		sloP99    = flag.Duration("slo-p99", 2*time.Second, "p99 submit-latency SLO")
 		verify    = flag.Bool("verify", false, "check accepted results against a direct engine run")
+		traceVer  = flag.Bool("trace-verify", false, "fetch every accepted job's /trace and assert a complete, ordered timeline")
 		reconcile = flag.Bool("reconcile", false, "check /metrics admission totals against client counts")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "overall deadline for the run")
 		jsonOut   = flag.String("json", "", "write the JSON summary to this file (always printed to stdout)")
@@ -63,10 +68,11 @@ func main() {
 	flag.Parse()
 
 	lg := &loadgen{
-		base:     strings.TrimRight(*addr, "/"),
-		scale:    *scale,
-		abusePts: *abusePts,
-		deadline: time.Now().Add(*timeout),
+		base:        strings.TrimRight(*addr, "/"),
+		scale:       *scale,
+		abusePts:    *abusePts,
+		traceVerify: *traceVer,
+		deadline:    time.Now().Add(*timeout),
 	}
 	lg.pool = gridPool(splitList(*workloads), splitList(*policies), splitInts(*intRegs), *scale)
 	// One shared transport sized for the client population: the default
@@ -126,13 +132,14 @@ func main() {
 // loadgen carries the shared state of one run. Counters are atomics;
 // the latency slices and reference table take the mutex.
 type loadgen struct {
-	base     string
-	hc       *http.Client
-	pool     []sweep.Grid
-	refs     [][]byte // canonical outcome JSON per pool grid (with -verify)
-	scale    int
-	abusePts int
-	deadline time.Time
+	base        string
+	hc          *http.Client
+	pool        []sweep.Grid
+	refs        [][]byte // canonical outcome JSON per pool grid (with -verify)
+	scale       int
+	abusePts    int
+	traceVerify bool
+	deadline    time.Time
 
 	accepted      atomic.Uint64 // 202s (well-behaved + abusive)
 	completed     atomic.Uint64 // accepted jobs that reached state "done" cleanly
@@ -144,9 +151,11 @@ type loadgen struct {
 	mismatches    atomic.Uint64 // -verify result drift
 	neverDone     atomic.Uint64 // accepted but not done by the deadline
 	evicted       atomic.Uint64 // accepted but evicted before the result was read
+	badTraces     atomic.Uint64 // -trace-verify timeline failures
 
 	mu        sync.Mutex
 	latencies []time.Duration // submit round-trips, well-behaved only
+	e2eLats   []time.Duration // submit → state "done", well-behaved only
 }
 
 // gridPool builds the well-behaved submission pool: one single-
@@ -220,6 +229,7 @@ func (lg *loadgen) wellBehaved(id int, token string, requests int) {
 // sized to fit any sane quota).
 func (lg *loadgen) submitAndWait(gi int, token string) {
 	for time.Now().Before(lg.deadline) {
+		submitted := time.Now()
 		status, hdr, body, took, err := lg.post("/sweep", token, lg.pool[gi])
 		if err != nil {
 			lg.transportErrs.Add(1)
@@ -238,7 +248,7 @@ func (lg *loadgen) submitAndWait(gi int, token string) {
 				lg.badStatus.Add(1)
 				return
 			}
-			lg.await(out.ID, gi, token)
+			lg.await(out.ID, gi, token, submitted)
 			return
 		case http.StatusTooManyRequests:
 			lg.rejected429.Add(1)
@@ -260,7 +270,7 @@ func (lg *loadgen) submitAndWait(gi int, token string) {
 // off exponentially: with a thousand concurrent waiters, a fixed tight
 // interval would make the status polls themselves the denial of
 // service the admission layer exists to prevent.
-func (lg *loadgen) await(id string, gi int, token string) {
+func (lg *loadgen) await(id string, gi int, token string, submitted time.Time) {
 	delay := 200 * time.Millisecond
 	for time.Now().Before(lg.deadline) {
 		time.Sleep(delay)
@@ -296,12 +306,68 @@ func (lg *loadgen) await(id string, gi int, token string) {
 			return
 		}
 		lg.completed.Add(1)
+		lg.mu.Lock()
+		lg.e2eLats = append(lg.e2eLats, time.Since(submitted))
+		lg.mu.Unlock()
 		if lg.refs != nil && !bytes.Equal(canonicalOutcomes(job.Results), lg.refs[gi]) {
 			lg.mismatches.Add(1)
+		}
+		if lg.traceVerify {
+			lg.verifyTrace(id, token)
 		}
 		return
 	}
 	lg.neverDone.Add(1)
+}
+
+// verifyTrace fetches an accepted job's timeline and asserts it is
+// complete and ordered: a submit span, a complete span for every
+// planned shard, the terminal done span, and StartNS monotonically
+// non-decreasing across the whole timeline (the coordinator sorts
+// before serving). A fully cached job legitimately plans zero shards —
+// the shard/complete sets are compared, not required non-empty.
+func (lg *loadgen) verifyTrace(id, token string) {
+	status, _, body, _, err := lg.get("/sweep/"+id+"/trace", token)
+	if err != nil || status != http.StatusOK {
+		lg.badTraces.Add(1)
+		return
+	}
+	var tl obs.Timeline
+	if json.Unmarshal(body, &tl) != nil {
+		lg.badTraces.Add(1)
+		return
+	}
+	var submit, done bool
+	shards := map[string]bool{}
+	completed := map[string]bool{}
+	var prev int64
+	for _, sp := range tl.Spans {
+		if sp.StartNS < prev {
+			lg.badTraces.Add(1)
+			return
+		}
+		prev = sp.StartNS
+		switch sp.Name {
+		case "submit":
+			submit = true
+		case "shard":
+			shards[sp.Ref] = true
+		case "complete":
+			completed[sp.Ref] = true
+		case "done":
+			done = true
+		}
+	}
+	if !submit || !done {
+		lg.badTraces.Add(1)
+		return
+	}
+	for ref := range shards {
+		if !completed[ref] {
+			lg.badTraces.Add(1)
+			return
+		}
+	}
 }
 
 // abuser alternates two attack shapes and never backs off: oversized
@@ -418,10 +484,18 @@ type Summary struct {
 	NeverDone     uint64  `json:"never_done"`
 	Evicted       uint64  `json:"evicted"`
 	Mismatches    uint64  `json:"result_mismatches"`
+	BadTraces     uint64  `json:"bad_traces"`
 
 	P50Ms float64 `json:"submit_p50_ms"`
+	P90Ms float64 `json:"submit_p90_ms"`
 	P95Ms float64 `json:"submit_p95_ms"`
 	P99Ms float64 `json:"submit_p99_ms"`
+
+	// End-to-end latency — submit round-trip start to the poll that
+	// observed state "done" — from the same client samples.
+	E2eP50Ms float64 `json:"e2e_p50_ms"`
+	E2eP90Ms float64 `json:"e2e_p90_ms"`
+	E2eP99Ms float64 `json:"e2e_p99_ms"`
 
 	Reconciled *Reconciled `json:"reconciled,omitempty"`
 	Violations []string    `json:"violations"`
@@ -440,15 +514,18 @@ type Reconciled struct {
 func (lg *loadgen) summarize(wall time.Duration, sloP99 time.Duration, verified bool) Summary {
 	lg.mu.Lock()
 	lats := append([]time.Duration(nil), lg.latencies...)
+	e2e := append([]time.Duration(nil), lg.e2eLats...)
 	lg.mu.Unlock()
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	pct := func(p float64) float64 {
-		if len(lats) == 0 {
+	sort.Slice(e2e, func(i, j int) bool { return e2e[i] < e2e[j] })
+	pctOf := func(sorted []time.Duration, p float64) float64 {
+		if len(sorted) == 0 {
 			return 0
 		}
-		i := int(p * float64(len(lats)-1))
-		return float64(lats[i]) / float64(time.Millisecond)
+		i := int(p * float64(len(sorted)-1))
+		return float64(sorted[i]) / float64(time.Millisecond)
 	}
+	pct := func(p float64) float64 { return pctOf(lats, p) }
 
 	s := Summary{
 		WallSeconds:   wall.Seconds(),
@@ -463,9 +540,14 @@ func (lg *loadgen) summarize(wall time.Duration, sloP99 time.Duration, verified 
 		NeverDone:     lg.neverDone.Load(),
 		Evicted:       lg.evicted.Load(),
 		Mismatches:    lg.mismatches.Load(),
+		BadTraces:     lg.badTraces.Load(),
 		P50Ms:         pct(0.50),
+		P90Ms:         pct(0.90),
 		P95Ms:         pct(0.95),
 		P99Ms:         pct(0.99),
+		E2eP50Ms:      pctOf(e2e, 0.50),
+		E2eP90Ms:      pctOf(e2e, 0.90),
+		E2eP99Ms:      pctOf(e2e, 0.99),
 		Violations:    []string{},
 	}
 	if s.Accepted != s.Completed || s.NeverDone > 0 {
@@ -491,6 +573,10 @@ func (lg *loadgen) summarize(wall time.Duration, sloP99 time.Duration, verified 
 	if verified && s.Mismatches > 0 {
 		s.Violations = append(s.Violations, fmt.Sprintf(
 			"%d accepted sweeps diverged from the direct engine run", s.Mismatches))
+	}
+	if s.BadTraces > 0 {
+		s.Violations = append(s.Violations, fmt.Sprintf(
+			"%d accepted jobs had incomplete or out-of-order trace timelines", s.BadTraces))
 	}
 	if p99 := time.Duration(s.P99Ms * float64(time.Millisecond)); p99 > sloP99 {
 		s.Violations = append(s.Violations, fmt.Sprintf(

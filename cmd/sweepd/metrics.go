@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"earlyrelease/internal/obs"
 	"earlyrelease/internal/tenant"
 )
 
@@ -120,6 +122,10 @@ func routeLabel(r *http.Request) string {
 				route += "/{key}"
 			}
 		}
+	case "trace":
+		if len(seg) >= 2 {
+			route += "/{id}"
+		}
 	case "workers", "work":
 		if len(seg) >= 2 {
 			route += "/" + seg[1]
@@ -130,12 +136,16 @@ func routeLabel(r *http.Request) string {
 	return r.Method + " " + route
 }
 
-// httpStats aggregates request counts and latencies per route.
+// httpStats aggregates request counts and latencies per route. The
+// per-route latency histogram shares the coordinator's duration bucket
+// scheme (DESIGN.md §4.9); the running sum/count ride along so the
+// soak harness's latency reconciliation keeps working unchanged.
 type httpStats struct {
 	mu       sync.Mutex
 	requests map[string]uint64 // "route|code" → count
 	latSum   map[string]float64
 	latCount map[string]uint64
+	latHist  map[string]*obs.Histogram
 }
 
 func (h *httpStats) record(route string, code int, elapsed time.Duration) {
@@ -145,10 +155,17 @@ func (h *httpStats) record(route string, code int, elapsed time.Duration) {
 		h.requests = make(map[string]uint64)
 		h.latSum = make(map[string]float64)
 		h.latCount = make(map[string]uint64)
+		h.latHist = make(map[string]*obs.Histogram)
 	}
 	h.requests[route+"|"+strconv.Itoa(code)]++
 	h.latSum[route] += elapsed.Seconds()
 	h.latCount[route]++
+	hist, ok := h.latHist[route]
+	if !ok {
+		hist = obs.NewHistogram(obs.DurationBuckets())
+		h.latHist[route] = hist
+	}
+	hist.Observe(elapsed.Seconds())
 }
 
 // instrument wraps the route table with per-request accounting: every
@@ -216,6 +233,28 @@ func (p *promWriter) gauge(name, help string, v float64) {
 	p.sample(name, "", v)
 }
 
+// histogram emits one complete single-series histogram family.
+func (p *promWriter) histogram(name, help string, snap obs.HistSnapshot) {
+	p.header(name, help, "histogram")
+	p.histSeries(name, snap)
+}
+
+// histSeries emits one histogram series — cumulative buckets with
+// canonical le labels, the +Inf bucket, and the _sum/_count pair —
+// under optional extra labels (the caller writes the family header, so
+// labeled series like per-route latencies share one HELP/TYPE block).
+func (p *promWriter) histSeries(name string, snap obs.HistSnapshot, kv ...string) {
+	for i, b := range snap.Bounds {
+		le := strconv.FormatFloat(b, 'g', -1, 64)
+		p.sample(name+"_bucket", labels(append(append([]string(nil), kv...), "le", le)...),
+			float64(snap.Counts[i]))
+	}
+	p.sample(name+"_bucket", labels(append(append([]string(nil), kv...), "le", "+Inf")...),
+		float64(snap.Count))
+	p.sample(name+"_sum", labels(kv...), snap.Sum)
+	p.sample(name+"_count", labels(kv...), float64(snap.Count))
+}
+
 // handleMetrics serves GET /metrics: coordinator queue/lease gauges
 // and lifetime counters, cache traffic, per-tenant admission totals,
 // and the HTTP request table — everything an operator needs to see
@@ -228,6 +267,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.gauge("sweepd_pending_points", "Points waiting in the coordinator queue.", float64(st.PendingPoints))
 	p.gauge("sweepd_active_leases", "Work leases currently held by workers.", float64(st.ActiveLeases))
 	p.gauge("sweepd_workers", "Workers in the registry.", float64(len(st.Workers)))
+
+	// Per-worker load and throughput (DESIGN.md §4.9): active lanes and
+	// the EWMA points/s fed by each completion's w:simulate span.
+	p.header("sweepd_worker_active_leases", "Leases currently held, per worker.", "gauge")
+	for _, wk := range st.Workers {
+		p.sample("sweepd_worker_active_leases",
+			labels("worker", wk.Name, "id", wk.ID), float64(wk.ActiveLeases))
+	}
+	p.header("sweepd_worker_points_per_sec", "EWMA simulation throughput, per worker.", "gauge")
+	for _, wk := range st.Workers {
+		p.sample("sweepd_worker_points_per_sec",
+			labels("worker", wk.Name, "id", wk.ID), wk.PointsPerSec)
+	}
 
 	cc := s.coord.Counters()
 	p.counter("sweepd_jobs_submitted_total", "Jobs accepted by the coordinator.", cc.JobsSubmitted)
@@ -245,6 +297,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.counter("sweepd_shards_abandoned_total", "Shards failed after exhausting lease attempts.", cc.ShardsAbandoned)
 	p.counter("sweepd_completions_rejected_total", "Shard completions that failed verification.", cc.CompletionsRejected)
 
+	// Orchestration latency histograms (DESIGN.md §4.9). Queue wait,
+	// service time and lease age share the coarse duration buckets;
+	// per-point simulation time uses the fine sub-millisecond scheme.
+	ch := s.coord.Histograms()
+	p.histogram("sweepd_shard_queue_wait_seconds",
+		"Shard wait from enqueue to lease grant.", ch.QueueWait)
+	p.histogram("sweepd_shard_service_seconds",
+		"Worker-reported shard simulation time.", ch.Service)
+	p.histogram("sweepd_point_sim_seconds",
+		"Per-point simulation time, as reported by workers.", ch.PointSim)
+	p.histogram("sweepd_lease_age_seconds",
+		"Lease age at successful completion.", ch.LeaseAge)
+
 	uptime := time.Since(s.started).Seconds()
 	p.gauge("sweepd_uptime_seconds", "Seconds since this server started.", uptime)
 	rate := 0.0
@@ -252,6 +317,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		rate = float64(cc.PointsSimulated) / uptime
 	}
 	p.gauge("sweepd_points_simulated_per_sec", "Lifetime average simulation throughput.", rate)
+
+	// Go runtime health, so one scrape shows resource pressure next to
+	// queue depth without a sidecar exporter.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p.gauge("sweepd_goroutines", "Live goroutines in this process.", float64(runtime.NumGoroutine()))
+	p.gauge("sweepd_heap_alloc_bytes", "Bytes of live heap objects.", float64(ms.HeapAlloc))
+	p.header("sweepd_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", "counter")
+	p.sample("sweepd_gc_pause_seconds_total", "", float64(ms.PauseTotalNs)/1e9)
+	p.counter("sweepd_gc_cycles_total", "Completed GC cycles.", uint64(ms.NumGC))
 
 	cs := s.cache.Stats()
 	p.gauge("sweepd_cache_entries", "Results in the shared cache.", float64(cs.Entries))
@@ -312,10 +387,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		latKeys = append(latKeys, k)
 	}
 	sort.Strings(latKeys)
-	p.header("sweepd_http_request_seconds", "Request latency sum/count, per route.", "summary")
+	// Per-route latency as a real histogram. The _sum/_count pair is
+	// part of the exposition (fed from the precise running sums, not
+	// the buckets), so dashboards built on the old summary still work.
+	p.header("sweepd_http_request_seconds", "Request latency, per route.", "histogram")
 	for _, k := range latKeys {
-		p.sample("sweepd_http_request_seconds_sum", labels("route", k), s.httpStats.latSum[k])
-		p.sample("sweepd_http_request_seconds_count", labels("route", k), float64(s.httpStats.latCount[k]))
+		snap := s.httpStats.latHist[k].Snapshot()
+		snap.Sum = s.httpStats.latSum[k]
+		snap.Count = s.httpStats.latCount[k]
+		p.histSeries("sweepd_http_request_seconds", snap, "route", k)
 	}
 	s.httpStats.mu.Unlock()
 

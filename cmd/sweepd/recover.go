@@ -49,7 +49,7 @@ func (s *Server) recoverSweeps() {
 			log.Printf("recovered job %s: unusable grid metadata: %v", rj.Label, err)
 			continue
 		}
-		job := &sweepJob{ID: rj.Label, State: "running", Grid: g,
+		job := &sweepJob{ID: rj.Label, State: "running", Grid: g, TraceID: rj.Trace,
 			Progress: sweep.Progress{Total: rj.Total, Done: rj.Done}}
 		if err := s.sweeps.restore(job.ID, job); err != nil {
 			log.Printf("recovered job dropped: %v", err)

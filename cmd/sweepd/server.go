@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"earlyrelease/internal/obs"
 	"earlyrelease/internal/pipeline"
 	"earlyrelease/internal/search"
 	"earlyrelease/internal/sweep"
@@ -31,10 +32,12 @@ import (
 //
 // Client API:
 //
-//	POST /sweep               submit a sweep.Grid, returns {"id": ...}
+//	POST /sweep               submit a sweep.Grid, returns {"id", "trace_id"}
 //	GET  /sweep/{id}          status, progress and (when done) results
 //	GET  /sweep/{id}/stream   NDJSON progress snapshots until completion
+//	GET  /sweep/{id}/trace    the job's span timeline (?format=text for humans)
 //	GET  /sweeps              list all submitted sweeps
+//	GET  /trace/{id}          a timeline by trace id (traceparent-friendly)
 //	POST /explore             submit a search.Spec, returns {"id": ...}
 //	GET  /explore/{id}        exploration status and (when done) frontier
 //	GET  /explore/{id}/stream NDJSON progress snapshots until completion
@@ -155,6 +158,7 @@ type sweepJob struct {
 	ID       string         `json:"id"`
 	State    string         `json:"state"` // "running" or "done"
 	Tenant   string         `json:"tenant,omitempty"`
+	TraceID  string         `json:"trace_id,omitempty"`
 	Grid     sweep.Grid     `json:"grid"`
 	Progress sweep.Progress `json:"progress"`
 	Results  *sweep.Results `json:"results,omitempty"`
@@ -328,7 +332,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /sweep", s.handleSubmit)
 	mux.HandleFunc("GET /sweep/{id}", s.handleGet)
 	mux.HandleFunc("GET /sweep/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /sweep/{id}/trace", s.handleSweepTrace)
 	mux.HandleFunc("GET /sweeps", s.handleList)
+	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
 	mux.HandleFunc("POST /explore", s.handleExploreSubmit)
 	mux.HandleFunc("GET /explore/{id}", s.handleExploreGet)
 	mux.HandleFunc("GET /explore/{id}/stream", s.handleExploreStream)
@@ -417,7 +423,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
-	job := &sweepJob{State: "running", Grid: g}
+	job := &sweepJob{State: "running", Grid: g, TraceID: requestTraceID(r)}
 	if s.tenants.Enforcing() {
 		job.Tenant = adm.Tenant()
 	}
@@ -425,7 +431,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	go s.runJob(job, g, points, adm)
-	writeJSON(w, http.StatusAccepted, map[string]string{"id": job.ID})
+	// The trace id rides in the header too, so curl pipelines can grab
+	// it without parsing the body.
+	w.Header().Set("X-Trace-Id", job.TraceID)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": job.ID, "trace_id": job.TraceID})
+}
+
+// requestTraceID resolves the trace id for a submission: a W3C
+// traceparent header wins (the caller is already tracing end-to-end),
+// then an explicit X-Trace-Id, else sweepd mints one. Either way the
+// job's whole lifecycle — plan, shards, leases, retries — records
+// under this one id (DESIGN.md §4.9).
+func requestTraceID(r *http.Request) string {
+	if id := obs.FromTraceparent(r.Header.Get("traceparent")); id != "" {
+		return id
+	}
+	if id := obs.SanitizeTraceID(r.Header.Get("X-Trace-Id")); id != "" {
+		return id
+	}
+	return obs.NewTraceID()
 }
 
 // runJob executes the sweep on the federation and publishes progress
@@ -439,7 +463,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runJob(job *sweepJob, g sweep.Grid, points []sweep.Point, adm *tenant.Admission) {
 	defer adm.Done()
 	meta, _ := json.Marshal(g)
-	res, err := s.coord.RunLabeled(job.ID, meta, points, func(p sweep.Progress) {
+	res, err := s.coord.RunTraced(job.TraceID, job.ID, meta, points, func(p sweep.Progress) {
 		s.mu.Lock()
 		job.Progress = p
 		s.mu.Unlock()

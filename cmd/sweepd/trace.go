@@ -1,0 +1,90 @@
+package main
+
+import (
+	"net/http"
+
+	"earlyrelease/internal/obs"
+)
+
+// This file serves the federation-wide trace timelines (DESIGN.md
+// §4.9). The coordinator records one span timeline per traced job —
+// submit, plan, shard grants, worker-side execution, expiries,
+// requeues, completion — and these handlers publish it two ways:
+// by sweep id (the common case: you know which job you care about)
+// and by trace id (when the id came from a traceparent header or the
+// X-Trace-Id submission response and the sweep id is long evicted).
+//
+// ?format=text renders the human timeline (offset + duration per
+// span); the default is the JSON obs.Timeline document.
+
+// handleSweepTrace serves GET /sweep/{id}/trace: the timeline of one
+// submitted sweep, resolved through the job table so clients never
+// need to learn the trace id separately.
+func (s *Server) handleSweepTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.snapshot(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no sweep %q", id)
+		return
+	}
+	if job.TraceID == "" {
+		// A job recovered from a pre-tracing journal has no trace.
+		writeError(w, http.StatusNotFound, "sweep %q predates tracing", id)
+		return
+	}
+	s.writeTimeline(w, r, job.TraceID)
+}
+
+// handleTrace serves GET /trace/{id}: a timeline looked up directly by
+// trace id, as minted at submit or adopted from the client's
+// traceparent.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.writeTimeline(w, r, r.PathValue("id"))
+}
+
+func (s *Server) writeTimeline(w http.ResponseWriter, r *http.Request, traceID string) {
+	tl, ok := s.coord.Timeline(traceID)
+	if !ok {
+		// Recorded traces are bounded (oldest evicted first), so a very
+		// old id can be genuinely gone even if the job record survives.
+		writeError(w, http.StatusNotFound, "no timeline for trace %q (evicted or unknown)", traceID)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(tl.Render()))
+		return
+	}
+	writeJSON(w, http.StatusOK, tl)
+}
+
+// timelineComplete reports whether a job's timeline covers its whole
+// lifecycle: a submit span, a complete span for every planned shard,
+// and the terminal done span. loadgen's -trace-verify asserts this for
+// every accepted job; the metrics tests use it too.
+func timelineComplete(tl obs.Timeline) bool {
+	shards := map[string]bool{}
+	completed := map[string]bool{}
+	var submit, done bool
+	for _, sp := range tl.Spans {
+		switch sp.Name {
+		case "submit":
+			submit = true
+		case "shard":
+			shards[sp.Ref] = true
+		case "complete":
+			completed[sp.Ref] = true
+		case "done":
+			done = true
+		}
+	}
+	if !submit || !done {
+		return false
+	}
+	for ref := range shards {
+		if !completed[ref] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,392 @@
+// Command sweeptop is a live terminal dashboard for a sweepd
+// coordinator (DESIGN.md §4.9): queue depth, per-worker load and
+// throughput, tenant pressure, orchestration latency quantiles
+// (computed client-side from the /metrics histogram buckets) and the
+// slowest in-flight shards with their trace ids — everything needed to
+// answer "why is my sweep slow" before reaching for GET /trace.
+//
+//	sweeptop -addr http://127.0.0.1:8080            # refresh every 2s
+//	sweeptop -addr http://127.0.0.1:8080 -once      # one frame, no clear
+//
+// It reads only GET /federation and GET /metrics, so it works against
+// any sweepd — coordinator or pure coordinator — with zero server-side
+// support beyond the standard surfaces.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"earlyrelease/internal/obs"
+	"earlyrelease/internal/sweep"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "coordinator base URL")
+		interval = flag.Duration("interval", 2*time.Second, "refresh interval")
+		once     = flag.Bool("once", false, "print one frame and exit (no screen clearing)")
+		token    = flag.String("token", "", "API token (empty = anonymous)")
+	)
+	flag.Parse()
+
+	top := &top{base: strings.TrimRight(*addr, "/"), token: *token,
+		hc: &http.Client{Timeout: 10 * time.Second}}
+
+	for {
+		frame, err := top.frame()
+		if err != nil {
+			if *once {
+				fmt.Fprintf(os.Stderr, "sweeptop: %v\n", err)
+				os.Exit(1)
+			}
+			frame = fmt.Sprintf("sweeptop: %v (retrying)\n", err)
+		}
+		if *once {
+			fmt.Print(frame)
+			return
+		}
+		// Clear + home keeps the frame stable without a curses library.
+		fmt.Print("\033[2J\033[H" + frame)
+		time.Sleep(*interval)
+	}
+}
+
+type top struct {
+	base  string
+	token string
+	hc    *http.Client
+}
+
+func (t *top) get(path string) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, t.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if t.token != "" {
+		req.Header.Set("Authorization", "Bearer "+t.token)
+	}
+	resp, err := t.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return body, nil
+}
+
+// frame fetches both surfaces and renders one dashboard screen.
+func (t *top) frame() (string, error) {
+	fedBody, err := t.get("/federation")
+	if err != nil {
+		return "", err
+	}
+	var fed sweep.FederationStatus
+	if err := json.Unmarshal(fedBody, &fed); err != nil {
+		return "", fmt.Errorf("decode /federation: %w", err)
+	}
+	metBody, err := t.get("/metrics")
+	if err != nil {
+		return "", err
+	}
+	m := parseMetrics(string(metBody))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweeptop — %s   up %s   %s\n\n",
+		t.base, fmtSecs(m.scalar("sweepd_uptime_seconds")), time.Now().Format("15:04:05"))
+
+	fmt.Fprintf(&b, "queue     %d shards / %d points pending   %d leases active   %d workers\n",
+		fed.PendingShards, fed.PendingPoints, fed.ActiveLeases, len(fed.Workers))
+	fmt.Fprintf(&b, "jobs      %.0f submitted / %.0f done    points %.0f done (%.0f sim, %.0f cached, %.0f failed)\n",
+		m.scalar("sweepd_jobs_submitted_total"), m.scalar("sweepd_jobs_done_total"),
+		m.scalar("sweepd_points_done_total"), m.scalar("sweepd_points_simulated_total"),
+		m.scalar("sweepd_points_cached_total"), m.scalar("sweepd_points_failed_total"))
+	fmt.Fprintf(&b, "runtime   %.0f pts/s lifetime   %.0f goroutines   heap %s   gc %.0f cycles\n",
+		m.scalar("sweepd_points_simulated_per_sec"), m.scalar("sweepd_goroutines"),
+		fmtBytes(m.scalar("sweepd_heap_alloc_bytes")), m.scalar("sweepd_gc_cycles_total"))
+	if fed.JournalErr != "" {
+		fmt.Fprintf(&b, "JOURNAL DEGRADED: %s\n", fed.JournalErr)
+	}
+
+	fmt.Fprintf(&b, "\nlatency              p50        p90        p99      count\n")
+	for _, fam := range []struct{ label, name string }{
+		{"shard queue wait", "sweepd_shard_queue_wait_seconds"},
+		{"shard service", "sweepd_shard_service_seconds"},
+		{"point sim", "sweepd_point_sim_seconds"},
+		{"lease age", "sweepd_lease_age_seconds"},
+		{"http requests", "sweepd_http_request_seconds"},
+	} {
+		snap := m.hist(fam.name)
+		fmt.Fprintf(&b, "  %-16s %9s  %9s  %9s  %9d\n", fam.label,
+			fmtSecsShort(snap.Quantile(0.50)), fmtSecsShort(snap.Quantile(0.90)),
+			fmtSecsShort(snap.Quantile(0.99)), snap.Count)
+	}
+
+	fmt.Fprintf(&b, "\nworkers            active   shards   points   expiries   pts/s\n")
+	workers := append([]sweep.WorkerStatus(nil), fed.Workers...)
+	sort.Slice(workers, func(i, j int) bool { return workers[i].Name < workers[j].Name })
+	for _, wk := range workers {
+		fmt.Fprintf(&b, "  %-16s %6d   %6d   %6d   %8d   %5.0f\n",
+			wk.Name, wk.ActiveLeases, wk.ShardsDone, wk.PointsDone, wk.Expiries, wk.PointsPerSec)
+	}
+
+	if rows := m.tenantRows(); len(rows) > 0 {
+		fmt.Fprintf(&b, "\ntenants            pending-pts   running   accepted-pts\n")
+		for _, row := range rows {
+			fmt.Fprintf(&b, "  %-16s %11.0f   %7.0f   %12.0f\n",
+				row.name, row.pending, row.running, row.acceptedPts)
+		}
+	}
+
+	if len(fed.Leases) > 0 {
+		fmt.Fprintf(&b, "\nslowest in-flight shards (age desc)\n")
+		fmt.Fprintf(&b, "  shard        worker        att   points      age     left   trace\n")
+		for i, ls := range fed.Leases {
+			if i >= 8 {
+				fmt.Fprintf(&b, "  … %d more\n", len(fed.Leases)-i)
+				break
+			}
+			fmt.Fprintf(&b, "  %-11s  %-12s  %3d   %6d  %7s  %7s   %s\n",
+				ls.Shard, ls.Worker, ls.Attempt, ls.Points,
+				fmtSecs(float64(ls.AgeMS)/1000), fmtSecs(float64(ls.LeftMS)/1000), ls.Trace)
+		}
+	}
+	return b.String(), nil
+}
+
+// --- /metrics text parsing ----------------------------------------------
+
+// metrics indexes one exposition scrape: unlabeled scalars by name,
+// and every labeled sample for histogram/tenant reconstruction.
+type metrics struct {
+	scalars map[string]float64
+	samples []sample
+}
+
+type sample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+func (m *metrics) scalar(name string) float64 { return m.scalars[name] }
+
+// hist rebuilds a histogram family as an obs.HistSnapshot, summing
+// across label sets (the per-route HTTP family collapses to one
+// overall distribution; single-series families pass through).
+func (m *metrics) hist(name string) obs.HistSnapshot {
+	type bucket struct {
+		le  float64
+		sum float64
+	}
+	var buckets []bucket
+	idx := map[float64]int{}
+	var snap obs.HistSnapshot
+	for _, s := range m.samples {
+		switch s.name {
+		case name + "_bucket":
+			le, err := parseLe(s.labels["le"])
+			if err != nil {
+				continue
+			}
+			i, ok := idx[le]
+			if !ok {
+				i = len(buckets)
+				idx[le] = i
+				buckets = append(buckets, bucket{le: le})
+			}
+			buckets[i].sum += s.value
+		case name + "_sum":
+			snap.Sum += s.value
+		case name + "_count":
+			snap.Count += uint64(s.value)
+		}
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	for _, bk := range buckets {
+		if bk.le == infLe {
+			snap.Counts = append(snap.Counts, uint64(bk.sum))
+			continue
+		}
+		snap.Bounds = append(snap.Bounds, bk.le)
+		snap.Counts = append(snap.Counts, uint64(bk.sum))
+	}
+	return snap
+}
+
+// infLe stands in for +Inf so the bucket map stays keyed on float64.
+const infLe = 1e308
+
+func parseLe(s string) (float64, error) {
+	if s == "+Inf" {
+		return infLe, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+type tenantRow struct {
+	name                          string
+	pending, running, acceptedPts float64
+}
+
+func (m *metrics) tenantRows() []tenantRow {
+	rows := map[string]*tenantRow{}
+	pick := func(name string) *tenantRow {
+		row, ok := rows[name]
+		if !ok {
+			row = &tenantRow{name: name}
+			rows[name] = row
+		}
+		return row
+	}
+	for _, s := range m.samples {
+		tn := s.labels["tenant"]
+		if tn == "" {
+			continue
+		}
+		switch s.name {
+		case "sweepd_tenant_pending_points":
+			pick(tn).pending = s.value
+		case "sweepd_tenant_running_jobs":
+			pick(tn).running = s.value
+		case "sweepd_tenant_accepted_points_total":
+			pick(tn).acceptedPts = s.value
+		}
+	}
+	out := make([]tenantRow, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// parseMetrics reads Prometheus text exposition: "name value" and
+// "name{k="v",...} value" lines; comments and anything unparsable are
+// skipped.
+func parseMetrics(text string) *metrics {
+	m := &metrics{scalars: map[string]float64{}}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		var labelPart string
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				continue
+			}
+			labelPart = line[i+1 : j]
+			line = name + line[j+1:]
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		if labelPart == "" {
+			m.scalars[name] = v
+			continue
+		}
+		m.samples = append(m.samples, sample{name: name, labels: parseLabels(labelPart), value: v})
+	}
+	return m
+}
+
+// parseLabels splits `k="v",k2="v2"` honoring the exposition escapes.
+func parseLabels(s string) map[string]string {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			break
+		}
+		key := strings.TrimSpace(s[:eq])
+		rest := s[eq+2:]
+		var val strings.Builder
+		i := 0
+		for i < len(rest) {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out[key] = val.String()
+		s = rest[i+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out
+}
+
+// --- formatting ---------------------------------------------------------
+
+func fmtSecs(s float64) string {
+	switch {
+	case s >= 3600:
+		return fmt.Sprintf("%.1fh", s/3600)
+	case s >= 60:
+		return fmt.Sprintf("%.1fm", s/60)
+	default:
+		return fmt.Sprintf("%.0fs", s)
+	}
+}
+
+// fmtSecsShort renders a latency with sub-second resolution.
+func fmtSecsShort(s float64) string {
+	switch {
+	case s <= 0:
+		return "-"
+	case s < 0.001:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}
+
+func fmtBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}

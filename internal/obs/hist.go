@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"sync"
+)
+
+// Histogram is a fixed-bucket latency histogram shaped for Prometheus
+// text exposition: per-bucket observation counts under ascending upper
+// bounds, plus Sum and Count, snapshotted as cumulative buckets. Safe
+// for concurrent Observe/Snapshot.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []uint64  // len(bounds)+1, last is the +Inf overflow bucket
+	sum    float64
+	n      uint64
+}
+
+// DurationBuckets is the shared bucket scheme for second-scale
+// latencies (HTTP requests, shard queue wait, shard service time,
+// lease age): 1ms to 10s, roughly ×2.5 per step.
+func DurationBuckets() []float64 {
+	return []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// FineDurationBuckets is the scheme for sub-millisecond work
+// (per-point simulation time): 50µs to 1s.
+func FineDurationBuckets() []float64 {
+	return []float64{0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1}
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds (a +Inf bucket is always added). The bounds slice is copied.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one value (NaN is ignored).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// HistSnapshot is a point-in-time histogram copy with cumulative
+// bucket counts — Counts[i] is the number of observations ≤ Bounds[i],
+// and Counts[len(Bounds)] (the +Inf bucket) equals Count.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot copies the histogram with cumulative counts.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.sum,
+		Count:  h.n,
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		s.Counts[i] = cum
+	}
+	return s
+}
+
+// Quantile estimates the q-th quantile (0..1) by linear interpolation
+// inside the bucket containing it — the same estimate a Prometheus
+// histogram_quantile() would give. Returns 0 on an empty histogram;
+// observations in the +Inf bucket clamp to the top finite bound.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	for i, cum := range s.Counts {
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo, lorank := 0.0, 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+			lorank = float64(s.Counts[i-1])
+		}
+		width := float64(s.Counts[i]) - lorank
+		if width <= 0 {
+			return s.Bounds[i]
+		}
+		return lo + (s.Bounds[i]-lo)*(rank-lorank)/width
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// EWMA is an exponentially weighted moving average (per-worker
+// points/s gauges). The zero value uses the default smoothing factor.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	v     float64
+	set   bool
+}
+
+// NewEWMA builds an EWMA with the given smoothing factor (0 < alpha
+// <= 1; out-of-range values fall back to the 0.3 default).
+func NewEWMA(alpha float64) *EWMA { return &EWMA{alpha: alpha} }
+
+// Observe folds one sample into the average.
+func (e *EWMA) Observe(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a := e.alpha
+	if a <= 0 || a > 1 {
+		a = 0.3
+	}
+	if !e.set {
+		e.v, e.set = x, true
+		return
+	}
+	e.v = a*x + (1-a)*e.v
+}
+
+// Value reads the current average (0 before any observation).
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.v
+}

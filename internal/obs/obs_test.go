@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderTimelineOrdering(t *testing.T) {
+	r := NewRecorder()
+	r.Begin("t1", "sw-1")
+	// Record out of start order: a late-arriving worker span starts
+	// earlier than the completion that delivered it.
+	r.Record("t1", Span{Name: "submit", StartNS: 100, EndNS: 150})
+	r.Record("t1", Span{Name: "complete", StartNS: 900, EndNS: 900})
+	r.Record("t1", Span{Name: "w:simulate", StartNS: 300, EndNS: 800})
+
+	tl, ok := r.Timeline("t1")
+	if !ok {
+		t.Fatal("timeline missing")
+	}
+	if tl.Label != "sw-1" || tl.Dropped != 0 {
+		t.Fatalf("timeline header: %+v", tl)
+	}
+	var names []string
+	for _, s := range tl.Spans {
+		names = append(names, s.Name)
+	}
+	want := []string{"submit", "w:simulate", "complete"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("span order %v, want %v", names, want)
+		}
+	}
+	if _, ok := r.Timeline("nope"); ok {
+		t.Fatal("unknown trace reported present")
+	}
+	txt := tl.Render()
+	for _, frag := range []string{"trace t1", "sw-1", "w:simulate"} {
+		if !strings.Contains(txt, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, txt)
+		}
+	}
+}
+
+func TestRecorderSpanRingBound(t *testing.T) {
+	r := NewRecorder()
+	r.SetLimits(4, 0)
+	for i := 0; i < 10; i++ {
+		r.Record("t", Span{Name: "s", StartNS: int64(i)})
+	}
+	tl, _ := r.Timeline("t")
+	if len(tl.Spans) != 4 || tl.Dropped != 6 {
+		t.Fatalf("ring kept %d spans, dropped %d", len(tl.Spans), tl.Dropped)
+	}
+	// The ring keeps the newest spans.
+	if tl.Spans[0].StartNS != 6 || tl.Spans[3].StartNS != 9 {
+		t.Fatalf("ring contents: %+v", tl.Spans)
+	}
+}
+
+func TestRecorderTraceEviction(t *testing.T) {
+	r := NewRecorder()
+	r.SetLimits(0, 2)
+	r.Record("a", Span{Name: "x"})
+	r.Record("b", Span{Name: "x"})
+	r.Record("c", Span{Name: "x"}) // evicts a
+	if _, ok := r.Timeline("a"); ok {
+		t.Fatal("oldest trace not evicted")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("retained %d traces", r.Len())
+	}
+}
+
+func TestRecorderDumpLoadRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Begin("t1", "sw-9")
+	r.Record("t1", Span{Name: "submit", StartNS: 1, EndNS: 2})
+	r.Record("t1", Span{Name: "done", StartNS: 5, EndNS: 5})
+
+	fresh := NewRecorder()
+	for _, tl := range r.Dump() {
+		fresh.Load(tl)
+	}
+	tl, ok := fresh.Timeline("t1")
+	if !ok || tl.Label != "sw-9" || len(tl.Spans) != 2 {
+		t.Fatalf("reloaded timeline: %+v ok=%v", tl, ok)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.005, 0.05, 0.5, 50} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count %d", s.Count)
+	}
+	wantCum := []uint64{2, 3, 4, 5}
+	for i, w := range wantCum {
+		if s.Counts[i] != w {
+			t.Fatalf("cumulative counts %v, want %v", s.Counts, wantCum)
+		}
+	}
+	if s.Sum < 50.5 || s.Sum > 50.6 {
+		t.Fatalf("sum %v", s.Sum)
+	}
+	// Boundary values land in their own bucket (le semantics).
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(1)
+	if s2 := h2.Snapshot(); s2.Counts[0] != 1 {
+		t.Fatalf("le boundary: %+v", s2)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(DurationBuckets())
+	for i := 0; i < 100; i++ {
+		h.Observe(0.02) // all in the (0.01, 0.025] bucket
+	}
+	s := h.Snapshot()
+	q := s.Quantile(0.5)
+	if q < 0.01 || q > 0.025 {
+		t.Fatalf("p50 %v outside the populated bucket", q)
+	}
+	if (HistSnapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(10)
+	if e.Value() != 10 {
+		t.Fatalf("first sample: %v", e.Value())
+	}
+	e.Observe(20)
+	if v := e.Value(); v != 15 {
+		t.Fatalf("smoothed: %v", v)
+	}
+}
+
+func TestTraceIDHelpers(t *testing.T) {
+	if a, b := NewTraceID(), NewTraceID(); a == b || len(a) != 16 {
+		t.Fatalf("mint: %q %q", a, b)
+	}
+	if got := SanitizeTraceID("ab c/1!_-"); got != "abc1_-" {
+		t.Fatalf("sanitize: %q", got)
+	}
+	if got := SanitizeTraceID(strings.Repeat("x", 100)); len(got) != 64 {
+		t.Fatalf("sanitize cap: %d", len(got))
+	}
+	tp := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	if got := FromTraceparent(tp); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("traceparent: %q", got)
+	}
+	if FromTraceparent("junk") != "" || FromTraceparent("00-zz-bb-01") != "" {
+		t.Fatal("bad traceparent accepted")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"earlyrelease/internal/pipeline"
 	"earlyrelease/internal/trace"
@@ -72,6 +74,16 @@ type Results struct {
 	// still complete and valid — a sweep's work is never discarded
 	// because its cache file could not be written.
 	SaveErr string `json:"save_err,omitempty"`
+
+	// PointNS is per-point simulation wall time in nanoseconds,
+	// aligned with Outcomes (0 = not simulated here: cache hit, key or
+	// setup error). Batch-path lanes share their group's wall time
+	// evenly. CachePutNS is the total spent writing results into the
+	// cache (including the final Save). Both are observability only —
+	// excluded from JSON so serialized Results stay byte-identical to
+	// pre-tracing builds.
+	PointNS    []int64 `json:"-"`
+	CachePutNS int64   `json:"-"`
 
 	// byPoint is built once under indexOnce: concurrent readers (the
 	// explorer probes results from several goroutines) must not race on
@@ -151,6 +163,10 @@ func (e *Engine) RunPointsCtx(ctx context.Context, points []Point, onProgress fu
 
 	res := &Results{Outcomes: make([]*Outcome, len(points))}
 	res.Stats.Points = len(points)
+	// Per-point wall times: each index is written by exactly one pool
+	// worker, so no lock is needed; putNS is shared and atomic.
+	res.PointNS = make([]int64, len(points))
+	var putNS atomic.Int64
 
 	var mu sync.Mutex
 	done := 0
@@ -223,17 +239,21 @@ func (e *Engine) RunPointsCtx(ctx context.Context, points []Point, onProgress fu
 					m := j[0]
 					var r *pipeline.Result
 					var err error
+					simStart := time.Now()
 					r, core, err = runPoint(core, m.pt)
+					res.PointNS[m.i] = int64(time.Since(simStart))
 					o := &Outcome{Point: m.pt, Key: m.key, Result: r}
 					if err != nil {
 						o.Err = err.Error()
 					} else {
+						putStart := time.Now()
 						cache.PutPoint(m.pt, m.key, r)
+						putNS.Add(int64(time.Since(putStart)))
 					}
 					finish(m.i, o)
 					continue
 				}
-				batch = runBatchJob(batch, j, cache, finish, onBatched)
+				batch = runBatchJob(batch, j, cache, res.PointNS, &putNS, finish, onBatched)
 			}
 		}()
 	}
@@ -243,9 +263,11 @@ func (e *Engine) RunPointsCtx(ctx context.Context, points []Point, onProgress fu
 	close(ch)
 	wg.Wait()
 
+	saveStart := time.Now()
 	if err := cache.Save(); err != nil {
 		res.SaveErr = err.Error()
 	}
+	res.CachePutNS = putNS.Add(int64(time.Since(saveStart)))
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
@@ -320,8 +342,11 @@ func groupJobs(misses []miss, width int) [][]miss {
 // path. Per-point setup failures (unknown workload, bad config) land on
 // their own outcomes without disturbing sibling lanes; the batch core
 // is recycled across jobs just as scalar workers recycle a Core.
-func runBatchJob(batch *pipeline.BatchCore, j []miss,
-	cache *Cache, finish func(int, *Outcome), onBatched func(int)) *pipeline.BatchCore {
+// pointNS receives each lane's share of the group's wall time; putNS
+// accumulates cache write time.
+func runBatchJob(batch *pipeline.BatchCore, j []miss, cache *Cache,
+	pointNS []int64, putNS *atomic.Int64,
+	finish func(int, *Outcome), onBatched func(int)) *pipeline.BatchCore {
 	w, err := workloads.ByName(j[0].pt.Workload)
 	var tr *trace.Trace
 	if err == nil {
@@ -355,15 +380,20 @@ func runBatchJob(batch *pipeline.BatchCore, j []miss,
 	} else {
 		batch.SetTrace(tr)
 	}
+	runStart := time.Now()
 	results, errs := batch.Run(cfgs)
+	perLane := int64(time.Since(runStart)) / int64(len(lanes))
 	for li, m := range lanes {
+		pointNS[m.i] = perLane
 		o := &Outcome{Point: m.pt, Key: m.key, Result: results[li]}
 		if errs[li] != nil {
 			// Same shape the scalar path gives a run error.
 			o.Result = nil
 			o.Err = fmt.Errorf("%s: %w", m.pt, errs[li]).Error()
 		} else {
+			putStart := time.Now()
 			cache.PutPoint(m.pt, m.key, results[li])
+			putNS.Add(int64(time.Since(putStart)))
 		}
 		finish(m.i, o)
 	}

@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
+
+	"earlyrelease/internal/obs"
 )
 
 // This file is the coordinator half of federated sweep execution (the
@@ -75,6 +78,10 @@ type WorkerStatus struct {
 	ShardsDone   int       `json:"shards_done"`
 	PointsDone   int       `json:"points_done"`
 	Expiries     int       `json:"expiries"` // leases lost to TTL expiry
+	// PointsPerSec is an EWMA of the worker's simulation throughput,
+	// fed by the w:simulate span each completion piggybacks (0 until
+	// the first timed completion).
+	PointsPerSec float64 `json:"points_per_sec,omitempty"`
 }
 
 // RegisterReply tells a fresh worker its identity and how often to
@@ -107,12 +114,27 @@ type CoordCounters struct {
 	CompletionsRejected uint64 `json:"completions_rejected"`
 }
 
+// LeaseStatus is one in-flight lease, for the ops surface (sweeptop's
+// slowest-shards view sorts these by age).
+type LeaseStatus struct {
+	ID      string `json:"id"`
+	Shard   string `json:"shard"`
+	Worker  string `json:"worker"`
+	Attempt int    `json:"attempt"`
+	Points  int    `json:"points"`
+	AgeMS   int64  `json:"age_ms"`
+	LeftMS  int64  `json:"left_ms"` // time to expiry (negative = reapable)
+	Trace   string `json:"trace,omitempty"`
+}
+
 // FederationStatus is the coordinator's queue/registry snapshot.
 type FederationStatus struct {
 	PendingShards int            `json:"pending_shards"`
 	PendingPoints int            `json:"pending_points"`
 	ActiveLeases  int            `json:"active_leases"`
 	Workers       []WorkerStatus `json:"workers"`
+	// Leases lists in-flight leases, oldest first.
+	Leases []LeaseStatus `json:"leases,omitempty"`
 	// JournalErr surfaces a sticky state-dir persistence failure: the
 	// coordinator keeps serving (degraded to memory-only durability)
 	// but the operator should know resume is compromised.
@@ -146,6 +168,18 @@ type Coordinator struct {
 	jrn       *journal
 	jobs      map[string]*fedJob
 	recovered []RecoveredJob
+
+	// Observability (DESIGN.md §4.9). rec assembles per-trace
+	// timelines; the histograms aggregate orchestration latencies and
+	// have their own locks (Observe never contends on c.mu). adopting
+	// suppresses span emission while recovery replays finishLocked —
+	// the replayed spans already carry the history.
+	rec       *obs.Recorder
+	queueWait *obs.Histogram // shard queue wait, seconds
+	service   *obs.Histogram // worker-reported shard service time, seconds
+	pointSim  *obs.Histogram // per-point simulation time, seconds
+	leaseAge  *obs.Histogram // lease age at completion, seconds
+	adopting  bool
 }
 
 type fedJob struct {
@@ -163,6 +197,10 @@ type fedJob struct {
 	meta   json.RawMessage
 	points []Point
 	keys   []string
+
+	// trace names the job's timeline in the recorder (minted at submit
+	// if the caller supplied none; always set on live submissions).
+	trace string
 }
 
 // workUnit binds a planned WorkItem to its slot in the submitting job.
@@ -176,6 +214,19 @@ type fedShard struct {
 	id      string
 	units   []workUnit
 	attempt int // lease grants so far
+	// queuedAt is when the shard (re)entered the pending queue; the
+	// next grant observes now-queuedAt as queue wait. Zero on shards
+	// rebuilt by crash recovery (their wait is not observed).
+	queuedAt time.Time
+}
+
+// trace names the timeline of the shard's owning job (every unit in a
+// shard belongs to one submission).
+func (sh *fedShard) job() *fedJob {
+	if len(sh.units) == 0 {
+		return nil
+	}
+	return sh.units[0].job
 }
 
 type fedLease struct {
@@ -183,10 +234,14 @@ type fedLease struct {
 	workerID string
 	shard    *fedShard
 	deadline time.Time
+	// grantedAt feeds the run span and the lease-age-at-completion
+	// histogram. Zero on leases rebuilt by crash recovery.
+	grantedAt time.Time
 }
 
 type workerState struct {
 	WorkerStatus
+	rate obs.EWMA // points/s samples from timed completions
 }
 
 // NewCoordinator builds a coordinator around a shared cache (nil = a
@@ -205,12 +260,17 @@ func NewCoordinator(cache *Cache, cfg CoordConfig) *Coordinator {
 		cfg.now = time.Now
 	}
 	return &Coordinator{
-		cfg:     cfg,
-		cache:   cache,
-		leases:  make(map[string]*fedLease),
-		workers: make(map[string]*workerState),
-		jobs:    make(map[string]*fedJob),
-		quit:    make(chan struct{}),
+		cfg:       cfg,
+		cache:     cache,
+		leases:    make(map[string]*fedLease),
+		workers:   make(map[string]*workerState),
+		jobs:      make(map[string]*fedJob),
+		quit:      make(chan struct{}),
+		rec:       obs.NewRecorder(),
+		queueWait: obs.NewHistogram(obs.DurationBuckets()),
+		service:   obs.NewHistogram(obs.DurationBuckets()),
+		pointSim:  obs.NewHistogram(obs.FineDurationBuckets()),
+		leaseAge:  obs.NewHistogram(obs.DurationBuckets()),
 	}
 }
 
@@ -263,7 +323,7 @@ func (c *Coordinator) Run(g Grid, onProgress func(Progress)) (*Results, error) {
 
 // RunPoints is Run for an explicit point list.
 func (c *Coordinator) RunPoints(points []Point, onProgress func(Progress)) (*Results, error) {
-	return c.run("", nil, points, onProgress)
+	return c.run("", "", nil, points, onProgress)
 }
 
 // RunLabeled is Run for a submission that must survive a coordinator
@@ -272,10 +332,18 @@ func (c *Coordinator) RunPoints(points []Point, onProgress func(Progress)) (*Res
 // coordinator reports the job under Recovered for ResumeRecovered to
 // pick up. On a memory-only coordinator it is exactly RunPoints.
 func (c *Coordinator) RunLabeled(label string, meta json.RawMessage, points []Point, onProgress func(Progress)) (*Results, error) {
-	return c.run(label, meta, points, onProgress)
+	return c.run("", label, meta, points, onProgress)
 }
 
-func (c *Coordinator) run(label string, meta json.RawMessage, points []Point, onProgress func(Progress)) (*Results, error) {
+// RunTraced is RunLabeled under a caller-chosen trace id (sweepd mints
+// one per submission — or adopts the client's traceparent — so the
+// HTTP response can name the timeline before the job finishes). An
+// empty traceID makes the coordinator mint its own.
+func (c *Coordinator) RunTraced(traceID, label string, meta json.RawMessage, points []Point, onProgress func(Progress)) (*Results, error) {
+	return c.run(traceID, label, meta, points, onProgress)
+}
+
+func (c *Coordinator) run(traceID, label string, meta json.RawMessage, points []Point, onProgress func(Progress)) (*Results, error) {
 	job := &fedJob{
 		res:    &Results{Outcomes: make([]*Outcome, len(points))},
 		total:  len(points),
@@ -283,6 +351,7 @@ func (c *Coordinator) run(label string, meta json.RawMessage, points []Point, on
 		doneCh: make(chan struct{}),
 	}
 	job.res.Stats.Points = len(points)
+	submitAt := c.cfg.now()
 
 	// Resolve keys off the lock (hashing is CPU work), then classify.
 	keys := make([]string, len(points))
@@ -298,13 +367,19 @@ func (c *Coordinator) run(label string, meta json.RawMessage, points []Point, on
 	}
 	c.counters.JobsSubmitted++
 	c.counters.PointsSubmitted += uint64(len(points))
+	if traceID == "" {
+		c.seq++
+		traceID = fmt.Sprintf("tr-%d", c.seq)
+	}
+	job.trace = traceID
+	c.rec.Begin(traceID, label)
 	if c.jrn != nil {
 		c.seq++
 		job.id = fmt.Sprintf("job-%d", c.seq)
 		job.label, job.meta, job.points, job.keys = label, meta, points, keys
 		c.jobs[job.id] = job
-		c.journal(recTypeJob, jobRec{ID: job.id, Label: label, Meta: meta,
-			Points: points, Keys: keys})
+		c.journal(recTypeJob, jobRec{ID: job.id, Label: label, Trace: traceID,
+			Meta: meta, Points: points, Keys: keys})
 	}
 	var missIdx []int
 	for i, pt := range points {
@@ -329,6 +404,10 @@ func (c *Coordinator) run(label string, meta json.RawMessage, points []Point, on
 		}
 		c.journal(recTypeDone, rec)
 	}
+	classifiedAt := c.cfg.now()
+	c.spanLocked(job, obs.Span{Name: "submit",
+		StartNS: submitAt.UnixNano(), EndNS: classifiedAt.UnixNano(),
+		Detail: fmt.Sprintf("%d points, %d cached", len(points), job.res.Stats.CacheHits)})
 	if len(missIdx) > 0 {
 		missPts := make([]Point, len(missIdx))
 		for j, i := range missIdx {
@@ -339,6 +418,7 @@ func (c *Coordinator) run(label string, meta json.RawMessage, points []Point, on
 			planner.MinShards = n
 		}
 		var plan planRec
+		var shardSpans []obs.Span
 		for _, group := range planner.Plan(missPts) {
 			c.seq++
 			sh := &fedShard{id: fmt.Sprintf("sh-%d", c.seq)}
@@ -351,14 +431,41 @@ func (c *Coordinator) run(label string, meta json.RawMessage, points []Point, on
 			if c.jrn != nil {
 				plan.Shards = append(plan.Shards, shardState(sh))
 			}
+			shardSpans = append(shardSpans, obs.Span{Name: "shard", Ref: sh.id,
+				Detail: fmt.Sprintf("%d points", len(sh.units))})
 		}
 		if c.jrn != nil {
 			c.journal(recTypePlan, plan)
+		}
+		plannedAt := c.cfg.now()
+		for _, sh := range c.pending[len(c.pending)-len(shardSpans):] {
+			sh.queuedAt = plannedAt
+		}
+		c.spanLocked(job, obs.Span{Name: "plan",
+			StartNS: classifiedAt.UnixNano(), EndNS: plannedAt.UnixNano(),
+			Detail: fmt.Sprintf("%d shards for %d misses", len(shardSpans), len(missIdx))})
+		for _, s := range shardSpans {
+			s.StartNS, s.EndNS = plannedAt.UnixNano(), plannedAt.UnixNano()
+			c.spanLocked(job, s)
 		}
 	}
 	c.mu.Unlock()
 
 	return c.wait(job)
+}
+
+// spanLocked records one span on the job's timeline and journals it on
+// a durable coordinator so timelines survive crash-resume. Callers
+// hold c.mu. No-op while recovery replays (adopting) — the restored
+// timeline already holds history — and on pre-trace jobs.
+func (c *Coordinator) spanLocked(job *fedJob, s obs.Span) {
+	if job == nil || job.trace == "" || c.adopting {
+		return
+	}
+	c.rec.Record(job.trace, s)
+	if c.jrn != nil && job.id != "" {
+		c.journal(recTypeSpan, spanRec{Trace: job.trace, Label: job.label, Spans: []obs.Span{s}})
+	}
 }
 
 // wait blocks until the job completes or the coordinator closes. The
@@ -435,6 +542,10 @@ func (c *Coordinator) finishLocked(job *fedJob, idx int, o *Outcome) {
 	}
 	if job.done == job.total {
 		c.counters.JobsDone++
+		now := c.cfg.now().UnixNano()
+		c.spanLocked(job, obs.Span{Name: "done", StartNS: now, EndNS: now,
+			Detail: fmt.Sprintf("%d points: %d simulated, %d cached, %d failed",
+				job.total, st.Simulated, st.CacheHits, st.Errors)})
 		close(job.doneCh)
 	}
 }
@@ -455,7 +566,10 @@ func (c *Coordinator) reapLocked(now time.Time) {
 			w.ActiveLeases--
 			w.Expiries++
 		}
-		c.abandonOrRequeueLocked(ls.shard)
+		c.spanLocked(ls.shard.job(), obs.Span{Name: "expire", Ref: ls.shard.id,
+			Worker: ls.workerID, StartNS: now.UnixNano(), EndNS: now.UnixNano(),
+			Detail: fmt.Sprintf("lease %s ttl elapsed", id)})
+		c.abandonOrRequeueLocked(ls.shard, now)
 	}
 	for id, w := range c.workers {
 		if w.ActiveLeases == 0 && now.Sub(w.LastSeen) > c.workerExpiry() {
@@ -475,10 +589,13 @@ func (c *Coordinator) workerExpiry() time.Duration {
 
 // abandonOrRequeueLocked gives a recovered shard back to the queue, or
 // fails its points once MaxAttempts lease grants have been burned.
-func (c *Coordinator) abandonOrRequeueLocked(sh *fedShard) {
+func (c *Coordinator) abandonOrRequeueLocked(sh *fedShard, now time.Time) {
 	if sh.attempt >= c.cfg.MaxAttempts {
 		c.counters.ShardsAbandoned++
 		msg := fmt.Sprintf("sweep: shard %s abandoned after %d burned leases", sh.id, sh.attempt)
+		c.spanLocked(sh.job(), obs.Span{Name: "abandon", Ref: sh.id,
+			StartNS: now.UnixNano(), EndNS: now.UnixNano(),
+			Detail: fmt.Sprintf("%d burned leases", sh.attempt)})
 		rec := doneRec{}
 		for _, u := range sh.units {
 			rec.Job = u.job.id
@@ -491,6 +608,10 @@ func (c *Coordinator) abandonOrRequeueLocked(sh *fedShard) {
 		return
 	}
 	c.counters.ShardsRequeued++
+	sh.queuedAt = now
+	c.spanLocked(sh.job(), obs.Span{Name: "requeue", Ref: sh.id,
+		StartNS: now.UnixNano(), EndNS: now.UnixNano(),
+		Detail: fmt.Sprintf("attempt %d of %d", sh.attempt, c.cfg.MaxAttempts)})
 	c.pending = append([]*fedShard{sh}, c.pending...)
 }
 
@@ -503,7 +624,7 @@ func (c *Coordinator) RegisterWorker(name string) (RegisterReply, error) {
 	if name == "" {
 		name = id
 	}
-	c.workers[id] = &workerState{WorkerStatus{ID: id, Name: name, LastSeen: c.cfg.now()}}
+	c.workers[id] = &workerState{WorkerStatus: WorkerStatus{ID: id, Name: name, LastSeen: c.cfg.now()}}
 	c.workerIDs = append(c.workerIDs, id)
 	return RegisterReply{WorkerID: id, LeaseTTL: c.cfg.LeaseTTL}, nil
 }
@@ -545,6 +666,7 @@ func (c *Coordinator) LeaseShard(workerID string) (*LeaseGrant, error) {
 		sh := c.pending[0]
 		c.pending = c.pending[1:]
 
+		job := sh.job() // before stripping: an emptied shard forgets its owner
 		kept := sh.units[:0]
 		var strips doneRec
 		for _, u := range sh.units {
@@ -563,25 +685,45 @@ func (c *Coordinator) LeaseShard(workerID string) (*LeaseGrant, error) {
 			c.journal(recTypeDone, strips)
 		}
 		if len(sh.units) == 0 {
+			// The whole shard was satisfied by results a sibling job put
+			// in the shared cache since planning. That still completes the
+			// shard — the timeline must say so, or a shard span would dangle
+			// with no matching complete.
+			c.spanLocked(job, obs.Span{Name: "complete", Ref: sh.id,
+				StartNS: now.UnixNano(), EndNS: now.UnixNano(),
+				Detail: "served from shared cache"})
 			continue
 		}
 
 		sh.attempt++
 		c.seq++
 		ls := &fedLease{
-			id:       fmt.Sprintf("ls-%d", c.seq),
-			workerID: workerID,
-			shard:    sh,
-			deadline: now.Add(c.cfg.LeaseTTL),
+			id:        fmt.Sprintf("ls-%d", c.seq),
+			workerID:  workerID,
+			shard:     sh,
+			deadline:  now.Add(c.cfg.LeaseTTL),
+			grantedAt: now,
 		}
 		c.leases[ls.id] = ls
 		c.counters.LeasesGranted++
 		c.journal(recTypeLease, leaseRec{ID: ls.id, Worker: workerID, Shard: sh.id,
 			Attempt: sh.attempt, Deadline: ls.deadline.UnixMilli()})
 		w.ActiveLeases++
+		wait := time.Duration(0)
+		if !sh.queuedAt.IsZero() {
+			wait = now.Sub(sh.queuedAt)
+			c.queueWait.Observe(wait.Seconds())
+		}
+		c.spanLocked(job, obs.Span{Name: "lease", Ref: sh.id, Worker: workerID,
+			StartNS: now.UnixNano(), EndNS: now.UnixNano(),
+			Detail: fmt.Sprintf("lease %s attempt %d, %d points, queued %dms",
+				ls.id, sh.attempt, len(sh.units), wait.Milliseconds())})
 		grant := &LeaseGrant{
 			LeaseID: ls.id, ShardID: sh.id, Attempt: sh.attempt, TTL: c.cfg.LeaseTTL,
 			Items: make([]WorkItem, len(sh.units)),
+		}
+		if job != nil {
+			grant.TraceID = job.trace
 		}
 		for i, u := range sh.units {
 			grant.Items[i] = u.item
@@ -629,7 +771,8 @@ func (c *Coordinator) CompleteShard(req *CompleteRequest) error {
 	if c.closed {
 		return ErrClosed
 	}
-	c.reapLocked(c.cfg.now())
+	now := c.cfg.now()
+	c.reapLocked(now)
 	ls := c.leases[req.LeaseID]
 	if ls == nil {
 		return ErrStaleLease
@@ -667,7 +810,9 @@ func (c *Coordinator) CompleteShard(req *CompleteRequest) error {
 		if w := c.workers[ls.workerID]; w != nil {
 			w.ActiveLeases--
 		}
-		c.abandonOrRequeueLocked(sh)
+		c.spanLocked(sh.job(), obs.Span{Name: "reject", Ref: sh.id, Worker: ls.workerID,
+			StartNS: now.UnixNano(), EndNS: now.UnixNano(), Detail: err.Error()})
+		c.abandonOrRequeueLocked(sh, now)
 		return err
 	}
 
@@ -677,12 +822,49 @@ func (c *Coordinator) CompleteShard(req *CompleteRequest) error {
 	// shard notionally requeued) followed by its outcomes resolving —
 	// which empties the shard out of the queue again on replay.
 	c.journal(recTypeBurn, burnRec{ID: req.LeaseID})
-	if w := c.workers[ls.workerID]; w != nil {
+	job := sh.job()
+	// Adopt the worker's piggybacked spans onto the job's timeline,
+	// stamped with the lease's worker id (the lease, not the payload,
+	// is the authority on who ran the shard). The w:simulate span also
+	// feeds the service-time histogram and the worker's points/s EWMA.
+	var simSec float64
+	for _, ws := range req.Spans {
+		ws.Worker = ls.workerID
+		if ws.Ref == "" {
+			ws.Ref = sh.id
+		}
+		if ws.Name == "w:simulate" {
+			simSec = ws.Duration().Seconds()
+		}
+		c.spanLocked(job, ws)
+	}
+	for _, ns := range req.PointNS {
+		if ns > 0 {
+			c.pointSim.Observe(float64(ns) / 1e9)
+		}
+	}
+	if simSec > 0 {
+		c.service.Observe(simSec)
+	}
+	w := c.workers[ls.workerID]
+	if w != nil {
 		w.ActiveLeases--
 		w.ShardsDone++
 		w.PointsDone += len(sh.units)
+		if simSec > 0 {
+			w.rate.Observe(float64(len(sh.units)) / simSec)
+			w.PointsPerSec = w.rate.Value()
+		}
+	}
+	if !ls.grantedAt.IsZero() {
+		age := now.Sub(ls.grantedAt)
+		c.leaseAge.Observe(age.Seconds())
+		c.spanLocked(job, obs.Span{Name: "run", Ref: sh.id, Worker: ls.workerID,
+			StartNS: ls.grantedAt.UnixNano(), EndNS: now.UnixNano(),
+			Detail: fmt.Sprintf("lease %s", ls.id)})
 	}
 	rec := doneRec{}
+	putStart := c.cfg.now()
 	for i, u := range sh.units {
 		o := req.Outcomes[i]
 		if o.Err == "" {
@@ -693,6 +875,13 @@ func (c *Coordinator) CompleteShard(req *CompleteRequest) error {
 		c.finishLocked(u.job, u.jobIdx,
 			&Outcome{Point: u.item.Point, Key: u.item.Key, Result: o.Result, Err: o.Err})
 	}
+	putEnd := c.cfg.now()
+	c.spanLocked(job, obs.Span{Name: "cacheput", Ref: sh.id,
+		StartNS: putStart.UnixNano(), EndNS: putEnd.UnixNano(),
+		Detail: "shared-cache write-back"})
+	c.spanLocked(job, obs.Span{Name: "complete", Ref: sh.id, Worker: ls.workerID,
+		StartNS: putEnd.UnixNano(), EndNS: putEnd.UnixNano(),
+		Detail: fmt.Sprintf("%d points", len(sh.units))})
 	if c.jrn != nil && rec.Job != "" {
 		c.journal(recTypeDone, rec)
 	}
@@ -729,5 +918,46 @@ func (c *Coordinator) Status() FederationStatus {
 		}
 	}
 	c.workerIDs = live
+	now := c.cfg.now()
+	for _, ls := range c.leases {
+		l := LeaseStatus{ID: ls.id, Shard: ls.shard.id, Worker: ls.workerID,
+			Attempt: ls.shard.attempt, Points: len(ls.shard.units),
+			LeftMS: ls.deadline.Sub(now).Milliseconds()}
+		if !ls.grantedAt.IsZero() {
+			l.AgeMS = now.Sub(ls.grantedAt).Milliseconds()
+		}
+		if job := ls.shard.job(); job != nil {
+			l.Trace = job.trace
+		}
+		st.Leases = append(st.Leases, l)
+	}
+	sort.Slice(st.Leases, func(a, b int) bool { return st.Leases[a].AgeMS > st.Leases[b].AgeMS })
 	return st
+}
+
+// Timeline returns the assembled span timeline for a trace id (false
+// for a trace the recorder has never seen or has evicted).
+func (c *Coordinator) Timeline(traceID string) (obs.Timeline, bool) {
+	return c.rec.Timeline(traceID)
+}
+
+// CoordHistograms snapshots the coordinator's orchestration-latency
+// histograms for /metrics exposition.
+type CoordHistograms struct {
+	QueueWait obs.HistSnapshot // shard queue wait, seconds
+	Service   obs.HistSnapshot // worker-reported shard service time, seconds
+	PointSim  obs.HistSnapshot // per-point simulation time, seconds
+	LeaseAge  obs.HistSnapshot // lease age at completion, seconds
+}
+
+// Histograms snapshots the latency histograms (their locks are
+// independent of the queue mutex, so this never contends with the
+// lease path).
+func (c *Coordinator) Histograms() CoordHistograms {
+	return CoordHistograms{
+		QueueWait: c.queueWait.Snapshot(),
+		Service:   c.service.Snapshot(),
+		PointSim:  c.pointSim.Snapshot(),
+		LeaseAge:  c.leaseAge.Snapshot(),
+	}
 }

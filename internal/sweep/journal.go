@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"earlyrelease/internal/obs"
 	"earlyrelease/internal/pipeline"
 	"earlyrelease/internal/sweep/durable"
 )
@@ -40,14 +41,25 @@ const (
 	recTypeRenew   byte = 5 // a lease deadline extension
 	recTypeBurn    byte = 6 // a lease died (expiry/rejection): shard requeues at the front
 	recTypeJobDone byte = 7 // a job's waiter collected its results
+	recTypeSpan    byte = 8 // trace spans appended to a journaled job's timeline
 )
 
 type jobRec struct {
 	ID     string          `json:"id"`
 	Label  string          `json:"label,omitempty"`
+	Trace  string          `json:"trace,omitempty"`
 	Meta   json.RawMessage `json:"meta,omitempty"`
 	Points []Point         `json:"points"`
 	Keys   []string        `json:"keys"`
+}
+
+// spanRec appends spans to a trace's timeline. Spans are telemetry,
+// not queue state: they are journaled without fsync and replayed into
+// the recorder only.
+type spanRec struct {
+	Trace string     `json:"trace"`
+	Label string     `json:"label,omitempty"`
+	Spans []obs.Span `json:"spans"`
 }
 
 // shardRec names a shard's units as slots into its job's point list.
@@ -105,6 +117,9 @@ type snapState struct {
 	Jobs    []jobState   `json:"jobs"`
 	Pending []shardRec   `json:"pending"` // queue order
 	Leases  []leaseState `json:"leases"`
+	// Traces carries the recorder's timelines so crash-resume keeps
+	// already-recorded spans (bounded by the recorder's retention).
+	Traces []obs.Timeline `json:"traces,omitempty"`
 }
 
 type jobState struct {
@@ -215,6 +230,7 @@ func (c *Coordinator) snapStateLocked() snapState {
 		st.Leases = append(st.Leases, leaseState{ID: ls.id, Worker: ls.workerID,
 			Deadline: ls.deadline.UnixMilli(), Shard: shardState(ls.shard)})
 	}
+	st.Traces = c.rec.Dump()
 	return st
 }
 
@@ -251,10 +267,16 @@ type replayState struct {
 	pending []*rshard
 	leases  map[string]*rlease
 	order   []string // job ids in first-seen order
+
+	// traces accumulates snapshot timelines plus WAL span records, in
+	// first-seen order, for adoption into the recorder.
+	traces     map[string]*obs.Timeline
+	traceOrder []string
 }
 
 type rjob struct {
 	id, label string
+	trace     string
 	meta      json.RawMessage
 	points    []Point
 	keys      []string
@@ -279,7 +301,27 @@ func newReplayState() *replayState {
 		jobs:   map[string]*rjob{},
 		shards: map[string]*rshard{},
 		leases: map[string]*rlease{},
+		traces: map[string]*obs.Timeline{},
 	}
+}
+
+// addSpans folds spans into a replayed trace (creating it on first
+// sight, as both snapshot timelines and WAL span records do).
+func (st *replayState) addSpans(trace, label string, dropped int, spans []obs.Span) {
+	if trace == "" {
+		return
+	}
+	t, ok := st.traces[trace]
+	if !ok {
+		t = &obs.Timeline{TraceID: trace}
+		st.traces[trace] = t
+		st.traceOrder = append(st.traceOrder, trace)
+	}
+	if label != "" {
+		t.Label = label
+	}
+	t.Dropped += dropped
+	t.Spans = append(t.Spans, spans...)
 }
 
 func (st *replayState) bump(id string) {
@@ -289,8 +331,8 @@ func (st *replayState) bump(id string) {
 }
 
 func (st *replayState) addJob(r jobRec, done []doneEntry) {
-	j := &rjob{id: r.ID, label: r.Label, meta: r.Meta, points: r.Points,
-		keys: r.Keys, done: map[int]doneEntry{}}
+	j := &rjob{id: r.ID, label: r.Label, trace: r.Trace, meta: r.Meta,
+		points: r.Points, keys: r.Keys, done: map[int]doneEntry{}}
 	for _, e := range done {
 		j.done[e.Idx] = e
 	}
@@ -323,6 +365,9 @@ func (st *replayState) load(snap snapState) {
 		st.leases[ls.ID] = &rlease{id: ls.ID, worker: ls.Worker, shard: sh,
 			deadline: time.UnixMilli(ls.Deadline)}
 		st.bump(ls.ID)
+	}
+	for _, t := range snap.Traces {
+		st.addSpans(t.TraceID, t.Label, t.Dropped, t.Spans)
 	}
 }
 
@@ -392,6 +437,12 @@ func (st *replayState) apply(rec durable.Record) error {
 			return fmt.Errorf("sweep: replay job-done record: %w", err)
 		}
 		st.dropJob(r.Job)
+	case recTypeSpan:
+		var r spanRec
+		if err := json.Unmarshal(rec.Payload, &r); err != nil {
+			return fmt.Errorf("sweep: replay span record: %w", err)
+		}
+		st.addSpans(r.Trace, r.Label, 0, r.Spans)
 	default:
 		return fmt.Errorf("sweep: replay: unknown wal record type %d", rec.Type)
 	}
@@ -457,6 +508,7 @@ func (st *replayState) dropJob(id string) {
 // original ids and resumes them with ResumeRecovered.
 type RecoveredJob struct {
 	Label string          `json:"label"`
+	Trace string          `json:"trace,omitempty"`
 	Meta  json.RawMessage `json:"meta,omitempty"`
 	Total int             `json:"total"`
 	Done  int             `json:"done"`
@@ -516,6 +568,14 @@ func OpenCoordinator(cache *Cache, cfg CoordConfig) (*Coordinator, error) {
 // saved before the crash.
 func (c *Coordinator) adopt(st *replayState) {
 	c.seq = st.seq
+	// Replayed timelines land in the recorder verbatim; adopting
+	// suppresses the finishLocked span emission below so recovery does
+	// not double-record what the journal already holds.
+	c.adopting = true
+	defer func() { c.adopting = false }()
+	for _, id := range st.traceOrder {
+		c.rec.Load(*st.traces[id])
+	}
 	kept := map[string]*fedJob{}
 	for _, id := range st.order {
 		rj := st.jobs[id]
@@ -531,7 +591,7 @@ func (c *Coordinator) adopt(st *replayState) {
 			continue
 		}
 		job := &fedJob{
-			id: rj.id, label: rj.label, meta: rj.meta,
+			id: rj.id, label: rj.label, trace: rj.trace, meta: rj.meta,
 			points: rj.points, keys: rj.keys,
 			res:    &Results{Outcomes: make([]*Outcome, len(rj.points))},
 			total:  len(rj.points),
@@ -550,8 +610,8 @@ func (c *Coordinator) adopt(st *replayState) {
 		}
 		kept[job.id] = job
 		c.jobs[job.id] = job
-		c.recovered = append(c.recovered, RecoveredJob{Label: job.label, Meta: job.meta,
-			Total: job.total, Done: job.done})
+		c.recovered = append(c.recovered, RecoveredJob{Label: job.label, Trace: job.trace,
+			Meta: job.meta, Total: job.total, Done: job.done})
 	}
 	mkShard := func(rs *rshard) *fedShard {
 		job := kept[rs.job]

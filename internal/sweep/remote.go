@@ -281,7 +281,9 @@ func (c *Client) LeaseShard(workerID string) (*LeaseGrant, error) {
 	if err != nil {
 		return nil, err
 	}
+	decodeStart := time.Now()
 	m, err := DecodeMessage(data)
+	decodeEnd := time.Now()
 	if err != nil {
 		return nil, err
 	}
@@ -289,6 +291,9 @@ func (c *Client) LeaseShard(workerID string) (*LeaseGrant, error) {
 	if !ok {
 		return nil, fmt.Errorf("sweep: lease response decoded to %T", m)
 	}
+	// Stamp the decode window so the worker can report it back as its
+	// w:decode span on completion.
+	grant.decodeStart, grant.decodeEnd = decodeStart, decodeEnd
 	return grant, nil
 }
 

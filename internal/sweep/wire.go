@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"earlyrelease/internal/obs"
 	"earlyrelease/internal/pipeline"
 )
 
@@ -15,7 +16,7 @@ import (
 // grant handed to a worker and the worker's completion report — in a
 // compact binary envelope:
 //
-//	magic "ERSW" | version 1 | type byte | payload | sha256[:8]
+//	magic "ERSW" | version 2 | type byte | payload | sha256[:8]
 //
 // Strings and JSON blobs are uvarint-length-prefixed; the trailing
 // checksum covers everything before it, so a truncated or bit-flipped
@@ -23,9 +24,15 @@ import (
 // fully bounds-checked (FuzzShardCodec keeps it panic-free) and
 // rejects trailing junk, so encode∘decode is the identity on valid
 // messages.
+//
+// Version 2 carries the tracing layer (DESIGN.md §4.9): a lease grant
+// names the trace its shard belongs to, and a completion piggybacks
+// the worker-side spans (decode, simulate, cache put) plus per-point
+// simulation nanoseconds. Version 1 frames are rejected — workers and
+// coordinators upgrade together.
 
 const (
-	wireVersion  = 1
+	wireVersion  = 2
 	msgLease     = 1
 	msgComplete  = 2
 	checksumLen  = 8
@@ -48,9 +55,15 @@ type WorkItem struct {
 type LeaseGrant struct {
 	LeaseID string
 	ShardID string
+	TraceID string        // the submitting job's trace, propagated to the worker
 	Attempt int           // 1 on first lease, +1 per expiry requeue
 	TTL     time.Duration // whole milliseconds on the wire
 	Items   []WorkItem
+
+	// decodeStart/decodeEnd bracket the wire decode on the worker side
+	// (set by Client.LeaseShard, not carried on the wire): the worker
+	// reports them back as its w:decode span.
+	decodeStart, decodeEnd time.Time
 }
 
 // WireOutcome is one point's completion report: the planned key plus
@@ -62,10 +75,17 @@ type WireOutcome struct {
 }
 
 // CompleteRequest reports a whole leased shard, outcomes in item order.
+// Spans and PointNS are the worker-side observability piggyback: spans
+// for decode/simulate/cache-put, and per-point simulation wall
+// nanoseconds aligned with Outcomes (0 = untimed, e.g. a local cache
+// hit). Both are advisory — the coordinator verifies outcomes, never
+// timings, and a missing piggyback only costs visibility.
 type CompleteRequest struct {
 	LeaseID  string
 	WorkerID string
 	Outcomes []WireOutcome
+	Spans    []obs.Span
+	PointNS  []int64
 }
 
 type wbuf struct{ b []byte }
@@ -126,6 +146,19 @@ func (r *rbuf) str() (string, error) {
 	return string(p), err
 }
 
+// nanos reads a nanosecond timestamp/duration, rejecting values that
+// cannot be a sane unix-nano instant (keeps int64 math overflow-free).
+func (r *rbuf) nanos() (int64, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > 1<<62 {
+		return 0, fmt.Errorf("sweep: wire timestamp %d out of range", v)
+	}
+	return int64(v), nil
+}
+
 // count reads an item count and bounds it by the bytes remaining (each
 // item costs at least minItemBytes), so a hostile header cannot force a
 // huge allocation.
@@ -156,6 +189,7 @@ func EncodeLease(l *LeaseGrant) ([]byte, error) {
 	return encodeEnvelope(msgLease, func(w *wbuf) error {
 		w.str(l.LeaseID)
 		w.str(l.ShardID)
+		w.str(l.TraceID)
 		w.uvarint(uint64(l.Attempt))
 		w.uvarint(uint64(l.TTL / time.Millisecond))
 		w.uvarint(uint64(len(l.Items)))
@@ -185,6 +219,18 @@ func EncodeComplete(c *CompleteRequest) ([]byte, error) {
 			if err := w.json(o.Result); err != nil {
 				return err
 			}
+		}
+		w.uvarint(uint64(len(c.Spans)))
+		for _, s := range c.Spans {
+			w.str(s.Name)
+			w.str(s.Ref)
+			w.str(s.Detail)
+			w.uvarint(uint64(s.StartNS))
+			w.uvarint(uint64(s.EndNS))
+		}
+		w.uvarint(uint64(len(c.PointNS)))
+		for _, ns := range c.PointNS {
+			w.uvarint(uint64(ns))
 		}
 		return nil
 	})
@@ -237,6 +283,9 @@ func decodeLeasePayload(payload []byte) (*LeaseGrant, error) {
 		return nil, err
 	}
 	if l.ShardID, err = r.str(); err != nil {
+		return nil, err
+	}
+	if l.TraceID, err = r.str(); err != nil {
 		return nil, err
 	}
 	attempt, err := r.uvarint()
@@ -312,6 +361,40 @@ func decodeCompletePayload(payload []byte) (*CompleteRequest, error) {
 			}
 		}
 		c.Outcomes = append(c.Outcomes, o)
+	}
+	ns, err := r.count(5) // 3 string lengths + 2 timestamps, at least
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ns; i++ {
+		var s obs.Span
+		if s.Name, err = r.str(); err != nil {
+			return nil, err
+		}
+		if s.Ref, err = r.str(); err != nil {
+			return nil, err
+		}
+		if s.Detail, err = r.str(); err != nil {
+			return nil, err
+		}
+		if s.StartNS, err = r.nanos(); err != nil {
+			return nil, err
+		}
+		if s.EndNS, err = r.nanos(); err != nil {
+			return nil, err
+		}
+		c.Spans = append(c.Spans, s)
+	}
+	np, err := r.count(1)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < np; i++ {
+		v, err := r.nanos()
+		if err != nil {
+			return nil, err
+		}
+		c.PointNS = append(c.PointNS, v)
 	}
 	if r.rem() != 0 {
 		return nil, errors.New("sweep: trailing bytes after complete payload")

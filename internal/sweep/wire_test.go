@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"earlyrelease/internal/obs"
 	"earlyrelease/internal/pipeline"
 )
 
@@ -13,6 +14,7 @@ func sampleLease() *LeaseGrant {
 	return &LeaseGrant{
 		LeaseID: "ls-7",
 		ShardID: "sh-3",
+		TraceID: "tr-11",
 		Attempt: 2,
 		TTL:     30 * time.Second,
 		Items: []WorkItem{
@@ -32,6 +34,11 @@ func sampleComplete() *CompleteRequest {
 				Cycles: 12345, Committed: 20000, IPC: 1.6201}},
 			{Key: "k2", Err: "sweep: something failed"},
 		},
+		Spans: []obs.Span{
+			{Name: "w:decode", Ref: "sh-3", StartNS: 1000, EndNS: 2000},
+			{Name: "w:simulate", Ref: "sh-3", StartNS: 2000, EndNS: 900000, Detail: "2 points"},
+		},
+		PointNS: []int64{450000, 0},
 	}
 }
 
@@ -93,8 +100,11 @@ func TestWireRejectsBadEnvelope(t *testing.T) {
 	cases := map[string][]byte{
 		"empty":       {},
 		"short":       []byte("ERSW"),
-		"bad magic":   append([]byte("NOPE\x01\x01"), make([]byte, 8)...),
+		"bad magic":   append([]byte("NOPE\x02\x01"), make([]byte, 8)...),
 		"bad version": append([]byte("ERSW\x09\x01"), make([]byte, 8)...),
+		// v1 frames (pre-tracing) are rejected outright: workers and
+		// coordinators upgrade in lockstep.
+		"old version": append([]byte("ERSW\x01\x01"), make([]byte, 8)...),
 	}
 	for name, data := range cases {
 		if _, err := DecodeMessage(data); err == nil {
@@ -117,7 +127,8 @@ func FuzzShardCodec(f *testing.F) {
 	if frame, err := EncodeComplete(&CompleteRequest{LeaseID: "l", WorkerID: "w"}); err == nil {
 		f.Add(frame)
 	}
-	f.Add([]byte("ERSW\x01\x01"))
+	f.Add([]byte("ERSW\x02\x01"))
+	f.Add([]byte("ERSW\x01\x01")) // stale v1 envelope
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

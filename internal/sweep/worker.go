@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"earlyrelease/internal/obs"
 )
 
 // WorkSource is the coordinator surface a worker pulls from. The
@@ -121,7 +123,9 @@ func (w *Worker) runShard(ctx context.Context, eng *Engine, workerID string, ttl
 	for i, it := range grant.Items {
 		points[i] = it.Point
 	}
+	simStart := time.Now()
 	res, err := eng.RunPointsCtx(ctx, points, nil)
+	simEnd := time.Now()
 	if ctx.Err() != nil {
 		// Drained mid-shard: report nothing. The unstarted points carry
 		// synthetic context errors the coordinator must never believe, so
@@ -145,6 +149,28 @@ func (w *Worker) runShard(ctx context.Context, eng *Engine, workerID string, ttl
 			o.Result = res.Outcomes[i].Result
 		}
 		req.Outcomes[i] = o
+	}
+	// Piggyback the worker-side timing spans (DESIGN.md §4.9): wire
+	// decode (remote leases only), the simulation window, and cache
+	// write time rendered as a span ending at the simulation's end.
+	// The coordinator stamps these with this lease's worker id and
+	// folds them into the job's timeline and the latency histograms.
+	if !grant.decodeStart.IsZero() {
+		req.Spans = append(req.Spans, obs.Span{Name: "w:decode", Ref: grant.ShardID,
+			StartNS: grant.decodeStart.UnixNano(), EndNS: grant.decodeEnd.UnixNano()})
+	}
+	req.Spans = append(req.Spans, obs.Span{Name: "w:simulate", Ref: grant.ShardID,
+		StartNS: simStart.UnixNano(), EndNS: simEnd.UnixNano(),
+		Detail: fmt.Sprintf("%d points", len(grant.Items))})
+	if res != nil {
+		if res.CachePutNS > 0 {
+			req.Spans = append(req.Spans, obs.Span{Name: "w:cacheput", Ref: grant.ShardID,
+				StartNS: simEnd.UnixNano() - res.CachePutNS, EndNS: simEnd.UnixNano(),
+				Detail: "local cache, aggregate"})
+		}
+		if err == nil {
+			req.PointNS = res.PointNS
+		}
 	}
 	stopRenew()
 	// A stale-lease rejection means we lost the TTL race and the shard
